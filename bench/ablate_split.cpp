@@ -1,0 +1,98 @@
+// Ablation for §3.1.4 (node splitting): the paper bounds the exhaustive
+// decomposition search by pre-splitting nodes with fanin above 10 and
+// reports that "the mapping of a split node uses no more lookup tables
+// than the mapping of the non-split nodes and are found in much less
+// time".
+//
+// Part 1 sweeps the split threshold over the benchmark suite (K=5):
+// quality is flat — the paper's observation — because real networks
+// offer many equivalent minimum-cost decompositions.
+//
+// Part 2 uses adversarial synthetic trees of very wide nodes to show
+// both halves of the trade-off at its extreme: mapping time explodes
+// beyond threshold ~12 (the search is exponential in the fanin bound)
+// while aggressive splitting costs a bounded number of LUTs.
+#include <cstdio>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/timer.hpp"
+#include "chortle/forest.hpp"
+#include "chortle/mapper.hpp"
+#include "chortle/tree_mapper.hpp"
+#include "chortle/work_tree.hpp"
+#include "mcnc/generators.hpp"
+#include "network/network.hpp"
+#include "opt/script.hpp"
+
+using namespace chortle;
+using namespace chortle::core;
+
+namespace {
+
+net::Network wide_tree(int top_fanin, int child_fanin, std::uint64_t seed) {
+  Rng rng(seed);
+  net::Network n;
+  std::vector<net::Fanin> top;
+  for (int c = 0; c < top_fanin; ++c) {
+    std::vector<net::Fanin> leaves;
+    for (int i = 0; i < child_fanin; ++i)
+      leaves.push_back(net::Fanin{n.add_input(""), rng.next_bool(0.3)});
+    top.push_back(net::Fanin{
+        n.add_gate(rng.next_bool() ? net::GateOp::kAnd : net::GateOp::kOr,
+                   leaves),
+        rng.next_bool(0.3)});
+  }
+  n.add_output("y", n.add_gate(net::GateOp::kOr, top), false);
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Node-splitting ablation (paper 3.1.4), K=5\n\n");
+
+  std::printf("Part 1: benchmark suite, split threshold sweep\n");
+  std::printf("%-10s %12s %12s\n", "threshold", "total LUTs", "map time(s)");
+  std::vector<opt::OptimizedDesign> designs;
+  for (const std::string& name : mcnc::benchmark_names())
+    designs.push_back(opt::optimize(mcnc::generate(name)));
+  for (int threshold : {4, 6, 8, 10, 12}) {
+    Options options;
+    options.k = 5;
+    options.split_threshold = threshold;
+    long total = 0;
+    WallTimer timer;
+    for (const auto& design : designs)
+      total += map_network(design.network, options).stats.num_luts;
+    std::printf("%-10d %12ld %12.3f\n", threshold, total, timer.seconds());
+  }
+  std::printf("Expected: LUT totals essentially flat (the paper's "
+              "observation); time grows with the threshold.\n\n");
+
+  std::printf("Part 2: adversarial synthetic trees (top fanin 4, children "
+              "fanin 14)\n");
+  std::printf("%-10s %12s %12s\n", "threshold", "total LUTs", "map time(s)");
+  for (int threshold : {4, 6, 8, 10, 12, 14, 16}) {
+    Options options;
+    options.k = 5;
+    options.split_threshold = threshold;
+    long total_luts = 0;
+    WallTimer timer;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const net::Network n = wide_tree(4, 14, seed);
+      const Forest forest = build_forest(n);
+      TreeMapper mapper(
+          build_work_tree(n, forest, forest.trees[0], options), options);
+      total_luts += mapper.best_cost();
+    }
+    std::printf("%-10d %12ld %12.3f\n", threshold, total_luts,
+                timer.seconds());
+  }
+  std::printf(
+      "Expected: here splitting is not free — aggressive thresholds cost\n"
+      "up to ~20%% extra LUTs on these hand-built worst cases — but the\n"
+      "unsplit exhaustive search beyond fanin ~12 is orders of magnitude\n"
+      "slower, which is exactly why the paper splits at 10.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Microbenchmarks of the mapper core: the utilization-division /
+// decomposition DP as a function of node fanin and K, forest
+// construction, and whole-network mapping throughput.
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hpp"
+#include "chortle/forest.hpp"
+#include "chortle/mapper.hpp"
+#include "chortle/tree_mapper.hpp"
+#include "chortle/work_tree.hpp"
+#include "mcnc/random_logic.hpp"
+#include "opt/decompose.hpp"
+
+using namespace chortle;
+using namespace chortle::core;
+
+namespace {
+
+net::Network wide_node_tree(int fanin) {
+  net::Network n;
+  std::vector<net::Fanin> leaves;
+  for (int i = 0; i < fanin; ++i)
+    leaves.push_back(net::Fanin{n.add_input(""), (i % 3) == 0});
+  n.add_output("y", n.add_gate(net::GateOp::kAnd, leaves), false);
+  return n;
+}
+
+net::Network benchmark_dag(std::uint64_t seed) {
+  mcnc::RandomLogicParams params;
+  params.num_inputs = 40;
+  params.num_outputs = 30;
+  params.num_gates = 300;
+  params.seed = seed;
+  return opt::decompose_to_and_or(mcnc::random_logic(params));
+}
+
+void BM_TreeDpByFanin(benchmark::State& state) {
+  const int fanin = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const net::Network n = wide_node_tree(fanin);
+  const Forest forest = build_forest(n);
+  Options options;
+  options.k = k;
+  options.split_threshold = 16;  // measure the unsplit search
+  const WorkTree work = build_work_tree(n, forest, forest.trees[0], options);
+  for (auto _ : state) {
+    TreeMapper mapper(work, options);
+    benchmark::DoNotOptimize(mapper.best_cost());
+  }
+}
+BENCHMARK(BM_TreeDpByFanin)
+    ->ArgsProduct({{4, 6, 8, 10, 12, 14}, {3, 5}});
+
+void BM_SplitVsUnsplit(benchmark::State& state) {
+  const int threshold = static_cast<int>(state.range(0));
+  const net::Network n = wide_node_tree(14);
+  const Forest forest = build_forest(n);
+  Options options;
+  options.k = 5;
+  options.split_threshold = threshold;
+  for (auto _ : state) {
+    TreeMapper mapper(
+        build_work_tree(n, forest, forest.trees[0], options), options);
+    benchmark::DoNotOptimize(mapper.best_cost());
+  }
+}
+BENCHMARK(BM_SplitVsUnsplit)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_BuildForest(benchmark::State& state) {
+  const net::Network n = benchmark_dag(1);
+  for (auto _ : state) {
+    const Forest forest = build_forest(n);
+    benchmark::DoNotOptimize(forest.trees.size());
+  }
+}
+BENCHMARK(BM_BuildForest);
+
+void BM_MapNetwork(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const net::Network n = benchmark_dag(2);
+  Options options;
+  options.k = k;
+  for (auto _ : state) {
+    const MapResult result = map_network(n, options);
+    benchmark::DoNotOptimize(result.stats.num_luts);
+  }
+  state.counters["luts"] = static_cast<double>(
+      map_network(n, options).stats.num_luts);
+}
+BENCHMARK(BM_MapNetwork)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

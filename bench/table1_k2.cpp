@@ -1,0 +1,5 @@
+// Reproduces Table 1 of the paper: Chortle vs the MIS II-style
+// baseline on the MCNC-89 benchmark substitutes at K=2.
+#include "table_common.hpp"
+
+int main() { return chortle::bench::run_table(2, "Table 1"); }

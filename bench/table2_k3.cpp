@@ -1,0 +1,5 @@
+// Reproduces Table 2 of the paper: Chortle vs the MIS II-style
+// baseline on the MCNC-89 benchmark substitutes at K=3.
+#include "table_common.hpp"
+
+int main() { return chortle::bench::run_table(3, "Table 2"); }

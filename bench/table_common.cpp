@@ -1,0 +1,77 @@
+#include "table_common.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/timer.hpp"
+#include "chortle/mapper.hpp"
+#include "libmap/library.hpp"
+#include "libmap/matcher.hpp"
+#include "mcnc/generators.hpp"
+#include "opt/script.hpp"
+#include "sim/simulate.hpp"
+
+namespace chortle::bench {
+
+int run_table(int k, const char* table_name) {
+  std::printf("%s: Results, K=%d (Chortle DAC-90 reproduction)\n",
+              table_name, k);
+  std::printf("Baseline: MIS II-style tree covering, %s library\n",
+              k <= 3 ? "complete" : "level-0-kernel (incomplete)");
+  std::printf("%-8s %10s %10s %7s %10s %10s\n", "circuit", "#tab MIS",
+              "#tab Chor", "%", "t(s) MIS", "t(s) Chor");
+
+  const libmap::Library library = k <= 3
+                                      ? libmap::Library::complete(k)
+                                      : libmap::Library::level0_kernels(k);
+  core::Options options;
+  options.k = k;
+
+  double sum_percent = 0.0;
+  int rows = 0;
+  int failures = 0;
+  long total_mis = 0;
+  long total_chortle = 0;
+  for (const std::string& name : mcnc::benchmark_names()) {
+    const sop::SopNetwork source = mcnc::generate(name);
+    const opt::OptimizedDesign design = opt::optimize(source);
+
+    WallTimer mis_timer;
+    const libmap::BaselineResult mis =
+        libmap::map_with_library(design.network, library);
+    const double mis_seconds = mis_timer.seconds();
+
+    WallTimer chortle_timer;
+    const core::MapResult chortle =
+        core::map_network(design.network, options);
+    const double chortle_seconds = chortle_timer.seconds();
+
+    const bool mis_ok = sim::equivalent(sim::design_of(source),
+                                        sim::design_of(mis.circuit));
+    const bool chortle_ok = sim::equivalent(sim::design_of(source),
+                                            sim::design_of(chortle.circuit));
+    if (!mis_ok || !chortle_ok) ++failures;
+
+    const double percent =
+        100.0 * (mis.stats.num_luts - chortle.stats.num_luts) /
+        static_cast<double>(mis.stats.num_luts);
+    sum_percent += percent;
+    ++rows;
+    total_mis += mis.stats.num_luts;
+    total_chortle += chortle.stats.num_luts;
+    std::printf("%-8s %10d %10d %6.1f%% %10.4f %10.4f%s\n", name.c_str(),
+                mis.stats.num_luts, chortle.stats.num_luts, percent,
+                mis_seconds, chortle_seconds,
+                mis_ok && chortle_ok ? "" : "  VERIFY-FAIL");
+  }
+  std::printf("%-8s %10ld %10ld %6.1f%%\n", "total", total_mis,
+              total_chortle,
+              100.0 * (total_mis - total_chortle) /
+                  static_cast<double>(total_mis));
+  std::printf("average LUT reduction vs baseline: %.1f%%\n\n",
+              sum_percent / rows);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace chortle::bench

@@ -1,0 +1,14 @@
+// Shared harness for the paper's Tables 1-4: for one value of K, run
+// every MCNC-substitute benchmark through the optimization script, map
+// it with the MIS-II-style baseline and with Chortle, verify both
+// mappings functionally, and print the table in the paper's layout
+// (circuit, #tables for each mapper, % difference, runtimes).
+#pragma once
+
+namespace chortle::bench {
+
+/// Runs and prints one results table. Returns 0 on success, 1 if any
+/// mapping failed verification.
+int run_table(int k, const char* table_name);
+
+}  // namespace chortle::bench

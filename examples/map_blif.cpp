@@ -1,0 +1,162 @@
+// map_blif: a command-line technology mapper, the tool a user of the
+// original Chortle program would have run.
+//
+//   map_blif [input.blif] [-k K] [-o output.blif] [--baseline]
+//            [--no-optimize] [--split N] [--stats] [--verilog]
+//
+// Reads a combinational BLIF model, optimizes it, maps it into K-input
+// LUTs with Chortle (or the MIS-II-style baseline with --baseline),
+// verifies the result, and writes a LUT-level BLIF netlist to stdout or
+// to the -o file. Without an input path, a built-in demo circuit (the
+// alu2 benchmark substitute) is used so the binary runs standalone.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "blif/blif.hpp"
+#include "blif/verilog.hpp"
+#include "chortle/mapper.hpp"
+#include "libmap/library.hpp"
+#include "libmap/matcher.hpp"
+#include "mcnc/generators.hpp"
+#include "opt/decompose.hpp"
+#include "opt/script.hpp"
+#include "sim/simulate.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: map_blif [input.blif] [-k K] [-o out.blif] "
+               "[--baseline] [--no-optimize] [--split N] [--stats] "
+               "[--verilog]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace chortle;
+  std::string input_path;
+  std::string output_path;
+  int k = 4;
+  int split_threshold = 10;
+  bool use_baseline = false;
+  bool run_optimizer = true;
+  bool print_stats = false;
+  bool emit_verilog = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-k" && i + 1 < argc) {
+      k = std::atoi(argv[++i]);
+    } else if (arg == "-o" && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (arg == "--split" && i + 1 < argc) {
+      split_threshold = std::atoi(argv[++i]);
+    } else if (arg == "--baseline") {
+      use_baseline = true;
+    } else if (arg == "--no-optimize") {
+      run_optimizer = false;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg == "--verilog") {
+      emit_verilog = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      input_path = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    blif::BlifModel model;
+    if (input_path.empty()) {
+      std::fprintf(stderr,
+                   "map_blif: no input given; using the built-in alu2 "
+                   "demo circuit\n");
+      model.name = "alu2";
+      model.network = mcnc::generate("alu2");
+    } else {
+      model = blif::read_blif_file(input_path);
+    }
+    if (model.num_latches > 0)
+      std::fprintf(stderr,
+                   "map_blif: %d latches treated as pseudo inputs/outputs\n",
+                   model.num_latches);
+
+    net::Network network;
+    if (run_optimizer) {
+      const opt::OptimizedDesign design = opt::optimize(model.network);
+      network = design.network;
+      if (print_stats)
+        std::fprintf(stderr,
+                     "optimize: %d -> %d literals, %d gates, %.3fs\n",
+                     model.network.total_literals(), design.stats.literals,
+                     network.num_gates(), design.stats.seconds);
+    } else {
+      network = opt::decompose_to_and_or(model.network);
+    }
+
+    net::LutCircuit circuit(k);
+    if (use_baseline) {
+      const libmap::Library library =
+          k <= 3 ? libmap::Library::complete(k)
+                 : libmap::Library::level0_kernels(k);
+      const libmap::BaselineResult result =
+          libmap::map_with_library(network, library);
+      circuit = result.circuit;
+      if (print_stats)
+        std::fprintf(stderr, "baseline: %d LUTs, depth %d, %.3fs\n",
+                     result.stats.num_luts, result.stats.depth,
+                     result.stats.seconds);
+    } else {
+      core::Options options;
+      options.k = k;
+      options.split_threshold = split_threshold;
+      const core::MapResult result = core::map_network(network, options);
+      circuit = result.circuit;
+      if (print_stats)
+        std::fprintf(stderr,
+                     "chortle: %d LUTs in %d trees, depth %d, %.3fs\n",
+                     result.stats.num_luts, result.stats.num_trees,
+                     result.stats.depth, result.stats.seconds);
+    }
+
+    if (!sim::equivalent(sim::design_of(model.network),
+                         sim::design_of(circuit))) {
+      std::fprintf(stderr, "map_blif: VERIFICATION FAILED\n");
+      return 1;
+    }
+    std::fprintf(stderr, "map_blif: mapped to %d %d-input LUTs (verified)\n",
+                 circuit.num_luts(), k);
+
+    const std::string out_name = model.name + "_luts";
+    const auto emit = [&](std::ostream& out) {
+      if (emit_verilog)
+        blif::write_verilog(out, circuit, out_name);
+      else
+        blif::write_blif(out, circuit, out_name);
+    };
+    if (output_path.empty()) {
+      emit(std::cout);
+    } else {
+      std::ofstream out(output_path);
+      if (!out) {
+        std::fprintf(stderr, "map_blif: cannot write %s\n",
+                     output_path.c_str());
+        return 1;
+      }
+      emit(out);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "map_blif: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,134 @@
+#include "arch/clb.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "base/check.hpp"
+
+namespace chortle::arch {
+namespace {
+
+/// External input pins a set of LUTs needs: the union of their input
+/// signals. Signals driven by a member LUT still occupy a pin (the
+/// XC3000 CLB has no internal function-to-function path), so no
+/// subtraction happens here.
+std::vector<net::SignalId> pin_union(const net::LutCircuit& circuit,
+                                     const std::vector<int>& luts) {
+  std::set<net::SignalId> pins;
+  for (int index : luts)
+    for (net::SignalId s :
+         circuit.luts()[static_cast<std::size_t>(index)].inputs)
+      pins.insert(s);
+  return {pins.begin(), pins.end()};
+}
+
+int shared_inputs(const net::Lut& a, const net::Lut& b) {
+  int shared = 0;
+  for (net::SignalId s : a.inputs)
+    if (std::find(b.inputs.begin(), b.inputs.end(), s) != b.inputs.end())
+      ++shared;
+  return shared;
+}
+
+}  // namespace
+
+ClbPacking pack_clbs(const net::LutCircuit& circuit,
+                     const ClbOptions& options) {
+  CHORTLE_REQUIRE(options.max_luts >= 1 && options.clb_inputs >= 1 &&
+                      options.lut_inputs >= 1,
+                  "bad CLB options");
+  const auto& luts = circuit.luts();
+  const int n = circuit.num_luts();
+  for (const net::Lut& lut : luts)
+    CHORTLE_REQUIRE(static_cast<int>(lut.inputs.size()) <=
+                        options.clb_inputs,
+                    "LUT '" + lut.name + "' exceeds the CLB pin count");
+
+  ClbPacking packing;
+  packing.num_luts = n;
+  std::vector<bool> placed(static_cast<std::size_t>(n), false);
+
+  for (int i = 0; i < n; ++i) {
+    if (placed[static_cast<std::size_t>(i)]) continue;
+    placed[static_cast<std::size_t>(i)] = true;
+    Clb clb;
+    clb.lut_indices.push_back(i);
+
+    const bool can_share =
+        options.max_luts >= 2 &&
+        static_cast<int>(luts[static_cast<std::size_t>(i)].inputs.size()) <=
+            options.lut_inputs;
+    if (can_share) {
+      // VPack-style affinity: among feasible partners prefer the one
+      // sharing the most input pins; tie-break toward direct
+      // connectivity (the partner reads this LUT's output) and then
+      // the smallest pin total.
+      int best = -1;
+      int best_score = -1;
+      for (int j = i + 1; j < n; ++j) {
+        if (placed[static_cast<std::size_t>(j)]) continue;
+        const net::Lut& candidate = luts[static_cast<std::size_t>(j)];
+        if (static_cast<int>(candidate.inputs.size()) > options.lut_inputs)
+          continue;
+        const std::vector<net::SignalId> pins =
+            pin_union(circuit, {i, j});
+        if (static_cast<int>(pins.size()) > options.clb_inputs) continue;
+        const net::SignalId my_output = circuit.num_inputs() + i;
+        const bool connected =
+            std::find(candidate.inputs.begin(), candidate.inputs.end(),
+                      my_output) != candidate.inputs.end();
+        const int score =
+            8 * shared_inputs(luts[static_cast<std::size_t>(i)], candidate) +
+            4 * (connected ? 1 : 0) +
+            (options.clb_inputs - static_cast<int>(pins.size()));
+        if (score > best_score) {
+          best_score = score;
+          best = j;
+        }
+      }
+      if (best >= 0) {
+        placed[static_cast<std::size_t>(best)] = true;
+        clb.lut_indices.push_back(best);
+        ++packing.paired;
+      }
+    }
+    clb.input_signals = pin_union(circuit, clb.lut_indices);
+    packing.clbs.push_back(std::move(clb));
+  }
+  packing.num_clbs = static_cast<int>(packing.clbs.size());
+  check_packing(circuit, packing, options);
+  return packing;
+}
+
+void check_packing(const net::LutCircuit& circuit, const ClbPacking& packing,
+                   const ClbOptions& options) {
+  std::vector<int> owner(static_cast<std::size_t>(circuit.num_luts()), -1);
+  for (std::size_t c = 0; c < packing.clbs.size(); ++c) {
+    const Clb& clb = packing.clbs[c];
+    CHORTLE_CHECK(!clb.lut_indices.empty() &&
+                  static_cast<int>(clb.lut_indices.size()) <=
+                      options.max_luts);
+    for (int index : clb.lut_indices) {
+      CHORTLE_CHECK(index >= 0 && index < circuit.num_luts());
+      CHORTLE_CHECK_MSG(owner[static_cast<std::size_t>(index)] == -1,
+                        "LUT packed twice");
+      owner[static_cast<std::size_t>(index)] = static_cast<int>(c);
+    }
+    const std::vector<net::SignalId> pins =
+        pin_union(circuit, clb.lut_indices);
+    CHORTLE_CHECK(pins == clb.input_signals);
+    CHORTLE_CHECK_MSG(static_cast<int>(pins.size()) <= options.clb_inputs,
+                      "CLB exceeds its input pins");
+    if (clb.lut_indices.size() >= 2)
+      for (int index : clb.lut_indices)
+        CHORTLE_CHECK_MSG(
+            static_cast<int>(circuit.luts()[static_cast<std::size_t>(index)]
+                                 .inputs.size()) <= options.lut_inputs,
+            "shared CLB holds a too-wide function");
+  }
+  for (int index = 0; index < circuit.num_luts(); ++index)
+    CHORTLE_CHECK_MSG(owner[static_cast<std::size_t>(index)] != -1,
+                      "LUT left unpacked");
+}
+
+}  // namespace chortle::arch

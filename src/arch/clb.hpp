@@ -1,0 +1,52 @@
+// Commercial-architecture back end — the last of the paper's §5
+// future-work items ("we would also like to extend our algorithm to
+// handle commercial FPGA architectures").
+//
+// The original FPGA the paper cites ([Hsie88], the Xilinx XC2000/3000
+// family) does not expose bare K-LUTs: its configurable logic block
+// (CLB) has 5 input pins and 2 outputs and implements either one
+// function of 5 variables or two functions of up to 4 variables whose
+// combined support fits the 5 pins. This module packs a mapped 4-LUT
+// circuit into such CLBs: a pairing problem under the shared-pin
+// constraint, solved VPack-style (greedy by shared-input affinity with
+// a connectivity preference). An intra-pair connection is legal — the
+// driver's output leaves the CLB and re-enters through a pin, which
+// then counts toward the 5.
+#pragma once
+
+#include <vector>
+
+#include "network/lut_circuit.hpp"
+
+namespace chortle::arch {
+
+struct ClbOptions {
+  int clb_inputs = 5;   // input pins per CLB
+  int max_luts = 2;     // functions per CLB
+  int lut_inputs = 4;   // widest function a shared CLB may hold
+};
+
+struct Clb {
+  std::vector<int> lut_indices;         // indices into LutCircuit::luts()
+  std::vector<net::SignalId> input_signals;  // distinct external inputs
+};
+
+struct ClbPacking {
+  std::vector<Clb> clbs;
+  int num_luts = 0;
+  int num_clbs = 0;
+  int paired = 0;  // CLBs holding two functions
+};
+
+/// Packs `circuit` (LUT width <= options.lut_inputs, or a single
+/// <=clb_inputs-wide LUT alone in its CLB) into two-output CLBs.
+/// Throws InvalidInput if some LUT fits no CLB mode.
+ClbPacking pack_clbs(const net::LutCircuit& circuit,
+                     const ClbOptions& options = {});
+
+/// Validates a packing against the architecture constraints; throws on
+/// violation. Exposed so tests and downstream users can audit packings.
+void check_packing(const net::LutCircuit& circuit, const ClbPacking& packing,
+                   const ClbOptions& options = {});
+
+}  // namespace chortle::arch

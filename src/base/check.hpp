@@ -1,0 +1,63 @@
+// Lightweight runtime checks for internal invariants and user-facing
+// argument validation. Checks throw rather than abort so that library
+// users (and tests) can recover; they are always on, including in
+// release builds, because mapping correctness matters more than the
+// last few percent of speed.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chortle {
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a caller passes invalid arguments or malformed input data.
+class InvalidInput : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'C')  // CHECK -> internal invariant
+    throw InternalError(os.str());
+  throw InvalidInput(os.str());
+}
+
+}  // namespace detail
+}  // namespace chortle
+
+/// Internal invariant: failure indicates a bug in the library.
+#define CHORTLE_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::chortle::detail::check_failed("CHECK", #cond, __FILE__, __LINE__,    \
+                                      "");                                   \
+  } while (0)
+
+#define CHORTLE_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::chortle::detail::check_failed("CHECK", #cond, __FILE__, __LINE__,    \
+                                      (msg));                                \
+  } while (0)
+
+/// Argument/input validation: failure indicates bad caller input.
+#define CHORTLE_REQUIRE(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::chortle::detail::check_failed("REQUIRE", #cond, __FILE__, __LINE__,  \
+                                      (msg));                                \
+  } while (0)

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr. Quiet by default so that bench
+// harness stdout stays machine-parsable; raise the level for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace chortle {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace chortle
+
+#define CHORTLE_LOG(level)                                 \
+  if (static_cast<int>(level) <                            \
+      static_cast<int>(::chortle::log_level())) {          \
+  } else                                                   \
+    ::chortle::detail::LogLine(level)
+
+#define LOG_DEBUG CHORTLE_LOG(::chortle::LogLevel::kDebug)
+#define LOG_INFO CHORTLE_LOG(::chortle::LogLevel::kInfo)
+#define LOG_WARN CHORTLE_LOG(::chortle::LogLevel::kWarn)
+#define LOG_ERROR CHORTLE_LOG(::chortle::LogLevel::kError)

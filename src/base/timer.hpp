@@ -1,0 +1,29 @@
+// Wall-clock timer used to report mapper runtimes (the paper's "t (sec.)"
+// columns). Steady clock so results are monotone under NTP adjustments.
+#pragma once
+
+#include <chrono>
+
+namespace chortle {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace chortle

@@ -1,0 +1,155 @@
+#include "bdd/bdd.hpp"
+
+namespace chortle::bdd {
+namespace {
+
+std::uint64_t pack_children(Ref low, Ref high) {
+  return (static_cast<std::uint64_t>(low.raw()) << 32) | high.raw();
+}
+
+std::uint64_t pack_triple_hash(Ref f, Ref g, Ref h) {
+  std::uint64_t x = f.raw();
+  x = x * 0x9E3779B97F4A7C15ull + g.raw();
+  x = x * 0x9E3779B97F4A7C15ull + h.raw();
+  return x;
+}
+
+}  // namespace
+
+Manager::Manager(int num_vars, std::size_t max_nodes)
+    : num_vars_(num_vars), max_nodes_(max_nodes) {
+  CHORTLE_REQUIRE(num_vars >= 0, "variable count");
+  // Node 0: the constant-1 terminal, at the level below all variables.
+  nodes_.push_back(Node{num_vars_, Ref{}, Ref{}});
+  unique_by_var_.resize(static_cast<std::size_t>(num_vars_));
+}
+
+Ref Manager::var(int index) {
+  CHORTLE_REQUIRE(index >= 0 && index < num_vars_, "variable index");
+  return make_node(index, zero(), one());
+}
+
+Ref Manager::make_node(int var, Ref low, Ref high) {
+  if (low == high) return low;
+  // Canonical form: the high (then) edge is never complemented.
+  if (high.complemented())
+    return !make_node(var, !low, !high);
+  auto& table = unique_by_var_[static_cast<std::size_t>(var)];
+  const std::uint64_t key = pack_children(low, high);
+  if (auto it = table.find(key); it != table.end())
+    return Ref::make(it->second, false);
+  if (nodes_.size() >= max_nodes_) throw NodeBudgetExceeded();
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{var, low, high});
+  table.emplace(key, index);
+  return Ref::make(index, false);
+}
+
+Ref Manager::ite(Ref f, Ref g, Ref h) {
+  // Terminal rules.
+  if (f == one()) return g;
+  if (f == zero()) return h;
+  if (g == h) return g;
+  if (g == one() && h == zero()) return f;
+  if (g == zero() && h == one()) return !f;
+  // Normalize: the predicate is never complemented.
+  if (f.complemented()) {
+    f = !f;
+    std::swap(g, h);
+  }
+  const std::uint64_t key = pack_triple_hash(f, g, h);
+  if (auto it = computed_.find(key); it != computed_.end()) {
+    const auto& entry = it->second;
+    if (entry.f == f && entry.g == g && entry.h == h) return entry.result;
+  }
+
+  const auto level = [&](Ref r) {
+    return nodes_[static_cast<std::size_t>(r.node())].var;
+  };
+  const int top = std::min({level(f), level(g), level(h)});
+  const auto cofactor = [&](Ref r, bool phase) {
+    const Node& node = nodes_[static_cast<std::size_t>(r.node())];
+    if (node.var != top) return r;
+    Ref child = phase ? node.high : node.low;
+    if (r.complemented()) child = !child;
+    return child;
+  };
+  const Ref then_part =
+      ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const Ref else_part =
+      ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const Ref result = make_node(top, else_part, then_part);
+  computed_[key] = ComputedEntry{f, g, h, result};
+  return result;
+}
+
+Ref Manager::apply_and(Ref a, Ref b) { return ite(a, b, zero()); }
+Ref Manager::apply_or(Ref a, Ref b) { return ite(a, one(), b); }
+Ref Manager::apply_xor(Ref a, Ref b) { return ite(a, !b, b); }
+
+bool Manager::evaluate(Ref r, const std::vector<bool>& assignment) const {
+  CHORTLE_REQUIRE(static_cast<int>(assignment.size()) == num_vars_,
+                  "assignment arity");
+  bool complemented = r.complemented();
+  std::uint32_t node = r.node();
+  while (node != 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    const Ref child = assignment[static_cast<std::size_t>(n.var)] ? n.high
+                                                                  : n.low;
+    complemented = complemented != child.complemented();
+    node = child.node();
+  }
+  return !complemented;
+}
+
+std::uint64_t Manager::count_minterms(Ref r) {
+  CHORTLE_REQUIRE(num_vars_ <= 62, "minterm count limited to 62 variables");
+  // sub(r): satisfying assignments over variables [level(r), num_vars).
+  const std::function<std::uint64_t(Ref)> sub = [&](Ref ref)
+      -> std::uint64_t {
+    const Node& node = nodes_[static_cast<std::size_t>(ref.node())];
+    if (ref.node() == 0) return ref.complemented() ? 0 : 1;
+    if (auto it = count_cache_.find(ref.raw()); it != count_cache_.end())
+      return it->second;
+    const auto half = [&](Ref child) {
+      const Ref edge = ref.complemented() ? !child : child;
+      const int child_level =
+          nodes_[static_cast<std::size_t>(edge.node())].var;
+      return sub(edge) << (child_level - node.var - 1);
+    };
+    const std::uint64_t total = half(node.low) + half(node.high);
+    count_cache_.emplace(ref.raw(), total);
+    return total;
+  };
+  const int top_level = nodes_[static_cast<std::size_t>(r.node())].var;
+  return sub(r) << top_level;
+}
+
+std::optional<std::vector<bool>> Manager::find_minterm(Ref r) const {
+  if (r == zero()) return std::nullopt;
+  std::vector<bool> assignment(static_cast<std::size_t>(num_vars_), false);
+  bool complemented = r.complemented();
+  std::uint32_t node = r.node();
+  while (node != 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    // Prefer the low branch if it is not the constant 0 (a canonical
+    // non-zero edge always has a satisfying assignment below it).
+    Ref low = n.low;
+    if (complemented) low = !low;
+    Ref next;
+    if (!(low.node() == 0 && low.complemented())) {
+      next = low;
+    } else {
+      Ref high = n.high;
+      if (complemented) high = !high;
+      assignment[static_cast<std::size_t>(n.var)] = true;
+      next = high;
+    }
+    complemented = next.complemented();
+    node = next.node();
+  }
+  CHORTLE_CHECK(!complemented);  // reached the constant 1
+  return assignment;
+}
+
+}  // namespace chortle::bdd

@@ -1,0 +1,99 @@
+// A compact reduced-ordered BDD package with complement edges on a
+// unique table, plus an ITE-based apply. Used as the formal complement
+// to random/bit-parallel simulation: sim::equivalent samples, while
+// BDD-based checking proves equivalence (up to a node budget).
+// Variable order is the caller's: variable 0 is the topmost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace chortle::bdd {
+
+/// A BDD edge: node index with a complement bit in the LSB.
+/// Node 0 is the constant-1 terminal; its complemented edge is 0.
+class Ref {
+ public:
+  Ref() = default;
+
+  bool operator==(const Ref&) const = default;
+  std::uint32_t raw() const { return bits_; }
+
+  static Ref make(std::uint32_t node, bool complemented) {
+    Ref r;
+    r.bits_ = (node << 1) | (complemented ? 1u : 0u);
+    return r;
+  }
+  std::uint32_t node() const { return bits_ >> 1; }
+  bool complemented() const { return (bits_ & 1u) != 0; }
+  Ref operator!() const { return make(node(), !complemented()); }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Thrown when a manager exceeds its node budget (callers treat the
+/// check as inconclusive rather than waiting out a blow-up).
+class NodeBudgetExceeded : public std::runtime_error {
+ public:
+  NodeBudgetExceeded() : std::runtime_error("BDD node budget exceeded") {}
+};
+
+class Manager {
+ public:
+  explicit Manager(int num_vars, std::size_t max_nodes = 2'000'000);
+
+  int num_vars() const { return num_vars_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  Ref one() const { return Ref::make(0, false); }
+  Ref zero() const { return Ref::make(0, true); }
+  Ref var(int index);
+
+  Ref apply_and(Ref a, Ref b);
+  Ref apply_or(Ref a, Ref b);
+  Ref apply_xor(Ref a, Ref b);
+  Ref apply_not(Ref a) const { return !a; }
+  /// if-then-else, the universal connective.
+  Ref ite(Ref f, Ref g, Ref h);
+
+  bool is_const(Ref r) const { return r.node() == 0; }
+  /// Evaluate under a full assignment (assignment[i] = variable i).
+  bool evaluate(Ref r, const std::vector<bool>& assignment) const;
+
+  /// Number of satisfying assignments over all variables (<= 62 vars).
+  std::uint64_t count_minterms(Ref r);
+
+  /// Some satisfying assignment; nullopt iff r is the constant 0.
+  std::optional<std::vector<bool>> find_minterm(Ref r) const;
+
+ private:
+  struct Node {
+    int var;   // level; the terminal sits at num_vars_
+    Ref low;   // cofactor var=0
+    Ref high;  // cofactor var=1 (never complemented: canonical form)
+  };
+  struct ComputedEntry {
+    Ref f, g, h, result;
+  };
+
+  Ref make_node(int var, Ref low, Ref high);
+
+  int num_vars_;
+  std::size_t max_nodes_;
+  std::vector<Node> nodes_;
+  // Unique tables, one per variable: (low, high) -> node index.
+  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>>
+      unique_by_var_;
+  // Computed table for ite, hash-addressed with stored operands.
+  std::unordered_map<std::uint64_t, ComputedEntry> computed_;
+  std::unordered_map<std::uint32_t, std::uint64_t> count_cache_;
+};
+
+}  // namespace chortle::bdd

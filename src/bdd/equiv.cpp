@@ -1,0 +1,207 @@
+#include "bdd/equiv.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace chortle::bdd {
+namespace detail {
+
+Io io_of(const net::Network& design) {
+  Io io;
+  for (net::NodeId id : design.inputs())
+    io.inputs.push_back(design.node(id).name);
+  for (const net::Output& o : design.outputs()) io.outputs.push_back(o.name);
+  return io;
+}
+
+Io io_of(const net::LutCircuit& design) {
+  Io io;
+  io.inputs = design.input_names();
+  for (const net::LutOutput& o : design.outputs())
+    io.outputs.push_back(o.name);
+  return io;
+}
+
+Io io_of(const sop::SopNetwork& design) {
+  Io io;
+  for (sop::SopNetwork::NodeId id : design.inputs())
+    io.inputs.push_back(design.node(id).name);
+  for (sop::SopNetwork::NodeId id : design.outputs())
+    io.outputs.push_back(design.node(id).name);
+  return io;
+}
+
+std::vector<Ref> build_outputs(Manager& manager, const net::Network& design,
+                               const std::vector<int>& input_vars) {
+  std::vector<Ref> value(static_cast<std::size_t>(design.num_nodes()),
+                         manager.zero());
+  for (std::size_t i = 0; i < design.inputs().size(); ++i)
+    value[static_cast<std::size_t>(design.inputs()[i])] =
+        manager.var(input_vars[i]);
+  for (net::NodeId id : design.gates_in_topo_order()) {
+    const auto& node = design.node(id);
+    const bool is_and = node.op == net::GateOp::kAnd;
+    Ref acc = is_and ? manager.one() : manager.zero();
+    for (const net::Fanin& f : node.fanins) {
+      Ref operand = value[static_cast<std::size_t>(f.node)];
+      if (f.negated) operand = !operand;
+      acc = is_and ? manager.apply_and(acc, operand)
+                   : manager.apply_or(acc, operand);
+    }
+    value[static_cast<std::size_t>(id)] = acc;
+  }
+  std::vector<Ref> outputs;
+  for (const net::Output& o : design.outputs()) {
+    if (o.is_const) {
+      outputs.push_back(o.const_value ? manager.one() : manager.zero());
+      continue;
+    }
+    Ref r = value[static_cast<std::size_t>(o.node)];
+    outputs.push_back(o.negated ? !r : r);
+  }
+  return outputs;
+}
+
+std::vector<Ref> build_outputs(Manager& manager,
+                               const net::LutCircuit& design,
+                               const std::vector<int>& input_vars) {
+  std::vector<Ref> value(static_cast<std::size_t>(design.num_signals()),
+                         manager.zero());
+  for (int i = 0; i < design.num_inputs(); ++i)
+    value[static_cast<std::size_t>(i)] =
+        manager.var(input_vars[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < design.num_luts(); ++i) {
+    const net::Lut& lut = design.luts()[static_cast<std::size_t>(i)];
+    Ref acc = manager.zero();
+    for (std::uint64_t m = 0; m < lut.function.num_minterms(); ++m) {
+      if (!lut.function.bit(m)) continue;
+      Ref term = manager.one();
+      for (std::size_t j = 0; j < lut.inputs.size(); ++j) {
+        Ref in = value[static_cast<std::size_t>(lut.inputs[j])];
+        if (!((m >> j) & 1)) in = !in;
+        term = manager.apply_and(term, in);
+      }
+      acc = manager.apply_or(acc, term);
+    }
+    value[static_cast<std::size_t>(design.num_inputs() + i)] = acc;
+  }
+  std::vector<Ref> outputs;
+  for (const net::LutOutput& o : design.outputs()) {
+    if (o.is_const) {
+      outputs.push_back(o.const_value ? manager.one() : manager.zero());
+      continue;
+    }
+    Ref r = value[static_cast<std::size_t>(o.signal)];
+    outputs.push_back(o.negated ? !r : r);
+  }
+  return outputs;
+}
+
+std::vector<Ref> build_outputs(Manager& manager,
+                               const sop::SopNetwork& design,
+                               const std::vector<int>& input_vars) {
+  std::vector<Ref> value(static_cast<std::size_t>(design.num_nodes()),
+                         manager.zero());
+  for (std::size_t i = 0; i < design.inputs().size(); ++i)
+    value[static_cast<std::size_t>(design.inputs()[i])] =
+        manager.var(input_vars[i]);
+  for (sop::SopNetwork::NodeId id : design.topological_order()) {
+    Ref acc = manager.zero();
+    for (const sop::Cube& cube : design.node(id).cover.cubes()) {
+      Ref term = manager.one();
+      for (sop::Literal lit : cube.literals()) {
+        Ref operand =
+            value[static_cast<std::size_t>(sop::literal_var(lit))];
+        if (sop::literal_negated(lit)) operand = !operand;
+        term = manager.apply_and(term, operand);
+      }
+      acc = manager.apply_or(acc, term);
+    }
+    value[static_cast<std::size_t>(id)] = acc;
+  }
+  std::vector<Ref> outputs;
+  for (sop::SopNetwork::NodeId id : design.outputs())
+    outputs.push_back(value[static_cast<std::size_t>(id)]);
+  return outputs;
+}
+
+FormalOutcome check_impl(
+    const Io& io_a, const Io& io_b,
+    const std::function<std::vector<Ref>(Manager&, const std::vector<int>&)>&
+        build_a,
+    const std::function<std::vector<Ref>(Manager&, const std::vector<int>&)>&
+        build_b,
+    std::size_t max_nodes, const std::vector<std::string>& variable_order) {
+  FormalOutcome outcome;
+  CHORTLE_REQUIRE(io_a.inputs.size() == io_b.inputs.size() &&
+                      io_a.outputs.size() == io_b.outputs.size(),
+                  "interface size mismatch between designs");
+  // Variable order: caller-supplied, else design a's input order;
+  // b aligned by name.
+  std::unordered_map<std::string, int> var_of;
+  if (!variable_order.empty()) {
+    CHORTLE_REQUIRE(variable_order.size() == io_a.inputs.size(),
+                    "variable order size mismatch");
+    for (std::size_t i = 0; i < variable_order.size(); ++i)
+      CHORTLE_REQUIRE(
+          var_of.emplace(variable_order[i], static_cast<int>(i)).second,
+          "duplicate name in variable order");
+  }
+  std::vector<int> vars_a(io_a.inputs.size());
+  for (std::size_t i = 0; i < io_a.inputs.size(); ++i) {
+    if (variable_order.empty()) {
+      var_of.emplace(io_a.inputs[i], static_cast<int>(i));
+      vars_a[i] = static_cast<int>(i);
+    } else {
+      auto it = var_of.find(io_a.inputs[i]);
+      CHORTLE_REQUIRE(it != var_of.end(),
+                      "input '" + io_a.inputs[i] +
+                          "' missing from variable order");
+      vars_a[i] = it->second;
+    }
+  }
+  std::vector<int> vars_b(io_b.inputs.size());
+  for (std::size_t i = 0; i < io_b.inputs.size(); ++i) {
+    auto it = var_of.find(io_b.inputs[i]);
+    CHORTLE_REQUIRE(it != var_of.end(),
+                    "input '" + io_b.inputs[i] + "' missing from design a");
+    vars_b[i] = it->second;
+  }
+  std::unordered_map<std::string, std::size_t> output_index_b;
+  for (std::size_t i = 0; i < io_b.outputs.size(); ++i)
+    output_index_b.emplace(io_b.outputs[i], i);
+
+  try {
+    Manager manager(static_cast<int>(io_a.inputs.size()), max_nodes);
+    const std::vector<Ref> outputs_a = build_a(manager, vars_a);
+    const std::vector<Ref> outputs_b = build_b(manager, vars_b);
+    for (std::size_t i = 0; i < io_a.outputs.size(); ++i) {
+      auto it = output_index_b.find(io_a.outputs[i]);
+      CHORTLE_REQUIRE(it != output_index_b.end(),
+                      "output '" + io_a.outputs[i] +
+                          "' missing from design b");
+      if (outputs_a[i] == outputs_b[it->second]) continue;  // canonical
+      const Ref difference =
+          manager.apply_xor(outputs_a[i], outputs_b[it->second]);
+      CHORTLE_CHECK(!(difference == manager.zero()));
+      outcome.status = FormalOutcome::Status::kDifferent;
+      outcome.output_name = io_a.outputs[i];
+      // Witness re-expressed in design a's input order.
+      const std::vector<bool> by_variable = *manager.find_minterm(difference);
+      outcome.witness.resize(io_a.inputs.size());
+      for (std::size_t j = 0; j < vars_a.size(); ++j)
+        outcome.witness[j] =
+            by_variable[static_cast<std::size_t>(vars_a[j])];
+      return outcome;
+    }
+    outcome.status = FormalOutcome::Status::kEquivalent;
+    return outcome;
+  } catch (const NodeBudgetExceeded&) {
+    outcome.status = FormalOutcome::Status::kInconclusive;
+    outcome.note = "BDD node budget exceeded";
+    return outcome;
+  }
+}
+
+}  // namespace detail
+}  // namespace chortle::bdd

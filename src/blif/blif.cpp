@@ -1,0 +1,336 @@
+#include "blif/blif.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/check.hpp"
+#include "base/logging.hpp"
+#include "sop/isop.hpp"
+
+namespace chortle::blif {
+namespace {
+
+using sop::Cover;
+using sop::Cube;
+using sop::Literal;
+using sop::SopNetwork;
+
+/// One ".names" section: signal names (inputs..., output) and the rows.
+struct NamesSection {
+  std::vector<std::string> signals;
+  std::vector<std::string> rows;  // "plane out" or just "out" for 0 inputs
+};
+
+struct RawModel {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<NamesSection> names;
+  int num_latches = 0;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Reads logical lines: strips comments, joins '\' continuations.
+std::vector<std::string> logical_lines(std::istream& in) {
+  std::vector<std::string> lines;
+  std::string physical;
+  std::string pending;
+  while (std::getline(in, physical)) {
+    if (auto hash = physical.find('#'); hash != std::string::npos)
+      physical.erase(hash);
+    // Trim trailing whitespace to detect continuations reliably.
+    while (!physical.empty() &&
+           (physical.back() == ' ' || physical.back() == '\t' ||
+            physical.back() == '\r'))
+      physical.pop_back();
+    if (!physical.empty() && physical.back() == '\\') {
+      physical.pop_back();
+      pending += physical + " ";
+      continue;
+    }
+    pending += physical;
+    if (!pending.empty()) lines.push_back(pending);
+    pending.clear();
+  }
+  if (!pending.empty()) lines.push_back(pending);
+  return lines;
+}
+
+RawModel parse_raw(std::istream& in) {
+  RawModel model;
+  NamesSection* current = nullptr;
+  bool ended = false;
+  for (const std::string& line : logical_lines(in)) {
+    std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens.front();
+    if (head[0] == '.') {
+      current = nullptr;
+      if (head == ".model") {
+        if (tokens.size() >= 2) model.name = tokens[1];
+      } else if (head == ".inputs") {
+        model.inputs.insert(model.inputs.end(), tokens.begin() + 1,
+                            tokens.end());
+      } else if (head == ".outputs") {
+        model.outputs.insert(model.outputs.end(), tokens.begin() + 1,
+                             tokens.end());
+      } else if (head == ".names") {
+        CHORTLE_REQUIRE(tokens.size() >= 2, ".names requires an output");
+        model.names.push_back(
+            NamesSection{{tokens.begin() + 1, tokens.end()}, {}});
+        current = &model.names.back();
+      } else if (head == ".latch") {
+        // .latch <input> <output> [type control] [init]
+        CHORTLE_REQUIRE(tokens.size() >= 3, ".latch requires input/output");
+        model.inputs.push_back(tokens[2]);   // latch Q becomes a PI
+        model.outputs.push_back(tokens[1]);  // latch D becomes a PO
+        ++model.num_latches;
+      } else if (head == ".end") {
+        ended = true;
+        break;
+      } else if (head == ".exdc" || head == ".wire_load_slope" ||
+                 head == ".default_input_arrival" || head == ".area" ||
+                 head == ".delay") {
+        LOG_WARN << "ignoring BLIF directive " << head;
+      } else {
+        CHORTLE_REQUIRE(false, "unsupported BLIF directive: " + head);
+      }
+      continue;
+    }
+    CHORTLE_REQUIRE(current != nullptr,
+                    "cover row outside a .names section: " + line);
+    if (tokens.size() == 1)
+      current->rows.push_back(tokens[0]);
+    else if (tokens.size() == 2)
+      current->rows.push_back(tokens[0] + " " + tokens[1]);
+    else
+      CHORTLE_REQUIRE(false, "malformed cover row: " + line);
+  }
+  (void)ended;  // a missing .end is tolerated
+  return model;
+}
+
+/// Builds a Cover from the rows of a .names section given fanin node ids.
+Cover cover_from_rows(const NamesSection& section,
+                      const std::vector<SopNetwork::NodeId>& fanin_ids) {
+  const std::size_t num_in = fanin_ids.size();
+  std::vector<Cube> on_cubes;
+  std::vector<Cube> off_cubes;
+  for (const std::string& row : section.rows) {
+    std::string plane;
+    char out_value;
+    if (num_in == 0) {
+      CHORTLE_REQUIRE(row.size() == 1, "constant .names row must be one bit");
+      out_value = row[0];
+    } else {
+      const auto space = row.find(' ');
+      CHORTLE_REQUIRE(space != std::string::npos, "cover row missing output");
+      plane = row.substr(0, space);
+      CHORTLE_REQUIRE(plane.size() == num_in,
+                      "cover row width mismatch in node " +
+                          section.signals.back());
+      CHORTLE_REQUIRE(space + 2 == row.size(), "malformed cover row");
+      out_value = row[space + 1];
+    }
+    CHORTLE_REQUIRE(out_value == '0' || out_value == '1',
+                    "cover output must be 0 or 1");
+    std::vector<Literal> lits;
+    for (std::size_t i = 0; i < plane.size(); ++i) {
+      if (plane[i] == '-') continue;
+      CHORTLE_REQUIRE(plane[i] == '0' || plane[i] == '1',
+                      "cover plane entries must be 0, 1 or -");
+      lits.push_back(sop::make_literal(fanin_ids[i], plane[i] == '0'));
+    }
+    (out_value == '1' ? on_cubes : off_cubes).push_back(Cube(std::move(lits)));
+  }
+  CHORTLE_REQUIRE(on_cubes.empty() || off_cubes.empty(),
+                  "mixed ON/OFF rows in one .names section");
+  if (!off_cubes.empty()) {
+    // OFF-set cover: complement through a truth table, then re-extract an
+    // irredundant ON-set SOP over the same fanins.
+    CHORTLE_REQUIRE(num_in <= truth::TruthTable::kMaxVars,
+                    "OFF-set .names with too many inputs to complement");
+    std::unordered_map<int, int> slot;
+    for (std::size_t i = 0; i < fanin_ids.size(); ++i)
+      slot.emplace(fanin_ids[i], static_cast<int>(i));
+    const Cover off(std::move(off_cubes));
+    const truth::TruthTable on_function =
+        ~off.evaluate(static_cast<int>(num_in),
+                      [&](int var) { return slot.at(var); });
+    const Cover local = sop::isop(on_function);
+    std::vector<Cube> remapped;
+    for (const Cube& c : local.cubes()) {
+      std::vector<Literal> lits;
+      for (Literal lit : c.literals())
+        lits.push_back(sop::make_literal(
+            fanin_ids[static_cast<std::size_t>(sop::literal_var(lit))],
+            sop::literal_negated(lit)));
+      remapped.push_back(Cube(std::move(lits)));
+    }
+    return Cover(std::move(remapped));
+  }
+  return Cover(std::move(on_cubes));
+}
+
+}  // namespace
+
+BlifModel read_blif(std::istream& in) {
+  const RawModel raw = parse_raw(in);
+  BlifModel result;
+  result.name = raw.name.empty() ? "model" : raw.name;
+  result.num_latches = raw.num_latches;
+  SopNetwork& network = result.network;
+
+  std::unordered_map<std::string, SopNetwork::NodeId> id_of;
+  for (const std::string& name : raw.inputs) {
+    CHORTLE_REQUIRE(id_of.find(name) == id_of.end(),
+                    "duplicate input name: " + name);
+    id_of.emplace(name, network.add_input(name));
+  }
+  // Create all .names outputs first (BLIF does not require definition
+  // before use), then fill covers.
+  for (const NamesSection& section : raw.names) {
+    const std::string& out_name = section.signals.back();
+    CHORTLE_REQUIRE(id_of.find(out_name) == id_of.end(),
+                    "signal defined twice: " + out_name);
+    id_of.emplace(out_name, network.add_node(out_name, Cover::zero()));
+  }
+  for (const NamesSection& section : raw.names) {
+    std::vector<SopNetwork::NodeId> fanins;
+    for (std::size_t i = 0; i + 1 < section.signals.size(); ++i) {
+      auto it = id_of.find(section.signals[i]);
+      CHORTLE_REQUIRE(it != id_of.end(),
+                      "undefined signal: " + section.signals[i]);
+      fanins.push_back(it->second);
+    }
+    network.set_cover(id_of.at(section.signals.back()),
+                      cover_from_rows(section, fanins));
+  }
+  for (const std::string& name : raw.outputs) {
+    auto it = id_of.find(name);
+    CHORTLE_REQUIRE(it != id_of.end(), "undefined output signal: " + name);
+    network.mark_output(it->second);
+  }
+  network.check();
+  return result;
+}
+
+BlifModel read_blif_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_blif(is);
+}
+
+BlifModel read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  CHORTLE_REQUIRE(in.good(), "cannot open BLIF file: " + path);
+  return read_blif(in);
+}
+
+namespace {
+
+void write_cover_rows(std::ostream& out, const Cover& cover,
+                      const std::vector<int>& fanin_vars) {
+  std::map<int, std::size_t> column;
+  for (std::size_t i = 0; i < fanin_vars.size(); ++i)
+    column.emplace(fanin_vars[i], i);
+  if (cover.is_zero()) {
+    // Constant 0: BLIF convention is an empty .names body.
+    return;
+  }
+  for (const Cube& cube : cover.cubes()) {
+    std::string plane(fanin_vars.size(), '-');
+    for (Literal lit : cube.literals())
+      plane[column.at(sop::literal_var(lit))] =
+          sop::literal_negated(lit) ? '0' : '1';
+    if (plane.empty())
+      out << "1\n";
+    else
+      out << plane << " 1\n";
+  }
+}
+
+}  // namespace
+
+void write_blif(std::ostream& out, const sop::SopNetwork& network,
+                const std::string& model_name) {
+  out << ".model " << model_name << "\n.inputs";
+  for (SopNetwork::NodeId id : network.inputs())
+    out << " " << network.node(id).name;
+  out << "\n.outputs";
+  for (SopNetwork::NodeId id : network.outputs())
+    out << " " << network.node(id).name;
+  out << "\n";
+  for (SopNetwork::NodeId id : network.topological_order()) {
+    const auto& node = network.node(id);
+    const std::vector<int> fanins = node.cover.support();
+    out << ".names";
+    for (int fanin : fanins) out << " " << network.node(fanin).name;
+    out << " " << node.name << "\n";
+    write_cover_rows(out, node.cover, fanins);
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const sop::SopNetwork& network,
+                              const std::string& model_name) {
+  std::ostringstream os;
+  write_blif(os, network, model_name);
+  return os.str();
+}
+
+void write_blif(std::ostream& out, const net::LutCircuit& circuit,
+                const std::string& model_name) {
+  const auto signal_name = [&](net::SignalId s) -> std::string {
+    if (circuit.is_input_signal(s))
+      return circuit.input_names()[static_cast<std::size_t>(s)];
+    return circuit.lut_of(s).name;
+  };
+  out << ".model " << model_name << "\n.inputs";
+  for (const std::string& name : circuit.input_names()) out << " " << name;
+  out << "\n.outputs";
+  for (const net::LutOutput& o : circuit.outputs()) out << " " << o.name;
+  out << "\n";
+  for (int i = 0; i < circuit.num_luts(); ++i) {
+    const net::Lut& lut = circuit.luts()[static_cast<std::size_t>(i)];
+    out << ".names";
+    for (net::SignalId s : lut.inputs) out << " " << signal_name(s);
+    out << " " << lut.name << "\n";
+    const Cover cover = sop::isop(lut.function);
+    std::vector<int> vars(lut.inputs.size());
+    for (std::size_t v = 0; v < vars.size(); ++v) vars[v] = static_cast<int>(v);
+    write_cover_rows(out, cover, vars);
+  }
+  // Outputs that are not LUT names need buffers (or constant sections).
+  for (const net::LutOutput& o : circuit.outputs()) {
+    if (o.is_const) {
+      out << ".names " << o.name << "\n";
+      if (o.const_value) out << "1\n";
+      continue;
+    }
+    const std::string driver = signal_name(o.signal);
+    if (o.negated)
+      out << ".names " << driver << " " << o.name << "\n0 1\n";
+    else if (driver != o.name)
+      out << ".names " << driver << " " << o.name << "\n1 1\n";
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const net::LutCircuit& circuit,
+                              const std::string& model_name) {
+  std::ostringstream os;
+  write_blif(os, circuit, model_name);
+  return os.str();
+}
+
+}  // namespace chortle::blif

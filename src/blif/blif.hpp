@@ -1,0 +1,43 @@
+// BLIF (Berkeley Logic Interchange Format) I/O — the format of the
+// MCNC-89 logic-synthesis benchmarks the paper evaluates on.
+// The reader accepts the combinational subset (.model/.inputs/.outputs/
+// .names/.end); .latch lines are handled by exposing the latch output as
+// a primary input and the latch data input as a primary output, the
+// conventional treatment when mapping combinational logic.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "network/lut_circuit.hpp"
+#include "sop/sop_network.hpp"
+
+namespace chortle::blif {
+
+struct BlifModel {
+  std::string name;
+  sop::SopNetwork network;
+  int num_latches = 0;  // latches converted to pseudo PI/PO pairs
+};
+
+/// Parses a BLIF model from a stream. Throws InvalidInput on malformed
+/// input. ".names" with output value 0 (OFF-set covers) are complemented
+/// through a truth table and require at most 16 inputs per node.
+BlifModel read_blif(std::istream& in);
+BlifModel read_blif_string(const std::string& text);
+BlifModel read_blif_file(const std::string& path);
+
+/// Writes a SOP network as a BLIF model.
+void write_blif(std::ostream& out, const sop::SopNetwork& network,
+                const std::string& model_name);
+std::string write_blif_string(const sop::SopNetwork& network,
+                              const std::string& model_name);
+
+/// Writes a mapped LUT circuit as a BLIF model (one ".names" per LUT,
+/// rows from an irredundant SOP of its truth table).
+void write_blif(std::ostream& out, const net::LutCircuit& circuit,
+                const std::string& model_name);
+std::string write_blif_string(const net::LutCircuit& circuit,
+                              const std::string& model_name);
+
+}  // namespace chortle::blif

@@ -1,0 +1,23 @@
+// Structural Verilog output for mapped LUT circuits, so results can be
+// consumed by simulators and downstream tools that do not read BLIF.
+// Each LUT becomes one `assign` whose right-hand side is an irredundant
+// sum-of-products of the LUT function.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "network/lut_circuit.hpp"
+
+namespace chortle::blif {
+
+/// Writes `circuit` as a synthesizable structural Verilog module.
+/// Signal names are sanitized to Verilog identifiers (alphanumerics and
+/// underscores; a leading digit gets an underscore prefix; collisions
+/// get numeric suffixes).
+void write_verilog(std::ostream& out, const net::LutCircuit& circuit,
+                   const std::string& module_name);
+std::string write_verilog_string(const net::LutCircuit& circuit,
+                                 const std::string& module_name);
+
+}  // namespace chortle::blif

@@ -1,0 +1,99 @@
+#include "chortle/forest.hpp"
+
+#include <algorithm>
+
+namespace chortle::core {
+namespace {
+
+std::vector<bool> compute_liveness(const net::Network& network) {
+  std::vector<bool> live(static_cast<std::size_t>(network.num_nodes()),
+                         false);
+  std::vector<net::NodeId> worklist;
+  for (const net::Output& o : network.outputs())
+    if (!o.is_const && !live[static_cast<std::size_t>(o.node)]) {
+      live[static_cast<std::size_t>(o.node)] = true;
+      worklist.push_back(o.node);
+    }
+  while (!worklist.empty()) {
+    const net::NodeId id = worklist.back();
+    worklist.pop_back();
+    for (const net::Fanin& f : network.node(id).fanins)
+      if (!live[static_cast<std::size_t>(f.node)]) {
+        live[static_cast<std::size_t>(f.node)] = true;
+        worklist.push_back(f.node);
+      }
+  }
+  return live;
+}
+
+/// Collects the trees given final root flags: ascending root id, gates
+/// fanins-first, root last. Gates may appear in several trees when
+/// roots were cleared for duplication.
+void collect_trees(const net::Network& network, Forest* forest) {
+  forest->trees.clear();
+  for (net::NodeId root = 0; root < network.num_nodes(); ++root) {
+    if (!forest->is_root[static_cast<std::size_t>(root)]) continue;
+    Tree tree;
+    tree.root = root;
+    std::vector<net::NodeId> stack{root};
+    std::vector<net::NodeId> reversed;
+    while (!stack.empty()) {
+      const net::NodeId id = stack.back();
+      stack.pop_back();
+      reversed.push_back(id);
+      for (const net::Fanin& f : network.node(id).fanins) {
+        if (network.is_input(f.node)) continue;
+        if (forest->is_root[static_cast<std::size_t>(f.node)]) continue;
+        stack.push_back(f.node);
+      }
+    }
+    tree.gates.assign(reversed.rbegin(), reversed.rend());
+    forest->trees.push_back(std::move(tree));
+  }
+}
+
+}  // namespace
+
+Forest build_forest(const net::Network& network) {
+  const int n = network.num_nodes();
+  Forest forest;
+  forest.is_root.assign(static_cast<std::size_t>(n), false);
+  forest.is_live = compute_liveness(network);
+
+  // Reference counts restricted to live readers.
+  std::vector<int> refs(static_cast<std::size_t>(n), 0);
+  for (net::NodeId id = 0; id < n; ++id) {
+    if (!forest.is_live[static_cast<std::size_t>(id)] || network.is_input(id))
+      continue;
+    for (const net::Fanin& f : network.node(id).fanins)
+      ++refs[static_cast<std::size_t>(f.node)];
+  }
+  for (const net::Output& o : network.outputs())
+    if (!o.is_const) ++refs[static_cast<std::size_t>(o.node)];
+
+  // A live gate roots a tree iff an output reads it or it has 2+ readers.
+  std::vector<bool> read_by_output(static_cast<std::size_t>(n), false);
+  for (const net::Output& o : network.outputs())
+    if (!o.is_const) read_by_output[static_cast<std::size_t>(o.node)] = true;
+  for (net::NodeId id = 0; id < n; ++id) {
+    if (!forest.is_live[static_cast<std::size_t>(id)] || network.is_input(id))
+      continue;
+    forest.is_root[static_cast<std::size_t>(id)] =
+        read_by_output[static_cast<std::size_t>(id)] ||
+        refs[static_cast<std::size_t>(id)] >= 2;
+  }
+
+  collect_trees(network, &forest);
+  return forest;
+}
+
+Forest build_forest_with_roots(const net::Network& network,
+                               std::vector<bool> is_root) {
+  Forest forest;
+  forest.is_root = std::move(is_root);
+  forest.is_live = compute_liveness(network);
+  collect_trees(network, &forest);
+  return forest;
+}
+
+}  // namespace chortle::core

@@ -1,0 +1,38 @@
+// Forest partitioning (paper §3, Figure 3): the network DAG is divided
+// into maximal fanout-free trees. A gate roots a tree iff it is read by
+// a primary output or by more than one fanin edge; every other gate
+// belongs to the tree of its unique reader. Mapping each tree optimally
+// and stitching the circuits together yields the full mapping.
+#pragma once
+
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace chortle::core {
+
+struct Tree {
+  net::NodeId root = net::kInvalidNode;
+  /// Gates of the tree, root last, fanins before fanouts.
+  std::vector<net::NodeId> gates;
+};
+
+struct Forest {
+  std::vector<Tree> trees;      // ordered so leaves' trees precede users
+  std::vector<bool> is_root;    // indexed by node id
+  std::vector<bool> is_live;    // reachable from some output
+};
+
+/// Partitions the live gates of `network` into maximal fanout-free trees.
+Forest build_forest(const net::Network& network);
+
+/// Builds the forest for an explicit root-flag choice. Every flag may
+/// only be cleared relative to build_forest's choice (never set on a
+/// node that is not live or is read by an output); clearing the flag
+/// of a multiply-read gate duplicates its cone into every reader's
+/// tree — the §5 duplication transformation. Gates may then appear in
+/// several trees.
+Forest build_forest_with_roots(const net::Network& network,
+                               std::vector<bool> is_root);
+
+}  // namespace chortle::core

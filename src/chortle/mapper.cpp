@@ -1,0 +1,86 @@
+#include "chortle/mapper.hpp"
+
+#include <algorithm>
+
+#include "base/timer.hpp"
+#include "chortle/duplicate.hpp"
+#include "chortle/forest.hpp"
+#include "chortle/tree_mapper.hpp"
+#include "chortle/work_tree.hpp"
+
+namespace chortle::core {
+
+MapResult map_network(const net::Network& network, const Options& options) {
+  options.validate();
+  network.check();
+  WallTimer timer;
+
+  Forest forest = build_forest(network);
+  DuplicationStats duplication;
+  if (options.duplicate_fanout_logic)
+    forest = duplicate_fanout_logic(network, std::move(forest), options,
+                                    &duplication);
+
+  MapResult result{net::LutCircuit(options.k), MapStats{}};
+  net::LutCircuit& circuit = result.circuit;
+
+  std::vector<net::SignalId> signal_of(
+      static_cast<std::size_t>(network.num_nodes()), -1);
+  for (net::NodeId pi : network.inputs())
+    signal_of[static_cast<std::size_t>(pi)] =
+        circuit.add_input(network.node(pi).name);
+
+  // A tree root whose only reader is a single complemented primary
+  // output gets its inversion folded into the root LUT for free.
+  std::vector<int> readers(static_cast<std::size_t>(network.num_nodes()), 0);
+  std::vector<int> negated_output_readers(
+      static_cast<std::size_t>(network.num_nodes()), 0);
+  for (net::NodeId id = 0; id < network.num_nodes(); ++id)
+    for (const net::Fanin& f : network.node(id).fanins)
+      ++readers[static_cast<std::size_t>(f.node)];
+  for (const net::Output& o : network.outputs()) {
+    if (o.is_const) continue;
+    ++readers[static_cast<std::size_t>(o.node)];
+    if (o.negated) ++negated_output_readers[static_cast<std::size_t>(o.node)];
+  }
+  std::vector<bool> emitted_complemented(
+      static_cast<std::size_t>(network.num_nodes()), false);
+
+  int predicted_luts = 0;
+  for (const Tree& tree : forest.trees) {
+    const WorkTree work = build_work_tree(network, forest, tree, options);
+    TreeMapper mapper(work, options);
+    predicted_luts += mapper.best_cost();
+    const std::size_t root = static_cast<std::size_t>(tree.root);
+    const bool fold_inversion =
+        readers[root] == 1 && negated_output_readers[root] == 1;
+    signal_of[root] = mapper.emit(circuit, signal_of, fold_inversion,
+                                  network.node(tree.root).name);
+    emitted_complemented[root] = fold_inversion;
+    result.stats.largest_tree = std::max(
+        result.stats.largest_tree, static_cast<int>(tree.gates.size()));
+  }
+  CHORTLE_CHECK_MSG(circuit.num_luts() == predicted_luts,
+                    "emitted LUT count disagrees with the DP cost");
+
+  for (const net::Output& o : network.outputs()) {
+    if (o.is_const) {
+      circuit.add_const_output(o.name, o.const_value);
+      continue;
+    }
+    const std::size_t node = static_cast<std::size_t>(o.node);
+    CHORTLE_CHECK(signal_of[node] >= 0);
+    const bool negated = o.negated != emitted_complemented[node];
+    circuit.add_output(o.name, signal_of[node], negated);
+  }
+
+  circuit.check();
+  result.stats.num_luts = circuit.num_luts();
+  result.stats.num_trees = static_cast<int>(forest.trees.size());
+  result.stats.depth = circuit.depth();
+  result.stats.duplicated_roots = duplication.accepted;
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace chortle::core

@@ -1,0 +1,34 @@
+// The Chortle technology mapper: public entry point reproducing the
+// paper's pipeline. The input network is divided into a forest of
+// maximal fanout-free trees, each tree is mapped optimally by the
+// dynamic program of tree_mapper.hpp, and the per-tree circuits are
+// combined into one circuit of K-input lookup tables (paper §3).
+#pragma once
+
+#include "chortle/options.hpp"
+#include "network/lut_circuit.hpp"
+#include "network/network.hpp"
+
+namespace chortle::core {
+
+struct MapStats {
+  int num_luts = 0;       // cost function the paper minimizes
+  int num_trees = 0;
+  int largest_tree = 0;   // gates in the biggest fanout-free tree
+  int depth = 0;          // LUT levels (reported for the FlowMap bench)
+  int duplicated_roots = 0;  // fanout cones inlined (§5 extension)
+  double seconds = 0.0;   // wall-clock mapping time
+};
+
+struct MapResult {
+  net::LutCircuit circuit;
+  MapStats stats;
+};
+
+/// Maps an optimized AND/OR network into K-input LUTs. The result is
+/// optimal in LUT count for every fanout-free tree of the network
+/// (globally optimal when the network is a tree), provided no node
+/// exceeded Options::split_threshold.
+MapResult map_network(const net::Network& network, const Options& options);
+
+}  // namespace chortle::core

@@ -1,0 +1,42 @@
+// Tunables of the Chortle mapper. Defaults reproduce the paper's setup.
+#pragma once
+
+#include "base/check.hpp"
+
+namespace chortle::core {
+
+struct Options {
+  /// LUT input count K (the paper evaluates K = 2..5).
+  int k = 4;
+
+  /// Nodes with fanin above this are pre-split into two nodes of roughly
+  /// equal fanin before the decomposition search (paper §3.1.4, bound 10).
+  int split_threshold = 10;
+
+  /// When false, every node is restructured into a balanced tree of
+  /// 2-input nodes before mapping, i.e. one fixed decomposition is used
+  /// instead of searching all of them. This is the ablation for the
+  /// paper's claim that considering all decompositions reduces area.
+  bool search_decompositions = true;
+
+  /// §5 future-work extension: replicate small fanout-node cones into
+  /// their readers when the exact per-tree DP says the total LUT count
+  /// drops (see chortle/duplicate.hpp). Off by default to keep the
+  /// base algorithm exactly the paper's.
+  bool duplicate_fanout_logic = false;
+  /// Only cones of at most this many gates are duplication candidates.
+  int duplication_max_gates = 12;
+  /// ... read by at most this many trees.
+  int duplication_max_readers = 4;
+
+  void validate() const {
+    CHORTLE_REQUIRE(duplication_max_gates >= 1 &&
+                        duplication_max_readers >= 1,
+                    "duplication limits must be positive");
+    CHORTLE_REQUIRE(k >= 2 && k <= 6, "LUT size K must be in [2, 6]");
+    CHORTLE_REQUIRE(split_threshold >= 2 && split_threshold <= 16,
+                    "split threshold must be in [2, 16]");
+  }
+};
+
+}  // namespace chortle::core

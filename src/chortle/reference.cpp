@@ -1,0 +1,158 @@
+#include "chortle/reference.hpp"
+#include <functional>
+
+#include <algorithm>
+#include <map>
+
+#include "chortle/tree_mapper.hpp"  // for kInfCost
+
+namespace chortle::core {
+namespace {
+
+/// Enumerates all set partitions of `items`, invoking `visit` with each
+/// partition (a vector of groups).
+void for_each_partition(
+    const std::vector<int>& items,
+    const std::function<void(const std::vector<std::vector<int>>&)>& visit) {
+  std::vector<std::vector<int>> groups;
+  const std::function<void(std::size_t)> recurse = [&](std::size_t index) {
+    if (index == items.size()) {
+      visit(groups);
+      return;
+    }
+    const int item = items[index];
+    // Index-based: deeper recursion levels push/pop on `groups`, which
+    // may reallocate, so range-for references would dangle.
+    const std::size_t count = groups.size();
+    for (std::size_t gi = 0; gi < count; ++gi) {
+      groups[gi].push_back(item);
+      recurse(index + 1);
+      groups[gi].pop_back();
+    }
+    groups.push_back({item});
+    recurse(index + 1);
+    groups.pop_back();
+  };
+  recurse(0);
+}
+
+class ReferenceSolver {
+ public:
+  ReferenceSolver(const WorkTree& tree, const Options& options)
+      : tree_(tree), k_(options.k) {
+    minmap_.resize(static_cast<std::size_t>(tree.size()));
+    best_.assign(static_cast<std::size_t>(tree.size()), kInfCost);
+    for (int node : tree_.postorder()) solve(node);
+  }
+
+  int minmap(int node, int u) const {
+    return minmap_[static_cast<std::size_t>(node)][static_cast<std::size_t>(
+        u)];
+  }
+  int best(int node) const { return best_[static_cast<std::size_t>(node)]; }
+
+ private:
+  void solve(int node) {
+    const WorkNode& wn = tree_.node(node);
+    const int f = static_cast<int>(wn.children.size());
+    std::vector<int> all(static_cast<std::size_t>(f));
+    for (int i = 0; i < f; ++i) all[static_cast<std::size_t>(i)] = i;
+
+    group_cost_.clear();
+    auto& table = minmap_[static_cast<std::size_t>(node)];
+    table.assign(static_cast<std::size_t>(k_) + 1, kInfCost);
+    for (int u = 2; u <= k_; ++u) {
+      table[static_cast<std::size_t>(u)] = map_group(node, all, u);
+      if (table[static_cast<std::size_t>(u)] < kInfCost)
+        table[static_cast<std::size_t>(u)] += 1;  // the root lookup table
+      best_[static_cast<std::size_t>(node)] =
+          std::min(best_[static_cast<std::size_t>(node)],
+                   table[static_cast<std::size_t>(u)]);
+    }
+  }
+
+  /// Cost of feeding children `members` of `node` into a root LUT with
+  /// exactly `u` used inputs, excluding the root LUT itself: minimum
+  /// over all decompositions and utilization divisions.
+  int map_group(int node, const std::vector<int>& members, int u) {
+    const WorkNode& wn = tree_.node(node);
+    int best = kInfCost;
+    for_each_partition(members, [&](const std::vector<std::vector<int>>&
+                                        groups) {
+      // Utilization division: intermediate groups contribute exactly one
+      // input; singletons may take 1..K inputs. Enumerate recursively.
+      const std::function<void(std::size_t, int, int)> assign =
+          [&](std::size_t gi, int used, int cost_so_far) {
+            if (cost_so_far >= best || used > u) return;
+            if (gi == groups.size()) {
+              if (used == u) best = std::min(best, cost_so_far);
+              return;
+            }
+            const auto& group = groups[gi];
+            if (group.size() >= 2) {
+              const int gc = intermediate_cost(node, group);
+              if (gc < kInfCost) assign(gi + 1, used + 1, cost_so_far + gc);
+              return;
+            }
+            const WorkChild& child =
+                wn.children[static_cast<std::size_t>(group.front())];
+            if (child.is_leaf) {
+              assign(gi + 1, used + 1, cost_so_far);
+              return;
+            }
+            // Direct fanin node: u_i = 1 uses its best complete mapping
+            // (the paper prescribes minmap(n_i, K)); u_i >= 2 merges its
+            // root LUT into the constructed root LUT.
+            assign(gi + 1, used + 1, cost_so_far + best_[static_cast<
+                                                             std::size_t>(
+                                                 child.node)]);
+            for (int ui = 2; ui <= k_; ++ui) {
+              const int mc = minmap(child.node, ui);
+              if (mc < kInfCost)
+                assign(gi + 1, used + ui, cost_so_far + mc - 1);
+            }
+          };
+      assign(0, 0, 0);
+    });
+    return best;
+  }
+
+  /// Cost of an intermediate node over a child subset: one LUT whose
+  /// own root table is searched over utilizations 2..K (and whose
+  /// members may recursively form deeper intermediate nodes).
+  int intermediate_cost(int node, const std::vector<int>& members) {
+    std::vector<int> key = members;
+    std::sort(key.begin(), key.end());
+    if (auto it = group_cost_.find(key); it != group_cost_.end())
+      return it->second;
+    group_cost_.emplace(key, kInfCost);  // cut degenerate self-recursion
+    int best = kInfCost;
+    for (int u = 2; u <= k_; ++u) {
+      const int c = map_group(node, members, u);
+      if (c < kInfCost) best = std::min(best, c + 1);
+    }
+    group_cost_[key] = best;
+    return best;
+  }
+
+  const WorkTree& tree_;
+  int k_;
+  std::vector<std::vector<int>> minmap_;
+  std::vector<int> best_;
+  std::map<std::vector<int>, int> group_cost_;
+};
+
+}  // namespace
+
+int reference_minmap_cost(const WorkTree& tree, const Options& options,
+                          int node, int utilization) {
+  CHORTLE_REQUIRE(utilization >= 2 && utilization <= options.k,
+                  "utilization out of range");
+  return ReferenceSolver(tree, options).minmap(node, utilization);
+}
+
+int reference_best_cost(const WorkTree& tree, const Options& options) {
+  return ReferenceSolver(tree, options).best(tree.root);
+}
+
+}  // namespace chortle::core

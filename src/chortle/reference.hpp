@@ -1,0 +1,25 @@
+// A literal, unoptimized transcription of the paper's Figure 4 pseudo
+// code: minmap(n, U) computed by explicitly enumerating every set
+// partition of a node's fanins into decomposition groups (§3.1.3) and
+// every utilization division of the root lookup table (§3.1.1).
+//
+// Exponential and intended only for validation: tests assert that the
+// production subset-DP in tree_mapper.hpp returns identical costs on
+// randomly generated trees, establishing that the DP searches exactly
+// the paper's space.
+#pragma once
+
+#include "chortle/options.hpp"
+#include "chortle/work_tree.hpp"
+
+namespace chortle::core {
+
+/// cost(minmap(node, utilization)) by exhaustive enumeration;
+/// kInfCost when infeasible.
+int reference_minmap_cost(const WorkTree& tree, const Options& options,
+                          int node, int utilization);
+
+/// Best tree cost by exhaustive enumeration.
+int reference_best_cost(const WorkTree& tree, const Options& options);
+
+}  // namespace chortle::core

@@ -1,0 +1,300 @@
+#include "chortle/tree_mapper.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+#include <functional>
+
+namespace chortle::core {
+namespace {
+
+int lowest_bit(std::uint32_t mask) { return std::countr_zero(mask); }
+
+}  // namespace
+
+TreeMapper::TreeMapper(WorkTree tree, const Options& options)
+    : tree_(std::move(tree)), options_(options), k_(options.k) {
+  options_.validate();
+  tables_.resize(static_cast<std::size_t>(tree_.size()));
+  // Postorder traversal: leaf nodes to the root (paper Figure 4).
+  for (int node : tree_.postorder()) solve_node(node);
+}
+
+std::int32_t TreeMapper::direct_contribution(const WorkChild& child,
+                                             int u) const {
+  if (child.is_leaf) return u == 1 ? 0 : kInfCost;
+  const NodeTables& t = tables_[static_cast<std::size_t>(child.node)];
+  const std::uint32_t full = (std::uint32_t{1} << t.fanin) - 1;
+  if (u == 1) return t.node_cost[full];  // best complete mapping
+  // Root-LUT merge: the root table of minmap(child, u) is contained in
+  // the constructed root table and is eliminated (§3.1.2, Figure 6c).
+  const std::int32_t cost = t.h[full * (k_ + 1) + static_cast<unsigned>(u)];
+  return cost >= kInfCost ? kInfCost : cost + 1 - 1;  // (1 + h) - 1
+}
+
+void TreeMapper::solve_node(int node) {
+  const WorkNode& wn = tree_.node(node);
+  const int f = static_cast<int>(wn.children.size());
+  CHORTLE_CHECK(f >= 2 && f <= 20);
+  NodeTables& t = tables_[static_cast<std::size_t>(node)];
+  t.fanin = f;
+  const std::uint32_t num_subsets = std::uint32_t{1} << f;
+  const int stride = k_ + 1;
+  t.h.assign(static_cast<std::size_t>(num_subsets) * stride, kInfCost);
+  t.choice.assign(static_cast<std::size_t>(num_subsets) * stride, Choice{});
+  t.node_cost.assign(num_subsets, kInfCost);
+  t.node_cost_u.assign(num_subsets, 0);
+  t.h[0 * stride + 0] = 0;
+
+  for (std::uint32_t subset = 1; subset < num_subsets; ++subset) {
+    const int e = lowest_bit(subset);
+    const std::uint32_t rest = subset & (subset - 1);
+    auto h_at = [&](std::uint32_t s, int u) -> std::int32_t& {
+      return t.h[s * stride + static_cast<unsigned>(u)];
+    };
+    auto choice_at = [&](std::uint32_t s, int u) -> Choice& {
+      return t.choice[s * stride + static_cast<unsigned>(u)];
+    };
+
+    // Pass 1: U = 0 and U in [2, K]. (U = 1 needs node_cost[subset],
+    // computed from these, and is filled in pass 2.)
+    for (int u_total = 0; u_total <= k_; ++u_total) {
+      if (u_total == 1) continue;
+      std::int32_t best = kInfCost;
+      Choice best_choice;
+      // Option A: child e taken directly with u_e of the root's inputs.
+      const int max_ue = std::min(u_total, k_);
+      for (int ue = 1; ue <= max_ue; ue++) {
+        const std::int32_t ce = direct_contribution(wn.children[e], ue);
+        if (ce >= kInfCost) continue;
+        const std::int32_t sub = h_at(rest, u_total - ue);
+        if (sub >= kInfCost) continue;
+        if (ce + sub < best) {
+          best = ce + sub;
+          best_choice = Choice{0, static_cast<std::uint8_t>(ue), 'A'};
+        }
+      }
+      // Option B: child e grouped with others into an intermediate node
+      // feeding exactly one root input. Groups equal to the whole subset
+      // would need U = 1 and are handled in pass 2.
+      if (u_total >= 1) {
+        for (std::uint32_t d = rest; d != 0; d = (d - 1) & rest) {
+          const std::uint32_t group = d | (std::uint32_t{1} << e);
+          if (group == subset) continue;  // leaves S \ d empty; needs U = 1
+          const std::int32_t gc = t.node_cost[group];
+          if (gc >= kInfCost) continue;
+          const std::int32_t sub = h_at(subset & ~group, u_total - 1);
+          if (sub >= kInfCost) continue;
+          if (gc + sub < best) {
+            best = gc + sub;
+            best_choice = Choice{group, 0, 'B'};
+          }
+        }
+      }
+      if (best < kInfCost) {
+        h_at(subset, u_total) = best;
+        choice_at(subset, u_total) = best_choice;
+      }
+    }
+
+    // Intermediate-node cost of this subset: a LUT whose root table has
+    // the best utilization in [2, K].
+    std::int32_t nc = kInfCost;
+    std::uint8_t nc_u = 0;
+    for (int u = 2; u <= k_; ++u) {
+      const std::int32_t cost = h_at(subset, u);
+      if (cost < kInfCost && cost + 1 < nc) {
+        nc = cost + 1;
+        nc_u = static_cast<std::uint8_t>(u);
+      }
+    }
+    t.node_cost[subset] = nc;
+    t.node_cost_u[subset] = nc_u;
+
+    // Pass 2: U = 1. A singleton subset is the child taken directly with
+    // one input; a larger subset must form one intermediate node.
+    if (rest == 0) {
+      const std::int32_t ce = direct_contribution(wn.children[e], 1);
+      if (ce < kInfCost) {
+        h_at(subset, 1) = ce;
+        choice_at(subset, 1) = Choice{0, 1, 'A'};
+      }
+    } else if (nc < kInfCost) {
+      h_at(subset, 1) = nc;
+      choice_at(subset, 1) = Choice{subset, 0, 'B'};
+    }
+  }
+}
+
+int TreeMapper::minmap_cost(int node, int utilization) const {
+  CHORTLE_REQUIRE(node >= 0 && node < tree_.size(), "node index");
+  CHORTLE_REQUIRE(utilization >= 2 && utilization <= k_, "utilization");
+  const NodeTables& t = tables_[static_cast<std::size_t>(node)];
+  const std::uint32_t full = (std::uint32_t{1} << t.fanin) - 1;
+  const std::int32_t h = t.h[full * static_cast<unsigned>(k_ + 1) +
+                             static_cast<unsigned>(utilization)];
+  return h >= kInfCost ? kInfCost : h + 1;
+}
+
+int TreeMapper::best_cost_of(int node) const {
+  CHORTLE_REQUIRE(node >= 0 && node < tree_.size(), "node index");
+  const NodeTables& t = tables_[static_cast<std::size_t>(node)];
+  const std::uint32_t full = (std::uint32_t{1} << t.fanin) - 1;
+  return t.node_cost[full];
+}
+
+int TreeMapper::best_cost() const { return best_cost_of(tree_.root); }
+
+net::SignalId TreeMapper::emit(net::LutCircuit& circuit,
+                               const std::vector<net::SignalId>& signal_of,
+                               bool complement_root,
+                               const std::string& root_name) {
+  circuit_ = &circuit;
+  signal_of_ = &signal_of;
+  const NodeTables& t = tables_[static_cast<std::size_t>(tree_.root)];
+  const std::uint32_t full = (std::uint32_t{1} << t.fanin) - 1;
+  CHORTLE_CHECK_MSG(t.node_cost[full] < kInfCost, "tree has no mapping");
+  const net::SignalId out = emit_node_lut(
+      tree_.root, t.node_cost_u[full], complement_root, root_name);
+  circuit_ = nullptr;
+  signal_of_ = nullptr;
+  return out;
+}
+
+void TreeMapper::walk_cone(int node, std::uint32_t mask, int u, Expr& parent) {
+  const WorkNode& wn = tree_.node(node);
+  const NodeTables& t = tables_[static_cast<std::size_t>(node)];
+  const int stride = k_ + 1;
+  while (mask != 0) {
+    CHORTLE_CHECK(u >= 1);
+    const Choice c =
+        t.choice[mask * static_cast<unsigned>(stride) +
+                 static_cast<unsigned>(u)];
+    CHORTLE_CHECK_MSG(c.kind != 0, "reconstructing an infeasible mapping");
+    if (c.kind == 'A') {
+      const int e = lowest_bit(mask);
+      const WorkChild& child = wn.children[static_cast<std::size_t>(e)];
+      if (c.direct_u == 1) {
+        net::SignalId sig;
+        if (child.is_leaf) {
+          sig = (*signal_of_)[static_cast<std::size_t>(child.leaf_signal)];
+          CHORTLE_CHECK_MSG(sig >= 0, "tree leaf has no circuit signal");
+        } else {
+          const NodeTables& ct = tables_[static_cast<std::size_t>(child.node)];
+          const std::uint32_t cfull = (std::uint32_t{1} << ct.fanin) - 1;
+          sig = emit_node_lut(child.node, ct.node_cost_u[cfull],
+                              /*complemented=*/false, "");
+        }
+        Expr leaf;
+        leaf.is_leaf = true;
+        leaf.signal = sig;
+        leaf.negated = child.negated;
+        parent.kids.push_back(std::move(leaf));
+      } else {
+        // Merge the child's root table into this cone (§3.1.2).
+        CHORTLE_CHECK(!child.is_leaf);
+        const WorkNode& cn = tree_.node(child.node);
+        const NodeTables& ct = tables_[static_cast<std::size_t>(child.node)];
+        const std::uint32_t cfull = (std::uint32_t{1} << ct.fanin) - 1;
+        Expr sub;
+        sub.op = cn.op;
+        sub.negated = child.negated;
+        walk_cone(child.node, cfull, c.direct_u, sub);
+        parent.kids.push_back(std::move(sub));
+      }
+      mask &= mask - 1;
+      u -= c.direct_u;
+    } else {
+      CHORTLE_CHECK(c.kind == 'B');
+      CHORTLE_CHECK((c.group_mask & mask) == c.group_mask &&
+                    std::popcount(c.group_mask) >= 2);
+      const net::SignalId sig = emit_group_lut(node, c.group_mask);
+      Expr leaf;
+      leaf.is_leaf = true;
+      leaf.signal = sig;
+      leaf.negated = false;
+      parent.kids.push_back(std::move(leaf));
+      mask &= ~c.group_mask;
+      u -= 1;
+    }
+  }
+  CHORTLE_CHECK_MSG(u == 0, "utilization accounting mismatch");
+}
+
+net::SignalId TreeMapper::emit_node_lut(int node, int u, bool complemented,
+                                        const std::string& name) {
+  const WorkNode& wn = tree_.node(node);
+  const NodeTables& t = tables_[static_cast<std::size_t>(node)];
+  const std::uint32_t full = (std::uint32_t{1} << t.fanin) - 1;
+  Expr root;
+  root.op = wn.op;
+  walk_cone(node, full, u, root);
+  return emit_expr(std::move(root), complemented, name);
+}
+
+net::SignalId TreeMapper::emit_group_lut(int node, std::uint32_t mask) {
+  const WorkNode& wn = tree_.node(node);
+  const NodeTables& t = tables_[static_cast<std::size_t>(node)];
+  Expr root;
+  root.op = wn.op;
+  walk_cone(node, mask, t.node_cost_u[mask], root);
+  return emit_expr(std::move(root), /*complemented=*/false, "");
+}
+
+net::SignalId TreeMapper::emit_expr(Expr expr, bool complemented,
+                                    const std::string& name) {
+  // Gather the distinct input signals in first-appearance order. The DP
+  // counts repeated leaves separately (they are distinct leaf nodes of
+  // the tree, paper Figure 3), but one physical LUT pin suffices when
+  // the same signal appears twice, so the emitted LUT deduplicates.
+  std::vector<net::SignalId> inputs;
+  std::vector<const Expr*> stack{&expr};
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    if (e->is_leaf) {
+      if (std::find(inputs.begin(), inputs.end(), e->signal) == inputs.end())
+        inputs.push_back(e->signal);
+    } else {
+      for (auto it = e->kids.rbegin(); it != e->kids.rend(); ++it)
+        stack.push_back(&*it);
+    }
+  }
+  const int arity = static_cast<int>(inputs.size());
+  CHORTLE_CHECK_MSG(arity <= k_, "cone exceeds K distinct inputs");
+
+  // Evaluate the expression over the gathered inputs.
+  auto var_index = [&](net::SignalId s) {
+    return static_cast<int>(
+        std::find(inputs.begin(), inputs.end(), s) - inputs.begin());
+  };
+  const std::function<truth::TruthTable(const Expr&)> eval =
+      [&](const Expr& e) -> truth::TruthTable {
+    truth::TruthTable result(arity);
+    if (e.is_leaf) {
+      result = truth::TruthTable::var(var_index(e.signal), arity);
+    } else {
+      const bool is_and = e.op == net::GateOp::kAnd;
+      result = is_and ? truth::TruthTable::ones(arity)
+                      : truth::TruthTable::zeros(arity);
+      for (const Expr& kid : e.kids) {
+        const truth::TruthTable kt = eval(kid);
+        if (is_and)
+          result &= kt;
+        else
+          result |= kt;
+      }
+    }
+    return e.negated ? ~result : result;
+  };
+  truth::TruthTable fn = eval(expr);
+  if (complemented) fn = ~fn;
+
+  net::Lut lut;
+  lut.inputs = std::move(inputs);
+  lut.function = std::move(fn);
+  lut.name = name;
+  return circuit_->add_lut(std::move(lut));
+}
+
+}  // namespace chortle::core

@@ -1,0 +1,124 @@
+// The dynamic-programming tree mapper (paper §3.1) run on one WorkTree.
+//
+// The sub-problem is minmap(n, U): the minimum-cost circuit of K-input
+// LUTs implementing the subtree rooted at n whose root LUT uses exactly
+// U inputs (Definitions 1-3). The paper finds it by exhaustively
+// searching utilization divisions (§3.1.1) and all two-level — and,
+// recursively, multi-level — decompositions of every node (§3.1.3).
+//
+// This implementation performs the identical search as a subset DP.
+// For a node with children c_0..c_{f-1} define
+//
+//   h(S, U) = minimum total cost of feeding the child subset S into the
+//             node's root LUT using exactly U of its inputs
+//
+// where each child is either taken directly with u_i inputs (u_i = 1
+// charges its best complete mapping; u_i >= 2 merges the root LUT of
+// minmap(c_i, u_i) into the constructed root LUT, charging
+// cost(minmap(c_i, u_i)) - 1, per §3.1.2) or grouped with other children
+// into an intermediate node that feeds exactly one input (§3.1.3, "we
+// add the requirement that u_i = 1 if the group d_i specifies an
+// intermediate node"). Choosing the group containing the lowest-indexed
+// child of S first enumerates every set partition exactly once, so the
+// DP visits precisely the configurations of the paper's exhaustive
+// search (tests/chortle_reference_test.cpp checks this equivalence
+// against a literal enumeration of the pseudo code).
+//
+// Then  minmap(n, U) = 1 + h(full child set, U)  and the best complete
+// mapping of the tree is min over U of minmap(root, U) (the paper takes
+// minmap(root, K); the two agree whenever utilization K is feasible —
+// a property-tested invariant).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "chortle/work_tree.hpp"
+#include "network/lut_circuit.hpp"
+
+namespace chortle::core {
+
+/// Sentinel for infeasible sub-problems (e.g. utilization larger than
+/// the number of leaves in the subtree).
+constexpr std::int32_t kInfCost = std::numeric_limits<std::int32_t>::max() / 4;
+
+class TreeMapper {
+ public:
+  /// Runs the DP over the whole tree on construction. The tree is
+  /// copied so that callers may pass temporaries.
+  TreeMapper(WorkTree tree, const Options& options);
+
+  /// Cost (number of K-input LUTs) of the best mapping of the tree.
+  int best_cost() const;
+
+  /// cost(minmap(node, utilization)); kInfCost when infeasible.
+  /// Node indices refer to WorkTree nodes; utilization in [2, K].
+  int minmap_cost(int node, int utilization) const;
+
+  /// min over U of cost(minmap(node, U)).
+  int best_cost_of(int node) const;
+
+  /// Emits the best mapping into `circuit`. `signal_of[v]` must give the
+  /// circuit signal carrying network node v for every leaf signal of the
+  /// tree. If `complement_root` is set the root LUT implements the
+  /// complement of the tree root. Returns the root LUT's output signal.
+  net::SignalId emit(net::LutCircuit& circuit,
+                     const std::vector<net::SignalId>& signal_of,
+                     bool complement_root, const std::string& root_name);
+
+ private:
+  struct Choice {
+    std::uint32_t group_mask = 0;  // kind B: the intermediate group
+    std::uint8_t direct_u = 0;     // kind A: inputs given to the child
+    std::uint8_t kind = 0;         // 0 = unset, 'A' = direct, 'B' = group
+  };
+
+  struct NodeTables {
+    int fanin = 0;
+    // h and choices indexed by [subset * (K+1) + U].
+    std::vector<std::int32_t> h;
+    std::vector<Choice> choice;
+    // Per subset: cost of the best complete intermediate node over the
+    // subset (1 + min_U h) and the minimizing U.
+    std::vector<std::int32_t> node_cost;
+    std::vector<std::uint8_t> node_cost_u;
+  };
+
+  // --- DP ---
+  void solve_node(int node);
+  std::int32_t direct_contribution(const WorkChild& child, int u) const;
+
+  // --- reconstruction ---
+  struct Expr {
+    bool is_leaf = false;
+    net::SignalId signal = -1;  // leaf
+    bool negated = false;       // edge polarity into the parent op
+    net::GateOp op = net::GateOp::kAnd;
+    std::vector<Expr> kids;
+  };
+
+  /// Appends the operands of node `node`'s root LUT restricted to child
+  /// subset `mask` at utilization `u` onto `parent.kids`.
+  void walk_cone(int node, std::uint32_t mask, int u, Expr& parent);
+  /// Builds and emits the LUT of `node` mapped at utilization `u`.
+  net::SignalId emit_node_lut(int node, int u, bool complemented,
+                              const std::string& name);
+  /// Builds and emits the LUT of the intermediate node of `node` over
+  /// child subset `mask`.
+  net::SignalId emit_group_lut(int node, std::uint32_t mask);
+  net::SignalId emit_expr(Expr expr, bool complemented,
+                          const std::string& name);
+
+  WorkTree tree_;
+  Options options_;
+  int k_;
+  std::vector<NodeTables> tables_;
+
+  // Valid only during emit():
+  net::LutCircuit* circuit_ = nullptr;
+  const std::vector<net::SignalId>* signal_of_ = nullptr;
+};
+
+}  // namespace chortle::core

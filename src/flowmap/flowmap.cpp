@@ -1,0 +1,319 @@
+#include "flowmap/flowmap.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "base/check.hpp"
+#include "base/timer.hpp"
+
+namespace chortle::flowmap {
+namespace {
+
+constexpr int kInf = 1 << 28;
+
+/// Small unit-capacity max-flow (Edmonds-Karp); augmentation stops as
+/// soon as the flow exceeds `limit`, which is all the feasibility test
+/// needs.
+class FlowGraph {
+ public:
+  explicit FlowGraph(int num_nodes) : head_(num_nodes, -1) {}
+
+  void add_edge(int from, int to, int capacity) {
+    edges_.push_back({to, head_[static_cast<std::size_t>(from)], capacity});
+    head_[static_cast<std::size_t>(from)] =
+        static_cast<int>(edges_.size()) - 1;
+    edges_.push_back({from, head_[static_cast<std::size_t>(to)], 0});
+    head_[static_cast<std::size_t>(to)] = static_cast<int>(edges_.size()) - 1;
+  }
+
+  /// Max flow from s to t, capped at limit+1.
+  int max_flow(int s, int t, int limit) {
+    int flow = 0;
+    while (flow <= limit && augment(s, t)) ++flow;
+    return flow;
+  }
+
+  /// Nodes reachable from s in the residual graph (after max_flow).
+  std::vector<bool> residual_reachable(int s) const {
+    std::vector<bool> seen(head_.size(), false);
+    std::vector<int> stack{s};
+    seen[static_cast<std::size_t>(s)] = true;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (int e = head_[static_cast<std::size_t>(v)]; e != -1;
+           e = edges_[static_cast<std::size_t>(e)].next) {
+        const Edge& edge = edges_[static_cast<std::size_t>(e)];
+        if (edge.capacity > 0 && !seen[static_cast<std::size_t>(edge.to)]) {
+          seen[static_cast<std::size_t>(edge.to)] = true;
+          stack.push_back(edge.to);
+        }
+      }
+    }
+    return seen;
+  }
+
+ private:
+  struct Edge {
+    int to;
+    int next;
+    int capacity;
+  };
+
+  bool augment(int s, int t) {
+    std::vector<int> parent_edge(head_.size(), -1);
+    std::vector<bool> seen(head_.size(), false);
+    std::queue<int> queue;
+    queue.push(s);
+    seen[static_cast<std::size_t>(s)] = true;
+    while (!queue.empty() && !seen[static_cast<std::size_t>(t)]) {
+      const int v = queue.front();
+      queue.pop();
+      for (int e = head_[static_cast<std::size_t>(v)]; e != -1;
+           e = edges_[static_cast<std::size_t>(e)].next) {
+        const Edge& edge = edges_[static_cast<std::size_t>(e)];
+        if (edge.capacity <= 0 || seen[static_cast<std::size_t>(edge.to)])
+          continue;
+        seen[static_cast<std::size_t>(edge.to)] = true;
+        parent_edge[static_cast<std::size_t>(edge.to)] = e;
+        queue.push(edge.to);
+      }
+    }
+    if (!seen[static_cast<std::size_t>(t)]) return false;
+    // Unit augmentation along the path.
+    for (int v = t; v != s;) {
+      const int e = parent_edge[static_cast<std::size_t>(v)];
+      edges_[static_cast<std::size_t>(e)].capacity -= 1;
+      edges_[static_cast<std::size_t>(e ^ 1)].capacity += 1;
+      v = edges_[static_cast<std::size_t>(e ^ 1)].to;
+    }
+    return true;
+  }
+
+  std::vector<int> head_;
+  std::vector<Edge> edges_;
+};
+
+class FlowMapper {
+ public:
+  FlowMapper(const net::Network& network, int k)
+      : network_(network), k_(k) {
+    CHORTLE_REQUIRE(k >= 2 && k <= truth::TruthTable::kMaxVars,
+                    "LUT size out of range");
+    CHORTLE_REQUIRE(network.max_fanin() <= k,
+                    "FlowMap requires a K-bounded network");
+  }
+
+  FlowMapResult run() {
+    WallTimer timer;
+    label_.assign(static_cast<std::size_t>(network_.num_nodes()), 0);
+    cut_of_.resize(static_cast<std::size_t>(network_.num_nodes()));
+    for (net::NodeId gate : network_.gates_in_topo_order()) label_node(gate);
+
+    FlowMapResult result{net::LutCircuit(k_), FlowMapStats{}};
+    emit(result.circuit);
+    result.stats.num_luts = result.circuit.num_luts();
+    result.stats.depth = result.circuit.depth();
+    result.stats.seconds = timer.seconds();
+    return result;
+  }
+
+ private:
+  /// All nodes in the input cone of `t` (including `t` and PIs).
+  std::vector<net::NodeId> cone_of(net::NodeId t) const {
+    std::vector<net::NodeId> cone;
+    std::vector<bool> seen(static_cast<std::size_t>(network_.num_nodes()),
+                           false);
+    std::vector<net::NodeId> stack{t};
+    seen[static_cast<std::size_t>(t)] = true;
+    while (!stack.empty()) {
+      const net::NodeId v = stack.back();
+      stack.pop_back();
+      cone.push_back(v);
+      for (const net::Fanin& f : network_.node(v).fanins)
+        if (!seen[static_cast<std::size_t>(f.node)]) {
+          seen[static_cast<std::size_t>(f.node)] = true;
+          stack.push_back(f.node);
+        }
+    }
+    return cone;
+  }
+
+  void label_node(net::NodeId t) {
+    int p = 0;
+    for (const net::Fanin& f : network_.node(t).fanins)
+      p = std::max(p, label_[static_cast<std::size_t>(f.node)]);
+
+    const std::vector<net::NodeId> cone = cone_of(t);
+    // Collapse t with every cone node of label p; test for a cut <= K.
+    std::vector<int> in_index(static_cast<std::size_t>(network_.num_nodes()),
+                              -1);
+    int next = 2;  // 0 = source, 1 = sink
+    std::vector<net::NodeId> split_nodes;
+    for (net::NodeId v : cone) {
+      const bool collapsed = v == t || label_[static_cast<std::size_t>(v)] == p;
+      if (collapsed) {
+        in_index[static_cast<std::size_t>(v)] = 1;  // merged into the sink
+      } else {
+        in_index[static_cast<std::size_t>(v)] = next;
+        next += 2;  // v_in, v_out
+        split_nodes.push_back(v);
+      }
+    }
+    FlowGraph graph(next);
+    for (net::NodeId v : split_nodes)
+      graph.add_edge(in_index[static_cast<std::size_t>(v)],
+                     in_index[static_cast<std::size_t>(v)] + 1, 1);
+    for (net::NodeId v : cone) {
+      const int v_in = in_index[static_cast<std::size_t>(v)];
+      if (network_.is_input(v)) {
+        graph.add_edge(0, v_in, kInf);
+        continue;
+      }
+      for (const net::Fanin& f : network_.node(v).fanins) {
+        const int u_in = in_index[static_cast<std::size_t>(f.node)];
+        if (u_in == 1) continue;  // edge out of the sink set: irrelevant
+        const int u_out = u_in + 1;
+        graph.add_edge(u_out, v_in, kInf);
+      }
+    }
+
+    const int flow = graph.max_flow(0, 1, k_);
+    if (flow <= k_) {
+      label_[static_cast<std::size_t>(t)] = std::max(p, 1);
+      const std::vector<bool> reachable = graph.residual_reachable(0);
+      std::vector<net::NodeId> cut;
+      for (net::NodeId v : split_nodes) {
+        const int v_in = in_index[static_cast<std::size_t>(v)];
+        if (reachable[static_cast<std::size_t>(v_in)] &&
+            !reachable[static_cast<std::size_t>(v_in) + 1])
+          cut.push_back(v);
+      }
+      CHORTLE_CHECK(static_cast<int>(cut.size()) == flow);
+      cut_of_[static_cast<std::size_t>(t)] = std::move(cut);
+    } else {
+      label_[static_cast<std::size_t>(t)] = p + 1;
+      std::vector<net::NodeId> cut;
+      for (const net::Fanin& f : network_.node(t).fanins)
+        cut.push_back(f.node);
+      cut_of_[static_cast<std::size_t>(t)] = std::move(cut);
+    }
+  }
+
+  /// Cone function of `t` over the recorded cut (variable i = cut[i]).
+  truth::TruthTable cut_function(net::NodeId t) const {
+    const std::vector<net::NodeId>& cut =
+        cut_of_[static_cast<std::size_t>(t)];
+    const int arity = static_cast<int>(cut.size());
+    std::vector<net::NodeId> interior;  // nodes strictly inside the cone
+    std::vector<bool> seen(static_cast<std::size_t>(network_.num_nodes()),
+                           false);
+    for (net::NodeId v : cut) seen[static_cast<std::size_t>(v)] = true;
+    std::vector<net::NodeId> stack{t};
+    if (!seen[static_cast<std::size_t>(t)]) {
+      seen[static_cast<std::size_t>(t)] = true;
+      interior.push_back(t);
+    }
+    while (!stack.empty()) {
+      const net::NodeId v = stack.back();
+      stack.pop_back();
+      if (std::find(cut.begin(), cut.end(), v) != cut.end()) continue;
+      for (const net::Fanin& f : network_.node(v).fanins)
+        if (!seen[static_cast<std::size_t>(f.node)]) {
+          seen[static_cast<std::size_t>(f.node)] = true;
+          interior.push_back(f.node);
+          stack.push_back(f.node);
+        }
+    }
+    std::sort(interior.begin(), interior.end());
+    std::vector<truth::TruthTable> value(
+        static_cast<std::size_t>(network_.num_nodes()),
+        truth::TruthTable(arity));
+    for (int i = 0; i < arity; ++i)
+      value[static_cast<std::size_t>(cut[static_cast<std::size_t>(i)])] =
+          truth::TruthTable::var(i, arity);
+    for (net::NodeId v : interior) {
+      const auto& node = network_.node(v);
+      CHORTLE_CHECK_MSG(!network_.is_input(v),
+                        "cone interior reached a primary input; bad cut");
+      const bool is_and = node.op == net::GateOp::kAnd;
+      truth::TruthTable acc = is_and ? truth::TruthTable::ones(arity)
+                                     : truth::TruthTable::zeros(arity);
+      for (const net::Fanin& f : node.fanins) {
+        truth::TruthTable fv = value[static_cast<std::size_t>(f.node)];
+        if (f.negated) fv = ~fv;
+        if (is_and)
+          acc &= fv;
+        else
+          acc |= fv;
+      }
+      value[static_cast<std::size_t>(v)] = std::move(acc);
+    }
+    return value[static_cast<std::size_t>(t)];
+  }
+
+  void emit(net::LutCircuit& circuit) {
+    std::vector<net::SignalId> signal_of(
+        static_cast<std::size_t>(network_.num_nodes()), -1);
+    for (net::NodeId pi : network_.inputs())
+      signal_of[static_cast<std::size_t>(pi)] =
+          circuit.add_input(network_.node(pi).name);
+
+    // Needed gates: transitive closure of outputs through cuts.
+    std::vector<bool> needed(static_cast<std::size_t>(network_.num_nodes()),
+                             false);
+    std::vector<net::NodeId> worklist;
+    for (const net::Output& o : network_.outputs())
+      if (!o.is_const && !network_.is_input(o.node) &&
+          !needed[static_cast<std::size_t>(o.node)]) {
+        needed[static_cast<std::size_t>(o.node)] = true;
+        worklist.push_back(o.node);
+      }
+    while (!worklist.empty()) {
+      const net::NodeId t = worklist.back();
+      worklist.pop_back();
+      for (net::NodeId v : cut_of_[static_cast<std::size_t>(t)])
+        if (!network_.is_input(v) && !needed[static_cast<std::size_t>(v)]) {
+          needed[static_cast<std::size_t>(v)] = true;
+          worklist.push_back(v);
+        }
+    }
+    // Cut nodes precede their users in id order, so ascending emission
+    // always finds its inputs ready.
+    for (net::NodeId t = 0; t < network_.num_nodes(); ++t) {
+      if (!needed[static_cast<std::size_t>(t)]) continue;
+      net::Lut lut;
+      lut.name = network_.node(t).name;
+      for (net::NodeId v : cut_of_[static_cast<std::size_t>(t)]) {
+        const net::SignalId sig = signal_of[static_cast<std::size_t>(v)];
+        CHORTLE_CHECK(sig >= 0);
+        lut.inputs.push_back(sig);
+      }
+      lut.function = cut_function(t);
+      signal_of[static_cast<std::size_t>(t)] = circuit.add_lut(std::move(lut));
+    }
+    for (const net::Output& o : network_.outputs()) {
+      if (o.is_const) {
+        circuit.add_const_output(o.name, o.const_value);
+        continue;
+      }
+      circuit.add_output(o.name, signal_of[static_cast<std::size_t>(o.node)],
+                         o.negated);
+    }
+    circuit.check();
+  }
+
+  const net::Network& network_;
+  int k_;
+  std::vector<int> label_;
+  std::vector<std::vector<net::NodeId>> cut_of_;
+};
+
+}  // namespace
+
+FlowMapResult flowmap(const net::Network& network, int k) {
+  return FlowMapper(network, k).run();
+}
+
+}  // namespace chortle::flowmap

@@ -1,0 +1,38 @@
+// FlowMap-style depth-optimal LUT mapping (Cong & Ding, 1994) — built
+// here as the "future work" extension the paper closes with: handling
+// reconvergent fanout by mapping across the whole DAG instead of
+// fanout-free trees, optimizing depth instead of area.
+//
+// Algorithm: process gates in topological order; the label of a gate is
+// the minimum, over K-feasible cuts of its input cone, of (max label in
+// the cut) + 1. Cong & Ding's theorem reduces the minimization to one
+// max-flow feasibility test: collapse the gate with every cone node of
+// maximal fanin label and ask whether a cut of capacity <= K separates
+// it from the inputs (unit node capacities). The mapping phase then
+// walks the recorded cuts from the outputs.
+//
+// The input must be K-bounded; callers typically pass the 2-input
+// subject graph (libmap/subject.hpp) built from the mapper input.
+#pragma once
+
+#include "network/lut_circuit.hpp"
+#include "network/network.hpp"
+
+namespace chortle::flowmap {
+
+struct FlowMapStats {
+  int num_luts = 0;
+  int depth = 0;        // optimal LUT depth of the K-bounded input
+  double seconds = 0.0;
+};
+
+struct FlowMapResult {
+  net::LutCircuit circuit;
+  FlowMapStats stats;
+};
+
+/// Depth-optimal mapping of a K-bounded network into K-input LUTs.
+/// Every gate's fanin count must be at most k.
+FlowMapResult flowmap(const net::Network& network, int k);
+
+}  // namespace chortle::flowmap

@@ -1,0 +1,182 @@
+#include <functional>
+#include "libmap/library.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.hpp"
+#include "truth/canonical.hpp"
+
+namespace chortle::libmap {
+namespace {
+
+using truth::TruthTable;
+
+/// Re-expresses `t` over exactly its support: support variables are
+/// moved (order-preserving) to slots 0..s-1 and the arity shrunk to s.
+TruthTable compact(const TruthTable& t) {
+  const std::vector<int> support = t.support();
+  if (static_cast<int>(support.size()) == t.num_vars()) return t;
+  std::vector<int> perm(static_cast<std::size_t>(t.num_vars()));
+  int next_support = 0;
+  int next_rest = static_cast<int>(support.size());
+  for (int v = 0; v < t.num_vars(); ++v) {
+    const bool in_support =
+        std::binary_search(support.begin(), support.end(), v);
+    perm[static_cast<std::size_t>(v)] = in_support ? next_support++
+                                                   : next_rest++;
+  }
+  return t.permute(perm).shrink_to_support_prefix();
+}
+
+}  // namespace
+
+void Library::add_cell(const truth::TruthTable& function) {
+  const int m = function.num_vars();
+  CHORTLE_CHECK(m >= 1 && m <= k_ && m <= 6);
+  CHORTLE_CHECK(static_cast<int>(function.support().size()) == m);
+  // Fast path: once a class is expanded, every NPN-equivalent raw table
+  // is present in by_arity_, so repeat candidates skip canonization.
+  if (by_arity_[static_cast<std::size_t>(m)].count(function.low_word()) != 0)
+    return;
+  const TruthTable canon = truth::npn_canonical(function);
+  if (!classes_[static_cast<std::size_t>(m)].insert(canon.low_word()).second)
+    return;  // orbit already expanded
+  auto& table = by_arity_[static_cast<std::size_t>(m)];
+  const unsigned num_masks = 1u << m;
+  for (unsigned mask = 0; mask < num_masks; ++mask) {
+    const TruthTable flipped = function.flip_inputs(mask);
+    const TruthTable complemented = ~flipped;
+    for (const auto& perm : truth::all_permutations(m)) {
+      table.insert(flipped.permute(perm).low_word());
+      table.insert(complemented.permute(perm).low_word());
+    }
+  }
+}
+
+Library Library::complete(int k) {
+  CHORTLE_REQUIRE(k >= 2 && k <= 4,
+                  "complete libraries are only practical up to K=4 "
+                  "(the paper uses them for K=2,3)");
+  Library lib(k, /*complete=*/true);
+  // Matching short-circuits on the complete flag; the class sets are
+  // still enumerated (cheap for k <= 4) for reporting.
+  for (int m = 1; m <= std::min(k, 3); ++m) {
+    const std::uint64_t count = std::uint64_t{1} << (1u << m);
+    for (std::uint64_t bits = 0; bits < count; ++bits) {
+      const TruthTable t = TruthTable::from_bits(bits, m);
+      if (t.is_const() ||
+          static_cast<int>(t.support().size()) != m)
+        continue;
+      lib.classes_[static_cast<std::size_t>(m)].insert(
+          truth::npn_canonical(t).low_word());
+    }
+  }
+  return lib;
+}
+
+Library Library::level0_kernels(int k) {
+  CHORTLE_REQUIRE(k >= 2 && k <= 6, "library K out of range");
+  Library lib(k, /*complete=*/false);
+
+  // Enumerate every two-level form with m <= k literal occurrences in
+  // which no literal appears in two cubes (the level-0 kernel property;
+  // note xor = ab' + a'b qualifies: a and a' are different literals).
+  // Duals/complements join via NPN closure in add_cell.
+  for (int m = 2; m <= k; ++m) {
+    // Partitions of m into cube sizes, descending.
+    std::vector<std::vector<int>> partitions;
+    std::vector<int> current;
+    const std::function<void(int, int)> enumerate = [&](int remaining,
+                                                        int max_part) {
+      if (remaining == 0) {
+        partitions.push_back(current);
+        return;
+      }
+      for (int part = std::min(remaining, max_part); part >= 1; --part) {
+        current.push_back(part);
+        enumerate(remaining - part, part);
+        current.pop_back();
+      }
+    };
+    enumerate(m, m);
+
+    for (const std::vector<int>& cubes : partitions) {
+      // Assign each of the m literal slots a (variable, phase) over at
+      // most m variables; brute force with constraint filtering, with
+      // the NPN-closed class set deduplicating equivalent choices.
+      std::vector<int> slots(static_cast<std::size_t>(m), 0);  // literal ids
+      const int num_literals = 2 * m;
+      const std::function<void(int)> fill = [&](int slot) {
+        if (slot == m) {
+          // Constraints: within a cube distinct variables; across cubes
+          // no repeated identical literal.
+          std::vector<int> all;
+          int offset = 0;
+          for (int size : cubes) {
+            std::vector<int> vars;
+            for (int i = 0; i < size; ++i)
+              vars.push_back(slots[static_cast<std::size_t>(offset + i)] / 2);
+            std::sort(vars.begin(), vars.end());
+            if (std::adjacent_find(vars.begin(), vars.end()) != vars.end())
+              return;
+            offset += size;
+          }
+          std::vector<int> sorted = slots;
+          std::sort(sorted.begin(), sorted.end());
+          if (std::adjacent_find(sorted.begin(), sorted.end()) !=
+              sorted.end())
+            return;  // identical literal in two cubes
+          // Evaluate the SOP over m variables.
+          TruthTable fn = TruthTable::zeros(m);
+          offset = 0;
+          for (int size : cubes) {
+            TruthTable term = TruthTable::ones(m);
+            for (int i = 0; i < size; ++i) {
+              const int lit = slots[static_cast<std::size_t>(offset + i)];
+              const TruthTable v = TruthTable::var(lit / 2, m);
+              term &= (lit & 1) ? ~v : v;
+            }
+            fn |= term;
+            offset += size;
+          }
+          const TruthTable compacted = compact(fn);
+          if (compacted.num_vars() >= 1 && !compacted.is_const())
+            lib.add_cell(compacted);
+          return;
+        }
+        for (int lit = 0; lit < num_literals; ++lit) {
+          slots[static_cast<std::size_t>(slot)] = lit;
+          fill(slot + 1);
+        }
+      };
+      fill(0);
+    }
+  }
+  return lib;
+}
+
+bool Library::matches(const truth::TruthTable& function) const {
+  CHORTLE_REQUIRE(function.num_vars() <= k_,
+                  "match query exceeds library input count");
+  const TruthTable compacted = compact(function);
+  const int m = compacted.num_vars();
+  if (m == 0) return false;  // constants are not cells
+  if (complete_) return true;
+  return by_arity_[static_cast<std::size_t>(m)].count(
+             compacted.low_word()) != 0;
+}
+
+std::vector<std::size_t> Library::class_counts() const {
+  std::vector<std::size_t> counts;
+  for (const auto& set : classes_) counts.push_back(set.size());
+  return counts;
+}
+
+std::size_t Library::expanded_size() const {
+  std::size_t total = 0;
+  for (const auto& set : by_arity_) total += set.size();
+  return total;
+}
+
+}  // namespace chortle::libmap

@@ -1,0 +1,276 @@
+#include "libmap/matcher.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "base/timer.hpp"
+#include "chortle/forest.hpp"
+#include "libmap/subject.hpp"
+
+namespace chortle::libmap {
+namespace {
+
+using truth::TruthTable;
+
+// Cuts are sets of integer leaf keys. A key below the node count is a
+// subject-graph node (an interior gate chosen as a LUT boundary, or —
+// in merge_reconvergent_leaves mode — a tree-leaf signal, deduplicated
+// by identity). Keys at or above the node count denote structural leaf
+// occurrences: each fanin edge from a tree leaf gets its own key, so a
+// signal entering a tree twice occupies two LUT pins (the paper's
+// Figure 3 semantics, matching what DAGON-style tree matching sees).
+struct Cut {
+  std::vector<int> leaves;  // sorted, distinct keys
+  TruthTable function;      // variable i = leaves[i]
+};
+
+/// Re-expresses `fn` over `sub` as a function over the sorted superset
+/// `super`.
+TruthTable remap_to_superset(const TruthTable& fn,
+                             const std::vector<int>& sub,
+                             const std::vector<int>& super) {
+  const int arity = static_cast<int>(super.size());
+  std::vector<int> perm(static_cast<std::size_t>(arity));
+  std::vector<bool> taken(static_cast<std::size_t>(arity), false);
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    const auto it = std::lower_bound(super.begin(), super.end(), sub[i]);
+    CHORTLE_CHECK(it != super.end() && *it == sub[i]);
+    const int pos = static_cast<int>(it - super.begin());
+    perm[i] = pos;
+    taken[static_cast<std::size_t>(pos)] = true;
+  }
+  int next_free = 0;
+  for (std::size_t i = sub.size(); i < perm.size(); ++i) {
+    while (taken[static_cast<std::size_t>(next_free)]) ++next_free;
+    perm[i] = next_free++;
+  }
+  return fn.extend(arity).permute(perm);
+}
+
+class TreeCoverer {
+ public:
+  TreeCoverer(const net::Network& subject, const core::Forest& forest,
+              const Library& library, const MatchOptions& options)
+      : subject_(subject), forest_(forest), library_(library),
+        options_(options), k_(library.k()) {
+    cuts_.resize(static_cast<std::size_t>(subject.num_nodes()));
+    cost_.assign(static_cast<std::size_t>(subject.num_nodes()), -1);
+    best_cut_.assign(static_cast<std::size_t>(subject.num_nodes()), -1);
+  }
+
+  /// Bottom-up matching over one tree; gates arrive fanins-first.
+  void cover_tree(const core::Tree& tree) {
+    for (net::NodeId gate : tree.gates) match_node(gate);
+  }
+
+  int cost_of(net::NodeId gate) const {
+    return cost_[static_cast<std::size_t>(gate)];
+  }
+
+  /// Emits the chosen cover of the tree rooted at `root` into `circuit`.
+  net::SignalId emit(net::LutCircuit& circuit,
+                     std::vector<net::SignalId>& signal_of, net::NodeId root,
+                     bool complement, const std::string& name) {
+    const Cut& cut =
+        cuts_[static_cast<std::size_t>(root)][static_cast<std::size_t>(
+            best_cut_[static_cast<std::size_t>(root)])];
+    // Resolve keys to circuit signals; pins carrying the same signal
+    // collapse into one LUT input with the function vars merged.
+    std::vector<net::SignalId> pins;
+    for (int key : cut.leaves) {
+      const net::NodeId node = key_node(key);
+      net::SignalId sig = signal_of[static_cast<std::size_t>(node)];
+      if (sig < 0) {
+        CHORTLE_CHECK(!is_leaf_key(key));
+        sig = emit(circuit, signal_of, node, /*complement=*/false, "");
+        signal_of[static_cast<std::size_t>(node)] = sig;
+      }
+      pins.push_back(sig);
+    }
+    net::Lut lut;
+    lut.name = name;
+    for (net::SignalId s : pins)
+      if (std::find(lut.inputs.begin(), lut.inputs.end(), s) ==
+          lut.inputs.end())
+        lut.inputs.push_back(s);
+    const int arity = static_cast<int>(lut.inputs.size());
+    TruthTable merged(arity);
+    for (std::uint64_t m = 0; m < merged.num_minterms(); ++m) {
+      std::uint64_t expanded = 0;
+      for (std::size_t j = 0; j < pins.size(); ++j) {
+        const auto pos = static_cast<std::size_t>(
+            std::find(lut.inputs.begin(), lut.inputs.end(), pins[j]) -
+            lut.inputs.begin());
+        if ((m >> pos) & 1) expanded |= std::uint64_t{1} << j;
+      }
+      if (cut.function.bit(expanded)) merged.set_bit(m, true);
+    }
+    lut.function = complement ? ~merged : merged;
+    return circuit.add_lut(std::move(lut));
+  }
+
+ private:
+  bool is_tree_leaf(net::NodeId node) const {
+    return subject_.is_input(node) ||
+           forest_.is_root[static_cast<std::size_t>(node)];
+  }
+
+  bool is_leaf_key(int key) const {
+    if (key >= subject_.num_nodes()) return true;
+    return is_tree_leaf(key);
+  }
+
+  net::NodeId key_node(int key) const {
+    if (key < subject_.num_nodes()) return key;
+    return leaf_key_signal_[static_cast<std::size_t>(key) -
+                            static_cast<std::size_t>(subject_.num_nodes())];
+  }
+
+  int make_leaf_key(net::NodeId signal) {
+    if (options_.merge_reconvergent_leaves) return signal;
+    leaf_key_signal_.push_back(signal);
+    return subject_.num_nodes() +
+           static_cast<int>(leaf_key_signal_.size()) - 1;
+  }
+
+  /// Cuts available below a fanin edge: the edge's driver as a single
+  /// leaf, plus (for interior gates) every cut of the driver.
+  std::vector<const Cut*> child_cuts(net::NodeId child,
+                                     Cut* singleton_storage) {
+    const int key =
+        is_tree_leaf(child) ? make_leaf_key(child) : child;
+    *singleton_storage = Cut{{key}, TruthTable::var(0, 1)};
+    std::vector<const Cut*> result{singleton_storage};
+    if (!is_tree_leaf(child))
+      for (const Cut& c : cuts_[static_cast<std::size_t>(child)])
+        result.push_back(&c);
+    return result;
+  }
+
+  void match_node(net::NodeId gate) {
+    const auto& node = subject_.node(gate);
+    CHORTLE_CHECK(node.fanins.size() == 2);
+    Cut s0, s1;
+    const std::vector<const Cut*> left =
+        child_cuts(node.fanins[0].node, &s0);
+    const std::vector<const Cut*> right =
+        child_cuts(node.fanins[1].node, &s1);
+
+    std::map<std::vector<int>, TruthTable> merged;
+    for (const Cut* a : left) {
+      for (const Cut* b : right) {
+        std::vector<int> leaves;
+        std::set_union(a->leaves.begin(), a->leaves.end(), b->leaves.begin(),
+                       b->leaves.end(), std::back_inserter(leaves));
+        if (static_cast<int>(leaves.size()) > k_) continue;
+        if (merged.count(leaves) != 0) continue;  // same cut, same function
+        TruthTable fa = remap_to_superset(a->function, a->leaves, leaves);
+        TruthTable fb = remap_to_superset(b->function, b->leaves, leaves);
+        if (node.fanins[0].negated) fa = ~fa;
+        if (node.fanins[1].negated) fb = ~fb;
+        merged.emplace(std::move(leaves), node.op == net::GateOp::kAnd
+                                              ? (fa & fb)
+                                              : (fa | fb));
+      }
+    }
+
+    auto& cuts = cuts_[static_cast<std::size_t>(gate)];
+    cuts.clear();
+    int best_cost = -1;
+    int best_index = -1;
+    for (auto& [leaves, fn] : merged) {
+      cuts.push_back(Cut{leaves, fn});
+      if (!library_.matches(fn)) continue;
+      int cost = 1;
+      for (int key : leaves)
+        if (!is_leaf_key(key)) cost += cost_[static_cast<std::size_t>(key)];
+      if (best_cost < 0 || cost < best_cost) {
+        best_cost = cost;
+        best_index = static_cast<int>(cuts.size()) - 1;
+      }
+    }
+    CHORTLE_CHECK_MSG(best_cost > 0,
+                      "library cannot cover a 2-input gate — "
+                      "a library must at least contain AND2/OR2");
+    cost_[static_cast<std::size_t>(gate)] = best_cost;
+    best_cut_[static_cast<std::size_t>(gate)] = best_index;
+  }
+
+  const net::Network& subject_;
+  const core::Forest& forest_;
+  const Library& library_;
+  MatchOptions options_;
+  int k_;
+  std::vector<std::vector<Cut>> cuts_;
+  std::vector<int> cost_;
+  std::vector<int> best_cut_;
+  std::vector<net::NodeId> leaf_key_signal_;
+};
+
+}  // namespace
+
+BaselineResult map_with_library(const net::Network& network,
+                                const Library& library,
+                                const MatchOptions& options) {
+  WallTimer timer;
+  const net::Network subject = build_subject_graph(network);
+  const core::Forest forest = core::build_forest(subject);
+
+  BaselineResult result{net::LutCircuit(library.k()), BaselineStats{}};
+  net::LutCircuit& circuit = result.circuit;
+
+  std::vector<net::SignalId> signal_of(
+      static_cast<std::size_t>(subject.num_nodes()), -1);
+  for (net::NodeId pi : subject.inputs())
+    signal_of[static_cast<std::size_t>(pi)] =
+        circuit.add_input(subject.node(pi).name);
+
+  // Root-inversion folding, as for the Chortle mapper: a root whose only
+  // reader is one complemented output absorbs the inversion for free.
+  std::vector<int> readers(static_cast<std::size_t>(subject.num_nodes()), 0);
+  std::vector<int> negated_output_readers(
+      static_cast<std::size_t>(subject.num_nodes()), 0);
+  for (net::NodeId id = 0; id < subject.num_nodes(); ++id)
+    for (const net::Fanin& f : subject.node(id).fanins)
+      ++readers[static_cast<std::size_t>(f.node)];
+  for (const net::Output& o : subject.outputs()) {
+    if (o.is_const) continue;
+    ++readers[static_cast<std::size_t>(o.node)];
+    if (o.negated) ++negated_output_readers[static_cast<std::size_t>(o.node)];
+  }
+  std::vector<bool> emitted_complemented(
+      static_cast<std::size_t>(subject.num_nodes()), false);
+
+  TreeCoverer coverer(subject, forest, library, options);
+  for (const core::Tree& tree : forest.trees) {
+    coverer.cover_tree(tree);
+    const std::size_t root = static_cast<std::size_t>(tree.root);
+    const bool fold =
+        readers[root] == 1 && negated_output_readers[root] == 1;
+    signal_of[root] = coverer.emit(circuit, signal_of, tree.root, fold,
+                                   subject.node(tree.root).name);
+    emitted_complemented[root] = fold;
+  }
+
+  for (const net::Output& o : subject.outputs()) {
+    if (o.is_const) {
+      circuit.add_const_output(o.name, o.const_value);
+      continue;
+    }
+    const std::size_t node = static_cast<std::size_t>(o.node);
+    CHORTLE_CHECK(signal_of[node] >= 0);
+    circuit.add_output(o.name, signal_of[node],
+                       o.negated != emitted_complemented[node]);
+  }
+
+  circuit.check();
+  result.stats.num_luts = circuit.num_luts();
+  result.stats.num_trees = static_cast<int>(forest.trees.size());
+  result.stats.subject_gates = subject.num_gates();
+  result.stats.depth = circuit.depth();
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace chortle::libmap

@@ -1,0 +1,50 @@
+// The baseline technology mapper the paper compares against: a MIS II /
+// DAGON-style tree-covering DP over a fixed 2-input subject graph,
+// where a match at a node is any rooted subtree whose cone function
+// (with <= K distinct leaf signals) is implementable by a library cell.
+// Functional matching subsumes structural pattern matching on trees, so
+// this baseline is at least as strong as the program the paper measured
+// — its losses come from the same two sources the paper names: the
+// fixed subject-graph decomposition and (K >= 4) the incomplete library.
+#pragma once
+
+#include "libmap/library.hpp"
+#include "network/lut_circuit.hpp"
+#include "network/network.hpp"
+
+namespace chortle::libmap {
+
+struct MatchOptions {
+  // When false (default, DAGON-faithful) every leaf occurrence of the
+  // subject tree is a distinct LUT pin, exactly like the distinct leaf
+  // nodes of the paper's Figure 3: a signal feeding a tree twice
+  // occupies two of the K inputs. When true, cut leaves are merged by
+  // signal, which lets the baseline absorb reconvergent fanout (XOR,
+  // MUX patterns) into single LUTs — a strictly stronger matcher than
+  // MIS II's and the subject of the ablate_reconvergence bench (the
+  // paper's §5 names reconvergent fanout as future work for Chortle,
+  // and §4.2 notes MIS occasionally wins through it at K=2).
+  bool merge_reconvergent_leaves = false;
+};
+
+struct BaselineStats {
+  int num_luts = 0;
+  int num_trees = 0;
+  int subject_gates = 0;
+  int depth = 0;
+  double seconds = 0.0;
+};
+
+struct BaselineResult {
+  net::LutCircuit circuit;
+  BaselineStats stats;
+};
+
+/// Maps `network` (arbitrary-fanin AND/OR DAG; the same mapper input
+/// Chortle receives) by building a subject graph, partitioning it into
+/// fanout-free trees, and covering each tree with library matches.
+BaselineResult map_with_library(const net::Network& network,
+                                const Library& library,
+                                const MatchOptions& options = {});
+
+}  // namespace chortle::libmap

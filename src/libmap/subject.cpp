@@ -1,0 +1,63 @@
+#include "libmap/subject.hpp"
+
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace chortle::libmap {
+namespace {
+
+/// Balanced reduction of `operands` with 2-input `op` gates.
+net::Fanin reduce_balanced(net::Network& out, net::GateOp op,
+                           std::vector<net::Fanin> operands) {
+  CHORTLE_CHECK(!operands.empty());
+  while (operands.size() > 1) {
+    std::vector<net::Fanin> next;
+    next.reserve((operands.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < operands.size(); i += 2) {
+      const net::NodeId gate =
+          out.add_gate(op, {operands[i], operands[i + 1]});
+      next.push_back(net::Fanin{gate, false});
+    }
+    if (operands.size() % 2 == 1) next.push_back(operands.back());
+    operands = std::move(next);
+  }
+  return operands.front();
+}
+
+}  // namespace
+
+net::Network build_subject_graph(const net::Network& network) {
+  net::Network out;
+  // Mapping from original node id to (subject node, negation).
+  std::vector<net::Fanin> image(static_cast<std::size_t>(network.num_nodes()),
+                                net::Fanin{net::kInvalidNode, false});
+  for (net::NodeId pi : network.inputs())
+    image[static_cast<std::size_t>(pi)] =
+        net::Fanin{out.add_input(network.node(pi).name), false};
+  for (net::NodeId id : network.gates_in_topo_order()) {
+    const auto& node = network.node(id);
+    std::vector<net::Fanin> operands;
+    operands.reserve(node.fanins.size());
+    for (const net::Fanin& f : node.fanins) {
+      net::Fanin mapped = image[static_cast<std::size_t>(f.node)];
+      CHORTLE_CHECK(mapped.node != net::kInvalidNode);
+      mapped.negated = mapped.negated != f.negated;
+      operands.push_back(mapped);
+    }
+    image[static_cast<std::size_t>(id)] =
+        reduce_balanced(out, node.op, std::move(operands));
+  }
+  for (const net::Output& o : network.outputs()) {
+    if (o.is_const) {
+      out.add_const_output(o.name, o.const_value);
+      continue;
+    }
+    const net::Fanin mapped = image[static_cast<std::size_t>(o.node)];
+    out.add_output(o.name, mapped.node, mapped.negated != o.negated);
+  }
+  out.check();
+  return out;
+}
+
+}  // namespace chortle::libmap

@@ -1,0 +1,18 @@
+// Subject-graph construction for the baseline mapper. DAGON-style
+// library mappers (MIS II among them) first decompose the network into
+// a canonical graph of 2-input gates and then cover it with library
+// patterns; the decomposition is fixed before matching — the structural
+// commitment the paper identifies as one source of MIS II's K>=3
+// quality gap against Chortle's exhaustive decomposition search.
+#pragma once
+
+#include "network/network.hpp"
+
+namespace chortle::libmap {
+
+/// Returns a functionally equivalent network in which every gate has
+/// exactly two fanins; wide gates become balanced same-op trees.
+/// Input/output names are preserved.
+net::Network build_subject_graph(const net::Network& network);
+
+}  // namespace chortle::libmap

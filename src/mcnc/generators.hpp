@@ -1,0 +1,54 @@
+// Deterministic substitutes for the twelve MCNC-89 benchmarks of the
+// paper's Tables 1-4. The original BLIF files are not shipped offline;
+// each generator builds a circuit with the same role and comparable
+// structure (see DESIGN.md §4 for the substitution rationale):
+//
+//   9symml  exact: symmetric function, 1 iff 3 <= popcount(x) <= 6
+//   alu2    3-bit ALU (add/sub/and/or/xor, ripple carry, flags)
+//   alu4    5-bit ALU, same family
+//   apex6   seeded random multi-level control logic (large interface)
+//   apex7   seeded random multi-level control logic (medium)
+//   count   16-bit incrementer with enable and carry chain
+//   des     one DES-like round: expansion, key XOR, 8 seeded 6->4
+//           S-boxes (the real tables are substituted by seeded random
+//           ones), P-wiring, left-half XOR
+//   frg1    seeded random control logic, few outputs, deep
+//   frg2    seeded random control logic (large)
+//   k2      PLA-style two-level circuit: wide shared random cubes
+//   pair    two 16-bit adders + comparator + select layer
+//   rot     32-bit barrel rotator (5 mux stages)
+//
+// All generators are seeded internally and fully reproducible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sop/sop_network.hpp"
+
+namespace chortle::mcnc {
+
+/// Benchmark names in the order of the paper's tables.
+const std::vector<std::string>& benchmark_names();
+
+/// Builds the named benchmark substitute. Throws InvalidInput for an
+/// unknown name.
+sop::SopNetwork generate(const std::string& name);
+
+// Individual generators (also used directly by tests and examples).
+sop::SopNetwork make_9symml();
+sop::SopNetwork make_alu(int bits, const std::string& prefix);  // alu2/alu4
+sop::SopNetwork make_count(int bits);
+sop::SopNetwork make_rot(int bits, int stages);
+sop::SopNetwork make_pair(int bits);
+sop::SopNetwork make_des_round();
+sop::SopNetwork make_k2(int inputs, int outputs, int cubes,
+                        std::uint64_t seed);
+
+/// Collapses a multi-level network (<= 16 inputs) into a two-level PLA:
+/// one irredundant SOP node per output, exactly the form of the MCNC
+/// espresso benchmarks (alu2/alu4/9sym are PLAs, not netlists); the
+/// optimizer then rebuilds multi-level structure the way MIS II did.
+sop::SopNetwork flatten_to_pla(const sop::SopNetwork& network);
+
+}  // namespace chortle::mcnc

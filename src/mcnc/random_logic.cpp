@@ -1,0 +1,98 @@
+#include "mcnc/random_logic.hpp"
+
+#include <algorithm>
+
+#include "base/rng.hpp"
+
+namespace chortle::mcnc {
+
+sop::SopNetwork random_logic(const RandomLogicParams& params) {
+  CHORTLE_REQUIRE(params.num_inputs >= 2 && params.num_gates >= 1 &&
+                      params.num_outputs >= 1 && params.max_fanin >= 2,
+                  "bad random logic parameters");
+  Rng rng(params.seed);
+  sop::SopNetwork network;
+  std::vector<sop::SopNetwork::NodeId> signals;
+  for (int i = 0; i < params.num_inputs; ++i)
+    signals.push_back(network.add_input("pi" + std::to_string(i)));
+
+  for (int g = 0; g < params.num_gates; ++g) {
+    // Fanin width: mostly 2-4, occasionally wide (exercises the
+    // mapper's decomposition search and node splitting).
+    int fanin;
+    if (params.wide_node_every > 0 && (g + 1) % params.wide_node_every == 0) {
+      fanin = static_cast<int>(
+          rng.next_in(params.max_fanin, 3 * params.max_fanin));
+    } else {
+      const double roll = rng.next_double();
+      if (roll < 0.40)
+        fanin = 2;
+      else if (roll < 0.70)
+        fanin = 3;
+      else if (roll < 0.90)
+        fanin = std::min(4, params.max_fanin);
+      else
+        fanin = static_cast<int>(rng.next_in(2, params.max_fanin));
+    }
+    fanin = std::min<int>(fanin, static_cast<int>(signals.size()));
+
+    // Locality-biased distinct sources.
+    std::vector<sop::SopNetwork::NodeId> sources;
+    while (static_cast<int>(sources.size()) < fanin) {
+      std::size_t index;
+      if (rng.next_bool(0.5) && signals.size() > 30) {
+        index = signals.size() - 1 - rng.next_below(30);
+      } else {
+        index = rng.next_below(signals.size());
+      }
+      const auto id = signals[index];
+      if (std::find(sources.begin(), sources.end(), id) == sources.end())
+        sources.push_back(id);
+    }
+
+    std::vector<sop::Literal> literals;
+    for (auto id : sources)
+      literals.push_back(
+          sop::make_literal(id, rng.next_bool(params.negate_probability)));
+
+    sop::Cover cover;
+    const double shape = rng.next_double();
+    if (shape < 0.40) {
+      cover.add_cube(sop::Cube(literals));  // AND
+    } else if (shape < 0.80) {
+      for (sop::Literal lit : literals)
+        cover.add_cube(sop::Cube(std::vector<sop::Literal>{lit}));  // OR
+    } else {
+      // Two-cube SOP over a random split of the fanins.
+      const std::size_t split = 1 + rng.next_below(literals.size() - 1);
+      cover.add_cube(sop::Cube(std::vector<sop::Literal>(
+          literals.begin(), literals.begin() + static_cast<long>(split))));
+      cover.add_cube(sop::Cube(std::vector<sop::Literal>(
+          literals.begin() + static_cast<long>(split), literals.end())));
+    }
+    signals.push_back(
+        network.add_node("g" + std::to_string(g), std::move(cover)));
+  }
+
+  // Outputs drawn (distinct) from the last portion of the gate list so
+  // most of the network stays live.
+  const std::size_t pool_begin =
+      signals.size() - std::min<std::size_t>(
+                           signals.size(),
+                           std::max<std::size_t>(
+                               static_cast<std::size_t>(params.num_outputs),
+                               static_cast<std::size_t>(params.num_gates) /
+                                   2));
+  std::vector<sop::SopNetwork::NodeId> pool(signals.begin() +
+                                                static_cast<long>(pool_begin),
+                                            signals.end());
+  rng.shuffle(pool);
+  const int num_outputs =
+      std::min<int>(params.num_outputs, static_cast<int>(pool.size()));
+  for (int i = 0; i < num_outputs; ++i) network.mark_output(pool[
+      static_cast<std::size_t>(i)]);
+  network.check();
+  return network;
+}
+
+}  // namespace chortle::mcnc

@@ -1,0 +1,28 @@
+// Seeded random multi-level logic, used for the MCNC control-logic
+// benchmarks without a public functional specification (apex6/7,
+// frg1/2) and for property-based tests. Gates are created in
+// topological order with a locality-biased fanin distribution matching
+// what optimized MCNC netlists look like: mostly 2-4 input AND/OR
+// nodes, occasional wide nodes, random edge polarities.
+#pragma once
+
+#include <cstdint>
+
+#include "sop/sop_network.hpp"
+
+namespace chortle::mcnc {
+
+struct RandomLogicParams {
+  int num_inputs = 16;
+  int num_outputs = 8;
+  int num_gates = 100;
+  int max_fanin = 5;        // most gates are 2-4 wide; tail up to this
+  int wide_node_every = 25; // every Nth gate is wide (up to 3*max_fanin)
+  double negate_probability = 0.3;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a random, acyclic, fully deterministic SOP network.
+sop::SopNetwork random_logic(const RandomLogicParams& params);
+
+}  // namespace chortle::mcnc

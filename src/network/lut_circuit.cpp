@@ -1,0 +1,72 @@
+#include "network/lut_circuit.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace chortle::net {
+
+SignalId LutCircuit::add_input(const std::string& name) {
+  CHORTLE_REQUIRE(luts_.empty(),
+                  "all inputs must be added before the first LUT");
+  input_names_.push_back(name);
+  return num_inputs() - 1;
+}
+
+SignalId LutCircuit::add_lut(Lut lut) {
+  CHORTLE_REQUIRE(static_cast<int>(lut.inputs.size()) <= k_,
+                  "LUT exceeds K inputs");
+  CHORTLE_REQUIRE(lut.function.num_vars() ==
+                      static_cast<int>(lut.inputs.size()),
+                  "LUT truth table arity mismatch");
+  const SignalId id = num_signals();
+  std::unordered_set<SignalId> seen;
+  for (SignalId s : lut.inputs) {
+    CHORTLE_REQUIRE(s >= 0 && s < id, "LUT input references unknown signal");
+    CHORTLE_REQUIRE(seen.insert(s).second, "LUT inputs must be distinct");
+  }
+  if (lut.name.empty()) lut.name = "lut" + std::to_string(id);
+  luts_.push_back(std::move(lut));
+  return id;
+}
+
+void LutCircuit::add_output(const std::string& name, SignalId signal,
+                            bool negated) {
+  CHORTLE_REQUIRE(signal >= 0 && signal < num_signals(),
+                  "output references unknown signal");
+  outputs_.push_back(LutOutput{name, false, false, signal, negated});
+}
+
+void LutCircuit::add_const_output(const std::string& name, bool value) {
+  outputs_.push_back(LutOutput{name, true, value, -1, false});
+}
+
+int LutCircuit::depth() const {
+  std::vector<int> level(static_cast<std::size_t>(num_signals()), 0);
+  int best = 0;
+  for (int i = 0; i < num_luts(); ++i) {
+    const SignalId out = num_inputs() + i;
+    int l = 0;
+    for (SignalId s : luts_[static_cast<std::size_t>(i)].inputs)
+      l = std::max(l, level[static_cast<std::size_t>(s)]);
+    level[static_cast<std::size_t>(out)] = l + 1;
+    best = std::max(best, l + 1);
+  }
+  return best;
+}
+
+void LutCircuit::check() const {
+  for (int i = 0; i < num_luts(); ++i) {
+    const Lut& lut = luts_[static_cast<std::size_t>(i)];
+    const SignalId self = num_inputs() + i;
+    CHORTLE_CHECK(static_cast<int>(lut.inputs.size()) <= k_);
+    CHORTLE_CHECK(lut.function.num_vars() ==
+                  static_cast<int>(lut.inputs.size()));
+    for (SignalId s : lut.inputs) CHORTLE_CHECK(s >= 0 && s < self);
+  }
+  for (const LutOutput& o : outputs_) {
+    if (o.is_const) continue;
+    CHORTLE_CHECK(o.signal >= 0 && o.signal < num_signals());
+  }
+}
+
+}  // namespace chortle::net

@@ -1,0 +1,80 @@
+// The output of every technology mapper in this project: a circuit of
+// K-input lookup tables. Signals are numbered: 0..num_inputs-1 are the
+// primary inputs, and each LUT appended afterwards defines the next
+// signal id. Each LUT carries its programming bits as a truth table over
+// its input list (input i of the LUT is truth-table variable i).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/check.hpp"
+#include "truth/truth_table.hpp"
+
+namespace chortle::net {
+
+using SignalId = int;
+
+struct Lut {
+  std::vector<SignalId> inputs;
+  truth::TruthTable function;  // arity == inputs.size()
+  std::string name;            // optional, for netlist output
+};
+
+struct LutOutput {
+  std::string name;
+  bool is_const = false;
+  bool const_value = false;  // meaningful when is_const
+  SignalId signal = -1;      // meaningful when !is_const
+  // The output reads the complement of the signal. Inversions are free
+  // in LUT architectures (the paper explicitly does not count inverters
+  // as logic blocks, §4.1); mappers fold them into a LUT when they can
+  // and record them here otherwise.
+  bool negated = false;
+};
+
+class LutCircuit {
+ public:
+  explicit LutCircuit(int k) : k_(k) {
+    CHORTLE_REQUIRE(k >= 1 && k <= truth::TruthTable::kMaxVars,
+                    "LUT input count out of range");
+  }
+
+  int k() const { return k_; }
+  int num_inputs() const { return static_cast<int>(input_names_.size()); }
+  int num_luts() const { return static_cast<int>(luts_.size()); }
+  int num_signals() const { return num_inputs() + num_luts(); }
+
+  SignalId add_input(const std::string& name);
+  /// Adds a LUT; inputs must reference existing signals, be distinct,
+  /// and number at most k; the truth table arity must match.
+  SignalId add_lut(Lut lut);
+  void add_output(const std::string& name, SignalId signal,
+                  bool negated = false);
+  void add_const_output(const std::string& name, bool value);
+
+  const std::vector<std::string>& input_names() const { return input_names_; }
+  const std::vector<Lut>& luts() const { return luts_; }
+  const std::vector<LutOutput>& outputs() const { return outputs_; }
+
+  bool is_input_signal(SignalId s) const { return s < num_inputs(); }
+  /// The LUT that drives a non-input signal.
+  const Lut& lut_of(SignalId s) const {
+    CHORTLE_CHECK(s >= num_inputs() && s < num_signals());
+    return luts_[static_cast<std::size_t>(s) - num_inputs()];
+  }
+
+  /// Longest input-to-output path in LUT levels.
+  int depth() const;
+
+  /// Structural sanity; throws on violation.
+  void check() const;
+
+ private:
+  int k_;
+  std::vector<std::string> input_names_;
+  std::vector<Lut> luts_;
+  std::vector<LutOutput> outputs_;
+};
+
+}  // namespace chortle::net

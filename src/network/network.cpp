@@ -1,0 +1,125 @@
+#include "network/network.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace chortle::net {
+
+namespace {
+
+// Built with std::string(...) up front to sidestep a GCC 12 -Wrestrict
+// false positive on operator+(const char*, std::string&&).
+std::string default_name(const char* prefix, NodeId id) {
+  std::string name(prefix);
+  name += std::to_string(id);
+  return name;
+}
+
+}  // namespace
+
+NodeId Network::add_input(const std::string& name) {
+  const NodeId id = num_nodes();
+  nodes_.push_back(Node{name.empty() ? default_name("pi", id) : name,
+                        NodeType::kInput, GateOp::kAnd, {}});
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Network::add_gate(GateOp op, std::vector<Fanin> fanins,
+                         const std::string& name) {
+  CHORTLE_REQUIRE(fanins.size() >= 2, "gates require at least two fanins");
+  const NodeId id = num_nodes();
+  std::unordered_set<NodeId> seen;
+  for (const Fanin& f : fanins) {
+    CHORTLE_REQUIRE(f.node >= 0 && f.node < id,
+                    "gate fanin must reference an earlier node");
+    CHORTLE_REQUIRE(seen.insert(f.node).second,
+                    "gate fanins must reference distinct nodes");
+  }
+  nodes_.push_back(Node{name.empty() ? default_name("n", id) : name,
+                        NodeType::kGate, op, std::move(fanins)});
+  return id;
+}
+
+void Network::add_output(const std::string& name, NodeId node, bool negated) {
+  CHORTLE_REQUIRE(node >= 0 && node < num_nodes(),
+                  "output references unknown node");
+  outputs_.push_back(Output{name, false, false, node, negated});
+}
+
+void Network::add_const_output(const std::string& name, bool value) {
+  outputs_.push_back(Output{name, true, value, kInvalidNode, false});
+}
+
+std::vector<NodeId> Network::gates_in_topo_order() const {
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size() - inputs_.size());
+  for (NodeId id = 0; id < num_nodes(); ++id)
+    if (nodes_[id].type == NodeType::kGate) order.push_back(id);
+  return order;
+}
+
+std::vector<int> Network::reference_counts() const {
+  std::vector<int> counts(nodes_.size(), 0);
+  for (const Node& n : nodes_)
+    for (const Fanin& f : n.fanins) ++counts[f.node];
+  for (const Output& o : outputs_)
+    if (!o.is_const) ++counts[o.node];
+  return counts;
+}
+
+int Network::num_edges() const {
+  int total = 0;
+  for (const Node& n : nodes_) total += static_cast<int>(n.fanins.size());
+  return total;
+}
+
+int Network::max_fanin() const {
+  int best = 0;
+  for (const Node& n : nodes_)
+    best = std::max(best, static_cast<int>(n.fanins.size()));
+  return best;
+}
+
+std::vector<int> Network::fanin_histogram() const {
+  std::vector<int> hist(static_cast<std::size_t>(max_fanin()) + 1, 0);
+  for (const Node& n : nodes_)
+    if (n.type == NodeType::kGate) ++hist[n.fanins.size()];
+  return hist;
+}
+
+int Network::depth() const {
+  std::vector<int> level(nodes_.size(), 0);
+  int best = 0;
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.type != NodeType::kGate) continue;
+    int l = 0;
+    for (const Fanin& f : n.fanins) l = std::max(l, level[f.node]);
+    level[id] = l + 1;
+    best = std::max(best, level[id]);
+  }
+  return best;
+}
+
+void Network::check() const {
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.type == NodeType::kInput) {
+      CHORTLE_CHECK(n.fanins.empty());
+      continue;
+    }
+    CHORTLE_CHECK(n.fanins.size() >= 2);
+    std::unordered_set<NodeId> seen;
+    for (const Fanin& f : n.fanins) {
+      CHORTLE_CHECK(f.node >= 0 && f.node < id);
+      CHORTLE_CHECK(seen.insert(f.node).second);
+    }
+  }
+  for (const Output& o : outputs_) {
+    if (o.is_const) continue;
+    CHORTLE_CHECK(o.node >= 0 && o.node < num_nodes());
+  }
+}
+
+}  // namespace chortle::net

@@ -1,0 +1,99 @@
+// The optimized Boolean network the mappers consume: a DAG whose
+// internal nodes are AND or OR gates of arbitrary fanin, with a polarity
+// flag on every edge (paper §2: "The boolean function represented by a
+// non-input node is either the boolean operation AND or OR applied over
+// the fanin boolean variables. Edges and nodes of the graph are labelled
+// to indicate the polarity of signals").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace chortle::net {
+
+using NodeId = int;
+constexpr NodeId kInvalidNode = -1;
+
+enum class GateOp { kAnd, kOr };
+
+/// A fanin edge: which node drives it and whether the signal is inverted
+/// on the way in.
+struct Fanin {
+  NodeId node = kInvalidNode;
+  bool negated = false;
+
+  auto operator<=>(const Fanin&) const = default;
+};
+
+enum class NodeType { kInput, kGate };
+
+/// A primary output: a (possibly inverted) reference to a node, or a
+/// constant (networks whose outputs collapse to constants after
+/// optimization keep them here; constants cost no lookup tables).
+struct Output {
+  std::string name;
+  bool is_const = false;
+  bool const_value = false;        // meaningful when is_const
+  NodeId node = kInvalidNode;      // meaningful when !is_const
+  bool negated = false;            // meaningful when !is_const
+};
+
+class Network {
+ public:
+  struct Node {
+    std::string name;
+    NodeType type = NodeType::kInput;
+    GateOp op = GateOp::kAnd;    // meaningful for gates
+    std::vector<Fanin> fanins;   // empty for inputs; >= 2 for gates
+  };
+
+  /// Adds a primary input.
+  NodeId add_input(const std::string& name);
+  /// Adds a gate over previously created nodes; fanins.size() >= 2 and
+  /// fanin node ids must be < the new node's id (topological creation),
+  /// and must reference distinct nodes.
+  NodeId add_gate(GateOp op, std::vector<Fanin> fanins,
+                  const std::string& name = "");
+  void add_output(const std::string& name, NodeId node, bool negated);
+  void add_const_output(const std::string& name, bool value);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_gates() const { return num_nodes() - num_inputs(); }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  bool is_input(NodeId id) const {
+    return node(id).type == NodeType::kInput;
+  }
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<Output>& outputs() const { return outputs_; }
+
+  /// Gate node ids in topological order (guaranteed by construction:
+  /// ascending id order restricted to gates).
+  std::vector<NodeId> gates_in_topo_order() const;
+
+  /// For each node, how many distinct references it has: one per gate
+  /// fanin edge plus one per primary output that reads it.
+  std::vector<int> reference_counts() const;
+
+  /// Total fanin edges across gates.
+  int num_edges() const;
+  /// Largest gate fanin.
+  int max_fanin() const;
+  /// Histogram of gate fanin sizes (index = fanin count).
+  std::vector<int> fanin_histogram() const;
+  /// Longest input-to-output path measured in gates.
+  int depth() const;
+
+  /// Structural sanity (ids in range, gate arity, distinct fanins,
+  /// outputs resolvable). Throws on violation.
+  void check() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<Output> outputs_;
+};
+
+}  // namespace chortle::net

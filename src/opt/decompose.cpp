@@ -1,0 +1,119 @@
+#include "opt/decompose.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "base/check.hpp"
+
+namespace chortle::opt {
+namespace {
+
+using sop::SopNetwork;
+
+/// A (possibly complemented) reference to a created network node, or a
+/// constant; the folded value of a SOP node or sub-term.
+struct Ref {
+  bool is_const = false;
+  bool const_value = false;
+  net::NodeId node = net::kInvalidNode;
+  bool negated = false;
+
+  static Ref constant(bool value) { return Ref{true, value, net::kInvalidNode, false}; }
+  static Ref signal(net::NodeId node, bool negated) {
+    return Ref{false, false, node, negated};
+  }
+  Ref complemented() const {
+    Ref r = *this;
+    if (r.is_const)
+      r.const_value = !r.const_value;
+    else
+      r.negated = !r.negated;
+    return r;
+  }
+};
+
+class Converter {
+ public:
+  explicit Converter(const sop::SopNetwork& source) : source_(source) {}
+
+  net::Network run() {
+    for (SopNetwork::NodeId id : source_.inputs())
+      value_.emplace(id, Ref::signal(result_.add_input(source_.node(id).name),
+                                     false));
+    for (SopNetwork::NodeId id : source_.topological_order())
+      value_.emplace(id, convert_cover(source_.node(id).cover));
+    for (SopNetwork::NodeId id : source_.outputs()) {
+      const Ref ref = value_.at(id);
+      const std::string& name = source_.node(id).name;
+      if (ref.is_const)
+        result_.add_const_output(name, ref.const_value);
+      else
+        result_.add_output(name, ref.node, ref.negated);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  /// Folds a list of operand refs for an AND (OR) gate: drops neutral
+  /// constants, detects dominant constants and complementary pairs,
+  /// deduplicates, and creates the gate if two or more operands remain.
+  Ref fold_gate(net::GateOp op, std::vector<Ref> operands) {
+    const bool is_and = op == net::GateOp::kAnd;
+    std::vector<net::Fanin> fanins;
+    for (const Ref& r : operands) {
+      if (r.is_const) {
+        if (r.const_value == is_and) continue;     // neutral element
+        return Ref::constant(!is_and);             // dominant element
+      }
+      fanins.push_back(net::Fanin{r.node, r.negated});
+    }
+    std::sort(fanins.begin(), fanins.end(), [](const net::Fanin& a,
+                                               const net::Fanin& b) {
+      return a.node != b.node ? a.node < b.node : a.negated < b.negated;
+    });
+    fanins.erase(std::unique(fanins.begin(), fanins.end()), fanins.end());
+    for (std::size_t i = 0; i + 1 < fanins.size(); ++i)
+      if (fanins[i].node == fanins[i + 1].node)
+        return Ref::constant(!is_and);  // x op !x
+    if (fanins.empty()) return Ref::constant(is_and);
+    if (fanins.size() == 1) return Ref::signal(fanins[0].node,
+                                               fanins[0].negated);
+    // Structural hashing: one gate per (op, fanin list).
+    const auto key = std::make_pair(is_and, fanins);
+    if (auto it = hash_.find(key); it != hash_.end())
+      return Ref::signal(it->second, false);
+    const net::NodeId id = result_.add_gate(op, fanins);
+    hash_.emplace(key, id);
+    return Ref::signal(id, false);
+  }
+
+  Ref convert_cover(const sop::Cover& cover) {
+    std::vector<Ref> terms;
+    for (const sop::Cube& cube : cover.cubes()) {
+      std::vector<Ref> factors;
+      for (sop::Literal lit : cube.literals()) {
+        Ref r = value_.at(sop::literal_var(lit));
+        if (sop::literal_negated(lit)) r = r.complemented();
+        factors.push_back(r);
+      }
+      terms.push_back(fold_gate(net::GateOp::kAnd, std::move(factors)));
+    }
+    return fold_gate(net::GateOp::kOr, std::move(terms));
+  }
+
+  const sop::SopNetwork& source_;
+  net::Network result_;
+  std::map<SopNetwork::NodeId, Ref> value_;
+  std::map<std::pair<bool, std::vector<net::Fanin>>, net::NodeId> hash_;
+};
+
+}  // namespace
+
+net::Network decompose_to_and_or(const sop::SopNetwork& network) {
+  net::Network result = Converter(network).run();
+  result.check();
+  return result;
+}
+
+}  // namespace chortle::opt

@@ -1,0 +1,18 @@
+// Conversion of an optimized SOP network into the AND/OR DAG with edge
+// polarities that the mappers consume (paper §2). Each node's cover
+// becomes an OR of AND-cubes; literal phases become edge polarity
+// labels; constants and wires are folded away; structurally identical
+// gates are shared. Wide covers stay wide — decomposing large-fanin
+// AND/OR nodes is the mapper's job (paper §3.1.3).
+#pragma once
+
+#include "network/network.hpp"
+#include "sop/sop_network.hpp"
+
+namespace chortle::opt {
+
+/// Builds the mapper-input network. Primary input and output names are
+/// preserved so that equivalence can be checked across the conversion.
+net::Network decompose_to_and_or(const sop::SopNetwork& network);
+
+}  // namespace chortle::opt

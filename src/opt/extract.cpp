@@ -1,0 +1,139 @@
+#include "opt/extract.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sop/kernels.hpp"
+
+namespace chortle::opt {
+namespace {
+
+using sop::Cover;
+using sop::Cube;
+using sop::SopNetwork;
+
+/// Literal cost of a node after replacing quotient occurrences of a
+/// divisor with one fresh variable: lits(R) + lits(Q) + |Q|.
+int cost_after_division(const Cover& cover, const Cover& divisor) {
+  auto [quotient, remainder] = cover.divide(divisor);
+  if (quotient.is_zero()) return cover.literal_count();
+  return remainder.literal_count() + quotient.literal_count() +
+         quotient.num_cubes();
+}
+
+/// For each variable, the internal nodes whose cover mentions it.
+std::vector<std::vector<SopNetwork::NodeId>> build_users_index(
+    const SopNetwork& network) {
+  std::vector<std::vector<SopNetwork::NodeId>> users(
+      static_cast<std::size_t>(network.num_nodes()));
+  for (SopNetwork::NodeId id = 0; id < network.num_nodes(); ++id) {
+    if (network.is_input(id)) continue;
+    for (int var : network.node(id).cover.support())
+      users[static_cast<std::size_t>(var)].push_back(id);
+  }
+  return users;
+}
+
+/// Network-wide saving of extracting `divisor` (new node cost included).
+/// Only nodes whose support covers the divisor's support can divide, so
+/// the scan is restricted to the users of the divisor's rarest variable.
+int divisor_value(const SopNetwork& network,
+                  const std::vector<std::vector<SopNetwork::NodeId>>& users,
+                  const Cover& divisor) {
+  const std::vector<int> divisor_support = divisor.support();
+  CHORTLE_CHECK(!divisor_support.empty());
+  const std::vector<SopNetwork::NodeId>* shortest = nullptr;
+  for (int var : divisor_support) {
+    const auto& list = users[static_cast<std::size_t>(var)];
+    if (shortest == nullptr || list.size() < shortest->size())
+      shortest = &list;
+  }
+  int saving = -divisor.literal_count();
+  for (SopNetwork::NodeId id : *shortest) {
+    const Cover& cover = network.node(id).cover;
+    const std::vector<int> support = cover.support();
+    if (!std::includes(support.begin(), support.end(),
+                       divisor_support.begin(), divisor_support.end()))
+      continue;
+    saving += cover.literal_count() - cost_after_division(cover, divisor);
+  }
+  return saving;
+}
+
+/// Canonical key of a divisor for deduplication.
+std::vector<Cube> key_of(const Cover& divisor) {
+  std::vector<Cube> cubes = divisor.scc_minimized().cubes();
+  return cubes;
+}
+
+}  // namespace
+
+ExtractStats extract_divisors(sop::SopNetwork& network,
+                              const ExtractOptions& options) {
+  ExtractStats stats;
+  stats.literals_before = network.total_literals();
+  int next_name = 0;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    // Gather candidate divisors: kernels (multi-cube divisors) and
+    // common cubes of cube pairs (single-cube divisors).
+    std::set<std::vector<Cube>> seen;
+    std::vector<Cover> candidates;
+    for (SopNetwork::NodeId id = 0; id < network.num_nodes(); ++id) {
+      if (network.is_input(id)) continue;
+      const Cover& cover = network.node(id).cover;
+      if (cover.num_cubes() >= 2) {
+        for (const sop::KernelEntry& entry : sop::find_kernels(cover)) {
+          if (entry.kernel.num_cubes() > options.max_kernel_cubes) continue;
+          if (seen.insert(key_of(entry.kernel)).second)
+            candidates.push_back(entry.kernel);
+        }
+        const auto& cubes = cover.cubes();
+        for (std::size_t i = 0; i < cubes.size(); ++i)
+          for (std::size_t j = i + 1; j < cubes.size(); ++j) {
+            const Cube common = cubes[i].common_with(cubes[j]);
+            if (common.size() < 2) continue;
+            const Cover single{std::vector<Cube>{common}};
+            if (seen.insert(key_of(single)).second)
+              candidates.push_back(single);
+          }
+      }
+      if (static_cast<int>(candidates.size()) >= options.max_candidates)
+        break;
+    }
+
+    const auto users = build_users_index(network);
+    int best_value = options.min_saving - 1;
+    const Cover* best = nullptr;
+    for (const Cover& candidate : candidates) {
+      const int value = divisor_value(network, users, candidate);
+      if (value > best_value) {
+        best_value = value;
+        best = &candidate;
+      }
+    }
+    if (best == nullptr) break;
+
+    const std::vector<int> best_support = best->support();
+    const SopNetwork::NodeId divisor_node =
+        network.add_node("ext" + std::to_string(next_name++), *best);
+    for (SopNetwork::NodeId id = 0; id < network.num_nodes(); ++id) {
+      if (network.is_input(id) || id == divisor_node) continue;
+      const Cover& cover = network.node(id).cover;
+      const std::vector<int> support = cover.support();
+      if (!std::includes(support.begin(), support.end(), best_support.begin(),
+                         best_support.end()))
+        continue;
+      const Cover rewritten =
+          cover.with_divisor_replaced(*best, divisor_node).scc_minimized();
+      if (rewritten != cover) network.set_cover(id, rewritten);
+    }
+    ++stats.divisors_extracted;
+  }
+
+  stats.literals_after = network.total_literals();
+  return stats;
+}
+
+}  // namespace chortle::opt

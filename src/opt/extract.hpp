@@ -1,0 +1,31 @@
+// Greedy algebraic divisor extraction (the "gkx/gcx"-style core of the
+// MIS II optimization script this project substitutes for the paper's
+// front end). Candidate divisors are kernels and common cubes of the
+// node covers; each round the divisor with the largest network-wide
+// literal saving becomes a new node and is substituted everywhere it
+// divides.
+#pragma once
+
+#include "sop/sop_network.hpp"
+
+namespace chortle::opt {
+
+struct ExtractOptions {
+  int max_rounds = 10000;        // safety bound on extraction rounds
+  int max_kernel_cubes = 6;      // ignore huge kernels as candidates
+  int max_candidates = 5000;     // per round, keep the search bounded
+  int min_saving = 1;            // required net literal saving
+};
+
+struct ExtractStats {
+  int divisors_extracted = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// Extracts divisors in place until no candidate saves literals.
+/// New nodes are named ext0, ext1, ...
+ExtractStats extract_divisors(sop::SopNetwork& network,
+                              const ExtractOptions& options = {});
+
+}  // namespace chortle::opt

@@ -1,0 +1,25 @@
+#include "opt/script.hpp"
+
+#include "base/timer.hpp"
+#include "opt/decompose.hpp"
+
+namespace chortle::opt {
+
+OptimizedDesign optimize(const sop::SopNetwork& input,
+                         const ExtractOptions& extract_options) {
+  WallTimer timer;
+  OptimizedDesign result;
+  result.sop = input;
+  result.stats.first_sweep = sweep(result.sop);
+  result.stats.simplify = simplify_covers(result.sop);
+  result.stats.extract = extract_divisors(result.sop, extract_options);
+  result.stats.final_simplify = simplify_covers(result.sop);
+  result.stats.final_sweep = sweep(result.sop);
+  result.network = decompose_to_and_or(result.sop);
+  result.stats.nodes = result.sop.num_nodes();
+  result.stats.literals = result.sop.total_literals();
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace chortle::opt

@@ -1,0 +1,37 @@
+// The stand-in for the "standard MIS II script" the paper runs before
+// mapping (§4.2): sweep, two-level simplification (espresso-style),
+// greedy algebraic divisor extraction, final simplify + sweep, then
+// decomposition into the AND/OR mapper input. Both mappers are fed the
+// identical optimized network, exactly as in the paper's methodology.
+#pragma once
+
+#include "network/network.hpp"
+#include "opt/extract.hpp"
+#include "opt/simplify.hpp"
+#include "opt/sweep.hpp"
+#include "sop/sop_network.hpp"
+
+namespace chortle::opt {
+
+struct ScriptStats {
+  SweepStats first_sweep;
+  SimplifyStats simplify;
+  ExtractStats extract;
+  SimplifyStats final_simplify;
+  SweepStats final_sweep;
+  int nodes = 0;
+  int literals = 0;
+  double seconds = 0.0;
+};
+
+struct OptimizedDesign {
+  sop::SopNetwork sop;     // the optimized SOP network
+  net::Network network;    // its AND/OR decomposition (mapper input)
+  ScriptStats stats;
+};
+
+/// Runs the full optimization script on a copy of `input`.
+OptimizedDesign optimize(const sop::SopNetwork& input,
+                         const ExtractOptions& extract_options = {});
+
+}  // namespace chortle::opt

@@ -1,0 +1,29 @@
+#include "opt/simplify.hpp"
+
+#include "sop/minimize.hpp"
+
+namespace chortle::opt {
+
+SimplifyStats simplify_covers(sop::SopNetwork& network,
+                              const SimplifyOptions& options) {
+  SimplifyStats stats;
+  stats.literals_before = network.total_literals();
+  for (sop::SopNetwork::NodeId id = 0; id < network.num_nodes(); ++id) {
+    if (network.is_input(id)) continue;
+    const sop::Cover& cover = network.node(id).cover;
+    if (cover.num_cubes() > options.max_cubes) {
+      ++stats.nodes_skipped;
+      continue;
+    }
+    sop::Cover smaller = sop::minimized(cover);
+    if (smaller.literal_count() < cover.literal_count() ||
+        smaller.num_cubes() < cover.num_cubes()) {
+      network.set_cover(id, std::move(smaller));
+      ++stats.nodes_simplified;
+    }
+  }
+  stats.literals_after = network.total_literals();
+  return stats;
+}
+
+}  // namespace chortle::opt

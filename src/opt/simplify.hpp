@@ -1,0 +1,27 @@
+// Per-node two-level simplification — the espresso "simplify" step of
+// the MIS II script, applied with the EXPAND/IRREDUNDANT passes of
+// sop/minimize.hpp. Nodes with very large covers are skipped to keep
+// the tautology recursion bounded (they are exactly the nodes kernel
+// extraction restructures anyway).
+#pragma once
+
+#include "sop/sop_network.hpp"
+
+namespace chortle::opt {
+
+struct SimplifyOptions {
+  int max_cubes = 64;  // skip covers larger than this
+};
+
+struct SimplifyStats {
+  int nodes_simplified = 0;
+  int nodes_skipped = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// Minimizes every internal node cover in place.
+SimplifyStats simplify_covers(sop::SopNetwork& network,
+                              const SimplifyOptions& options = {});
+
+}  // namespace chortle::opt

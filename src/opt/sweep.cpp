@@ -1,0 +1,112 @@
+#include "opt/sweep.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "base/check.hpp"
+
+namespace chortle::opt {
+namespace {
+
+using sop::Cover;
+using sop::Cube;
+using sop::Literal;
+using sop::SopNetwork;
+
+/// What a node's signal reduces to after simplification.
+struct Value {
+  enum class Kind { kSelf, kConst, kWire } kind = Kind::kSelf;
+  bool const_value = false;       // kConst
+  Literal wire{};                 // kWire: this node == (possibly
+                                  // complemented) other node
+};
+
+/// Rewrites a cover through the resolved values of its variables.
+/// Returns the simplified cover.
+Cover rewrite(const Cover& cover, const std::vector<Value>& values) {
+  std::vector<Cube> cubes;
+  for (const Cube& cube : cover.cubes()) {
+    bool dead = false;
+    std::vector<Literal> lits;
+    for (Literal lit : cube.literals()) {
+      const int var = sop::literal_var(lit);
+      const bool neg = sop::literal_negated(lit);
+      const Value& v = values[static_cast<std::size_t>(var)];
+      switch (v.kind) {
+        case Value::Kind::kSelf:
+          lits.push_back(lit);
+          break;
+        case Value::Kind::kConst:
+          if (v.const_value == neg) dead = true;  // literal is 0
+          break;  // literal is 1: drop it
+        case Value::Kind::kWire:
+          lits.push_back(neg ? sop::literal_complement(v.wire) : v.wire);
+          break;
+      }
+      if (dead) break;
+    }
+    if (dead) continue;
+    // Detect x & !x introduced by wire substitution.
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    bool contradictory = false;
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i)
+      if (sop::literal_var(lits[i]) == sop::literal_var(lits[i + 1]))
+        contradictory = true;
+    if (contradictory) continue;
+    cubes.push_back(Cube(std::move(lits)));
+  }
+  return Cover(std::move(cubes)).scc_minimized();
+}
+
+/// Classifies a minimized cover.
+Value classify(const Cover& cover) {
+  if (cover.is_zero()) return Value{Value::Kind::kConst, false, {}};
+  if (cover.is_one()) return Value{Value::Kind::kConst, true, {}};
+  if (cover.num_cubes() == 1 && cover.cube(0).size() == 1)
+    return Value{Value::Kind::kWire, false, cover.cube(0).literals()[0]};
+  return Value{Value::Kind::kSelf, false, {}};
+}
+
+}  // namespace
+
+SweepStats sweep(sop::SopNetwork& network) {
+  SweepStats stats;
+  stats.literals_before = network.total_literals();
+
+  std::vector<Value> values(static_cast<std::size_t>(network.num_nodes()));
+  for (SopNetwork::NodeId id : network.topological_order()) {
+    Cover simplified = rewrite(network.node(id).cover, values);
+    Value v = classify(simplified);
+    // Chase wire chains so substitutions are already fully resolved.
+    if (v.kind == Value::Kind::kWire) {
+      const Value& target = values[static_cast<std::size_t>(
+          sop::literal_var(v.wire))];
+      CHORTLE_CHECK(target.kind != Value::Kind::kWire);  // resolved already
+      if (target.kind == Value::Kind::kConst)
+        v = Value{Value::Kind::kConst,
+                  target.const_value != sop::literal_negated(v.wire),
+                  {}};
+    }
+    switch (v.kind) {
+      case Value::Kind::kConst:
+        ++stats.constants_propagated;
+        break;
+      case Value::Kind::kWire:
+        ++stats.wires_collapsed;
+        break;
+      case Value::Kind::kSelf:
+        break;
+    }
+    values[static_cast<std::size_t>(id)] = v;
+    network.set_cover(id, std::move(simplified));
+  }
+
+  const int before = network.num_nodes();
+  network = network.pruned();
+  stats.nodes_pruned = before - network.num_nodes();
+  stats.literals_after = network.total_literals();
+  return stats;
+}
+
+}  // namespace chortle::opt

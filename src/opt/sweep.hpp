@@ -1,0 +1,25 @@
+// Network sweeping: the cleanup pass of the technology-independent
+// optimizer. Propagates constants, collapses buffers and inverters into
+// their readers, minimizes every cover by single-cube containment, and
+// prunes logic unreachable from the outputs. After a sweep every
+// internal node that feeds other logic computes a non-trivial function.
+#pragma once
+
+#include "sop/sop_network.hpp"
+
+namespace chortle::opt {
+
+struct SweepStats {
+  int constants_propagated = 0;
+  int wires_collapsed = 0;  // buffers + inverters folded into readers
+  int nodes_pruned = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// Sweeps `network` in place (node ids are preserved; use pruned() /
+/// the returned network to drop dead nodes). Returns the cleaned
+/// network and statistics.
+SweepStats sweep(sop::SopNetwork& network);
+
+}  // namespace chortle::opt

@@ -1,0 +1,236 @@
+#include "sim/simulate.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "base/rng.hpp"
+
+namespace chortle::sim {
+namespace {
+
+std::vector<Word> eval_sop(const sop::SopNetwork& network,
+                           const std::vector<Word>& input_words) {
+  CHORTLE_REQUIRE(input_words.size() == network.inputs().size(),
+                  "input word count mismatch");
+  std::vector<Word> value(static_cast<std::size_t>(network.num_nodes()), 0);
+  for (std::size_t i = 0; i < network.inputs().size(); ++i)
+    value[static_cast<std::size_t>(network.inputs()[i])] = input_words[i];
+  for (sop::SopNetwork::NodeId id : network.topological_order()) {
+    Word acc = 0;
+    for (const sop::Cube& cube : network.node(id).cover.cubes()) {
+      Word term = ~Word{0};
+      for (sop::Literal lit : cube.literals()) {
+        const Word v = value[static_cast<std::size_t>(sop::literal_var(lit))];
+        term &= sop::literal_negated(lit) ? ~v : v;
+      }
+      acc |= term;
+    }
+    value[static_cast<std::size_t>(id)] = acc;
+  }
+  std::vector<Word> out;
+  out.reserve(network.outputs().size());
+  for (sop::SopNetwork::NodeId id : network.outputs())
+    out.push_back(value[static_cast<std::size_t>(id)]);
+  return out;
+}
+
+std::vector<Word> eval_network(const net::Network& network,
+                               const std::vector<Word>& input_words) {
+  CHORTLE_REQUIRE(static_cast<int>(input_words.size()) ==
+                      network.num_inputs(),
+                  "input word count mismatch");
+  std::vector<Word> value(static_cast<std::size_t>(network.num_nodes()), 0);
+  for (int i = 0; i < network.num_inputs(); ++i)
+    value[static_cast<std::size_t>(network.inputs()[i])] =
+        input_words[static_cast<std::size_t>(i)];
+  for (net::NodeId id : network.gates_in_topo_order()) {
+    const auto& node = network.node(id);
+    const bool is_and = node.op == net::GateOp::kAnd;
+    Word acc = is_and ? ~Word{0} : Word{0};
+    for (const net::Fanin& f : node.fanins) {
+      Word v = value[static_cast<std::size_t>(f.node)];
+      if (f.negated) v = ~v;
+      acc = is_and ? (acc & v) : (acc | v);
+    }
+    value[static_cast<std::size_t>(id)] = acc;
+  }
+  std::vector<Word> out;
+  out.reserve(network.outputs().size());
+  for (const net::Output& o : network.outputs()) {
+    if (o.is_const) {
+      out.push_back(o.const_value ? ~Word{0} : Word{0});
+    } else {
+      const Word v = value[static_cast<std::size_t>(o.node)];
+      out.push_back(o.negated ? ~v : v);
+    }
+  }
+  return out;
+}
+
+std::vector<Word> eval_luts(const net::LutCircuit& circuit,
+                            const std::vector<Word>& input_words) {
+  CHORTLE_REQUIRE(static_cast<int>(input_words.size()) ==
+                      circuit.num_inputs(),
+                  "input word count mismatch");
+  std::vector<Word> value(static_cast<std::size_t>(circuit.num_signals()), 0);
+  std::copy(input_words.begin(), input_words.end(), value.begin());
+  for (int i = 0; i < circuit.num_luts(); ++i) {
+    const net::Lut& lut = circuit.luts()[static_cast<std::size_t>(i)];
+    // Shannon-style evaluation: OR over ON-set minterms of the AND of
+    // (possibly complemented) input words. For k <= 6 this is at most
+    // 64 terms and is branch-free per lane.
+    Word acc = 0;
+    const std::uint64_t minterms = lut.function.num_minterms();
+    for (std::uint64_t m = 0; m < minterms; ++m) {
+      if (!lut.function.bit(m)) continue;
+      Word term = ~Word{0};
+      for (std::size_t j = 0; j < lut.inputs.size(); ++j) {
+        const Word v = value[static_cast<std::size_t>(lut.inputs[j])];
+        term &= ((m >> j) & 1) ? v : ~v;
+      }
+      acc |= term;
+    }
+    value[static_cast<std::size_t>(circuit.num_inputs() + i)] = acc;
+  }
+  std::vector<Word> out;
+  out.reserve(circuit.outputs().size());
+  for (const net::LutOutput& o : circuit.outputs()) {
+    if (o.is_const) {
+      out.push_back(o.const_value ? ~Word{0} : Word{0});
+    } else {
+      const Word v = value[static_cast<std::size_t>(o.signal)];
+      out.push_back(o.negated ? ~v : v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Design design_of(const sop::SopNetwork& network) {
+  Design d;
+  for (sop::SopNetwork::NodeId id : network.inputs())
+    d.input_names.push_back(network.node(id).name);
+  for (sop::SopNetwork::NodeId id : network.outputs())
+    d.output_names.push_back(network.node(id).name);
+  d.eval = [&network](const std::vector<Word>& in) {
+    return eval_sop(network, in);
+  };
+  return d;
+}
+
+Design design_of(const net::Network& network) {
+  Design d;
+  for (net::NodeId id : network.inputs())
+    d.input_names.push_back(network.node(id).name);
+  for (const net::Output& o : network.outputs()) d.output_names.push_back(o.name);
+  d.eval = [&network](const std::vector<Word>& in) {
+    return eval_network(network, in);
+  };
+  return d;
+}
+
+Design design_of(const net::LutCircuit& circuit) {
+  Design d;
+  d.input_names = circuit.input_names();
+  for (const net::LutOutput& o : circuit.outputs())
+    d.output_names.push_back(o.name);
+  d.eval = [&circuit](const std::vector<Word>& in) {
+    return eval_luts(circuit, in);
+  };
+  return d;
+}
+
+namespace {
+
+/// Maps each name in `from` to its position in `to`; throws if the name
+/// sets differ.
+std::vector<std::size_t> align(const std::vector<std::string>& from,
+                               const std::vector<std::string>& to,
+                               const char* what) {
+  CHORTLE_REQUIRE(from.size() == to.size(),
+                  std::string(what) + " count mismatch between designs");
+  std::unordered_map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < to.size(); ++i) index.emplace(to[i], i);
+  std::vector<std::size_t> result(from.size());
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    auto it = index.find(from[i]);
+    CHORTLE_REQUIRE(it != index.end(),
+                    std::string(what) + " '" + from[i] +
+                        "' missing from second design");
+    result[i] = it->second;
+  }
+  return result;
+}
+
+std::optional<Mismatch> compare_words(const Design& a,
+                                      const std::vector<Word>& inputs_a,
+                                      const std::vector<Word>& out_a,
+                                      const std::vector<Word>& out_b,
+                                      const std::vector<std::size_t>& out_map,
+                                      int valid_lanes) {
+  const Word lane_mask = valid_lanes >= 64
+                             ? ~Word{0}
+                             : ((Word{1} << valid_lanes) - 1);
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    const Word diff = (out_a[i] ^ out_b[out_map[i]]) & lane_mask;
+    if (diff == 0) continue;
+    const int lane = std::countr_zero(diff);
+    Mismatch m;
+    m.output_name = a.output_names[i];
+    for (const Word w : inputs_a) m.input_values.push_back((w >> lane) & 1);
+    return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Mismatch> find_mismatch(const Design& a, const Design& b,
+                                      const EquivalenceOptions& options) {
+  const auto in_map = align(a.input_names, b.input_names, "input");
+  const auto out_map = align(a.output_names, b.output_names, "output");
+  const std::size_t num_in = a.input_names.size();
+
+  const auto run = [&](const std::vector<Word>& in_a,
+                       int valid_lanes) -> std::optional<Mismatch> {
+    std::vector<Word> in_b(num_in);
+    for (std::size_t i = 0; i < num_in; ++i) in_b[in_map[i]] = in_a[i];
+    const std::vector<Word> out_a = a.eval(in_a);
+    const std::vector<Word> out_b = b.eval(in_b);
+    CHORTLE_CHECK(out_a.size() == a.output_names.size());
+    CHORTLE_CHECK(out_b.size() == b.output_names.size());
+    return compare_words(a, in_a, out_a, out_b, out_map, valid_lanes);
+  };
+
+  if (static_cast<int>(num_in) <= options.exhaustive_limit) {
+    const std::uint64_t total = std::uint64_t{1} << num_in;
+    for (std::uint64_t base = 0; base < total; base += 64) {
+      const int lanes = static_cast<int>(std::min<std::uint64_t>(64, total - base));
+      std::vector<Word> in(num_in, 0);
+      for (int lane = 0; lane < lanes; ++lane) {
+        const std::uint64_t pattern = base + static_cast<std::uint64_t>(lane);
+        for (std::size_t i = 0; i < num_in; ++i)
+          if ((pattern >> i) & 1) in[i] |= Word{1} << lane;
+      }
+      if (auto m = run(in, lanes)) return m;
+    }
+    return std::nullopt;
+  }
+
+  Rng rng(options.seed);
+  for (int round = 0; round < options.random_words; ++round) {
+    std::vector<Word> in(num_in);
+    for (auto& w : in) w = rng.next_u64();
+    if (auto m = run(in, 64)) return m;
+  }
+  return std::nullopt;
+}
+
+bool equivalent(const Design& a, const Design& b,
+                const EquivalenceOptions& options) {
+  return !find_mismatch(a, b, options).has_value();
+}
+
+}  // namespace chortle::sim

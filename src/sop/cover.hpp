@@ -1,0 +1,90 @@
+// A cover (sum of products): a disjunction of cubes. The empty cover is
+// the constant 0; a cover containing the empty cube is the constant 1
+// (after minimization). Provides the algebraic-model operations used by
+// logic optimization: single-cube containment minimization, cofactoring,
+// weak (algebraic) division, and evaluation to a truth table.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sop/cube.hpp"
+#include "truth/truth_table.hpp"
+
+namespace chortle::sop {
+
+class Cover {
+ public:
+  Cover() = default;
+  explicit Cover(std::vector<Cube> cubes) : cubes_(std::move(cubes)) {}
+
+  static Cover zero() { return Cover(); }
+  static Cover one() { return Cover({Cube::one()}); }
+
+  bool is_zero() const { return cubes_.empty(); }
+  bool is_one() const;
+  int num_cubes() const { return static_cast<int>(cubes_.size()); }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  const Cube& cube(int i) const { return cubes_[static_cast<std::size_t>(i)]; }
+
+  void add_cube(Cube cube) { cubes_.push_back(std::move(cube)); }
+
+  /// Total number of literal occurrences (the cost MIS minimizes).
+  int literal_count() const;
+
+  /// Sorted list of variable ids appearing in any cube.
+  std::vector<int> support() const;
+
+  /// Number of occurrences of `lit` across cubes.
+  int literal_occurrences(Literal lit) const;
+
+  /// Remove duplicate cubes and cubes contained in another cube
+  /// (single-cube containment); canonicalizes cube order.
+  Cover scc_minimized() const;
+
+  /// Algebraic cofactor: { c without lit | c in cubes, lit in c }.
+  Cover cofactor(Literal lit) const;
+
+  /// Largest cube dividing every cube of the cover (empty cube if the
+  /// cover is cube-free or has fewer than one cube).
+  Cube common_cube() const;
+
+  /// The cover divided by its common cube (a cube-free cover when the
+  /// cover has >= 2 cubes).
+  Cover made_cube_free() const;
+
+  /// Weak (algebraic) division by a divisor cover:
+  /// returns (quotient Q, remainder R) with this = Q*D + R, Q maximal.
+  std::pair<Cover, Cover> divide(const Cover& divisor) const;
+
+  /// Division by a single cube.
+  std::pair<Cover, Cover> divide_by_cube(const Cube& divisor) const;
+
+  /// OR of two covers (no minimization).
+  Cover disjunction(const Cover& other) const;
+
+  /// Product of two covers in the algebraic model (cross product of
+  /// cubes; contradictory products dropped).
+  Cover conjunction(const Cover& other) const;
+
+  /// Substitute variable `var` by literal-preserving divisor reference:
+  /// rewrites each cube containing `var` literal accordingly. (Used by
+  /// extraction: replaces occurrences of divisor D with new variable v.)
+  /// Exposed as the primitive: replace cubes Q*D in this cover by Q*v.
+  Cover with_divisor_replaced(const Cover& divisor, int new_var) const;
+
+  /// Evaluate to a truth table. `var_index` maps a variable id to a
+  /// truth-table input slot; all variables in the support must be mapped.
+  truth::TruthTable evaluate(
+      int num_table_vars,
+      const std::function<int(int)>& var_index) const;
+
+  bool operator==(const Cover& other) const { return cubes_ == other.cubes_; }
+  bool operator!=(const Cover& other) const { return !(*this == other); }
+
+ private:
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace chortle::sop

@@ -1,0 +1,76 @@
+#include "sop/cube.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace chortle::sop {
+
+Cube::Cube(std::vector<Literal> literals) : literals_(std::move(literals)) {
+  std::sort(literals_.begin(), literals_.end());
+  literals_.erase(std::unique(literals_.begin(), literals_.end()),
+                  literals_.end());
+  for (std::size_t i = 0; i + 1 < literals_.size(); ++i) {
+    CHORTLE_REQUIRE(literal_var(literals_[i]) != literal_var(literals_[i + 1]),
+                    "contradictory cube (contains both x and !x)");
+  }
+}
+
+bool Cube::has_literal(Literal lit) const {
+  return std::binary_search(literals_.begin(), literals_.end(), lit);
+}
+
+bool Cube::has_var(int var) const {
+  return has_literal(make_literal(var, false)) ||
+         has_literal(make_literal(var, true));
+}
+
+bool Cube::contains_all_of(const Cube& other) const {
+  return std::includes(literals_.begin(), literals_.end(),
+                       other.literals_.begin(), other.literals_.end());
+}
+
+std::optional<Cube> Cube::conjunction(const Cube& other) const {
+  std::vector<Literal> merged;
+  merged.reserve(literals_.size() + other.literals_.size());
+  std::merge(literals_.begin(), literals_.end(), other.literals_.begin(),
+             other.literals_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  for (std::size_t i = 0; i + 1 < merged.size(); ++i)
+    if (literal_var(merged[i]) == literal_var(merged[i + 1]))
+      return std::nullopt;  // x & !x
+  Cube result;
+  result.literals_ = std::move(merged);
+  return result;
+}
+
+Cube Cube::common_with(const Cube& other) const {
+  Cube result;
+  std::set_intersection(literals_.begin(), literals_.end(),
+                        other.literals_.begin(), other.literals_.end(),
+                        std::back_inserter(result.literals_));
+  return result;
+}
+
+Cube Cube::without(const Cube& divisor) const {
+  CHORTLE_CHECK(contains_all_of(divisor));
+  Cube result;
+  std::set_difference(literals_.begin(), literals_.end(),
+                      divisor.literals_.begin(), divisor.literals_.end(),
+                      std::back_inserter(result.literals_));
+  return result;
+}
+
+Cube Cube::without_literal(Literal lit) const {
+  Cube result(*this);
+  auto it = std::lower_bound(result.literals_.begin(), result.literals_.end(),
+                             lit);
+  if (it != result.literals_.end() && *it == lit) result.literals_.erase(it);
+  return result;
+}
+
+bool Cube::operator<(const Cube& other) const {
+  return literals_ < other.literals_;
+}
+
+}  // namespace chortle::sop

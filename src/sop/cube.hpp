@@ -1,0 +1,55 @@
+// A cube (product term): a conjunction of literals stored as a sorted,
+// duplicate-free vector. The empty cube is the constant 1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sop/literal.hpp"
+
+namespace chortle::sop {
+
+class Cube {
+ public:
+  Cube() = default;
+  /// Builds a cube from literals in any order; duplicates are merged.
+  /// Requires the literal set to be non-contradictory (no x and !x).
+  explicit Cube(std::vector<Literal> literals);
+
+  static Cube one() { return Cube(); }
+
+  bool is_one() const { return literals_.empty(); }
+  int size() const { return static_cast<int>(literals_.size()); }
+  const std::vector<Literal>& literals() const { return literals_; }
+
+  bool has_literal(Literal lit) const;
+  bool has_var(int var) const;
+
+  /// Set-inclusion: every literal of `other` appears in this cube.
+  /// (As products: this implies other.)
+  bool contains_all_of(const Cube& other) const;
+
+  /// Conjunction; nullopt if the result is contradictory (constant 0).
+  std::optional<Cube> conjunction(const Cube& other) const;
+
+  /// Literal-set intersection (the largest common cube divisor).
+  Cube common_with(const Cube& other) const;
+
+  /// This cube with the literals of `divisor` removed; requires that
+  /// this cube contains all literals of `divisor` (algebraic quotient).
+  Cube without(const Cube& divisor) const;
+
+  /// This cube with one literal removed (no-op if absent).
+  Cube without_literal(Literal lit) const;
+
+  bool operator==(const Cube& other) const {
+    return literals_ == other.literals_;
+  }
+  bool operator!=(const Cube& other) const { return !(*this == other); }
+  bool operator<(const Cube& other) const;  // lexicographic, for sorting
+
+ private:
+  std::vector<Literal> literals_;  // sorted ascending, unique
+};
+
+}  // namespace chortle::sop

@@ -1,0 +1,71 @@
+#include "sop/isop.hpp"
+
+namespace chortle::sop {
+namespace {
+
+using truth::TruthTable;
+
+/// Minato-Morreale: returns a cover G with lower <= G <= upper, and sets
+/// `computed` to the function G actually covers.
+Cover isop_rec(const TruthTable& lower, const TruthTable& upper, int var,
+               TruthTable* computed) {
+  CHORTLE_CHECK(lower.num_vars() == upper.num_vars());
+  if (lower.is_zero()) {
+    *computed = TruthTable::zeros(lower.num_vars());
+    return Cover::zero();
+  }
+  if (upper.is_one()) {
+    *computed = TruthTable::ones(lower.num_vars());
+    return Cover::one();
+  }
+  // Pick the highest variable either bound depends on.
+  int x = var;
+  while (x >= 0 && !lower.depends_on(x) && !upper.depends_on(x)) --x;
+  CHORTLE_CHECK(x >= 0);
+
+  const TruthTable l0 = lower.cofactor0(x), l1 = lower.cofactor1(x);
+  const TruthTable u0 = upper.cofactor0(x), u1 = upper.cofactor1(x);
+
+  TruthTable f0, f1, fstar;
+  Cover c0 = isop_rec(l0 & ~u1, u0, x - 1, &f0);
+  Cover c1 = isop_rec(l1 & ~u0, u1, x - 1, &f1);
+  const TruthTable l_rest = (l0 & ~f0) | (l1 & ~f1);
+  Cover cstar = isop_rec(l_rest, u0 & u1, x - 1, &fstar);
+
+  const TruthTable xvar = TruthTable::var(x, lower.num_vars());
+  *computed = (~xvar & f0) | (xvar & f1) | fstar;
+
+  std::vector<Cube> cubes;
+  cubes.reserve(static_cast<std::size_t>(c0.num_cubes()) + c1.num_cubes() +
+                cstar.num_cubes());
+  const Literal neg = make_literal(x, true);
+  const Literal pos = make_literal(x, false);
+  for (const Cube& c : c0.cubes()) {
+    auto with = c.conjunction(Cube(std::vector<Literal>{neg}));
+    CHORTLE_CHECK(with.has_value());
+    cubes.push_back(std::move(*with));
+  }
+  for (const Cube& c : c1.cubes()) {
+    auto with = c.conjunction(Cube(std::vector<Literal>{pos}));
+    CHORTLE_CHECK(with.has_value());
+    cubes.push_back(std::move(*with));
+  }
+  for (const Cube& c : cstar.cubes()) cubes.push_back(c);
+  return Cover(std::move(cubes));
+}
+
+}  // namespace
+
+Cover isop(const truth::TruthTable& function) {
+  TruthTable computed(function.num_vars());
+  Cover result =
+      isop_rec(function, function, function.num_vars() - 1, &computed);
+  CHORTLE_CHECK(computed == function);
+  return result;
+}
+
+truth::TruthTable evaluate_local(const Cover& cover, int num_vars) {
+  return cover.evaluate(num_vars, [](int var) { return var; });
+}
+
+}  // namespace chortle::sop

@@ -1,0 +1,18 @@
+// Irredundant sum-of-products from a truth table (Minato-Morreale).
+// Used to turn OFF-set (".names" output value 0) BLIF covers and
+// generated arithmetic/symmetric functions into compact ON-set SOPs.
+#pragma once
+
+#include "sop/cover.hpp"
+#include "truth/truth_table.hpp"
+
+namespace chortle::sop {
+
+/// An irredundant SOP cover of `function`. Cube variable ids are the
+/// truth-table input slots 0..num_vars-1.
+Cover isop(const truth::TruthTable& function);
+
+/// Evaluate a cover whose variable ids are table slots directly.
+truth::TruthTable evaluate_local(const Cover& cover, int num_vars);
+
+}  // namespace chortle::sop

@@ -1,0 +1,19 @@
+// Literal encoding shared by all sum-of-products machinery.
+// A literal packs a variable id and a phase: 2*var for the positive
+// literal, 2*var+1 for the complemented literal. Variable ids are
+// node ids of the owning network (or local indices, for standalone use).
+#pragma once
+
+namespace chortle::sop {
+
+using Literal = int;
+
+constexpr Literal make_literal(int var, bool negated) {
+  return 2 * var + (negated ? 1 : 0);
+}
+
+constexpr int literal_var(Literal lit) { return lit >> 1; }
+constexpr bool literal_negated(Literal lit) { return (lit & 1) != 0; }
+constexpr Literal literal_complement(Literal lit) { return lit ^ 1; }
+
+}  // namespace chortle::sop

@@ -1,0 +1,130 @@
+#include "sop/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace chortle::sop {
+
+Cover boolean_cofactor(const Cover& cover, Literal lit) {
+  std::vector<Cube> cubes;
+  for (const Cube& cube : cover.cubes()) {
+    if (cube.has_literal(literal_complement(lit))) continue;
+    cubes.push_back(cube.without_literal(lit));
+  }
+  return Cover(std::move(cubes));
+}
+
+namespace {
+
+/// The most binate variable of the cover: appears in both phases, with
+/// the highest total occurrence count. -1 if the cover is unate.
+int most_binate_var(const Cover& cover) {
+  std::map<int, std::pair<int, int>> phase_counts;  // var -> (pos, neg)
+  for (const Cube& cube : cover.cubes())
+    for (Literal lit : cube.literals()) {
+      auto& counts = phase_counts[literal_var(lit)];
+      if (literal_negated(lit))
+        ++counts.second;
+      else
+        ++counts.first;
+    }
+  int best_var = -1;
+  int best_total = -1;
+  for (const auto& [var, counts] : phase_counts) {
+    if (counts.first == 0 || counts.second == 0) continue;  // unate in var
+    const int total = counts.first + counts.second;
+    if (total > best_total) {
+      best_total = total;
+      best_var = var;
+    }
+  }
+  return best_var;
+}
+
+}  // namespace
+
+bool is_tautology(const Cover& cover) {
+  // Quick exits.
+  if (cover.is_zero()) return false;
+  for (const Cube& cube : cover.cubes())
+    if (cube.is_one()) return true;
+
+  const int split = most_binate_var(cover);
+  if (split < 0) {
+    // A unate cover is a tautology iff it contains the empty cube
+    // (checked above): monotonicity means the all-0/all-1 corner
+    // uncovered otherwise.
+    return false;
+  }
+  return is_tautology(boolean_cofactor(cover, make_literal(split, false))) &&
+         is_tautology(boolean_cofactor(cover, make_literal(split, true)));
+}
+
+bool covers_cube(const Cover& cover, const Cube& cube) {
+  Cover cofactored = cover;
+  for (Literal lit : cube.literals())
+    cofactored = boolean_cofactor(cofactored, lit);
+  return is_tautology(cofactored);
+}
+
+Cover expanded(const Cover& cover) {
+  std::vector<Cube> cubes = cover.cubes();
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    Cube current = cubes[i];
+    // Greedy: try dropping literals, rarest-in-cover last so widely
+    // shared literals (likely blocking) go first.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (Literal lit : current.literals()) {
+        const Cube enlarged = current.without_literal(lit);
+        // Containment must hold against the full function (which
+        // includes the cube being expanded).
+        if (covers_cube(Cover(std::vector<Cube>(cubes.begin(), cubes.end())),
+                        enlarged)) {
+          current = enlarged;
+          changed = true;
+          break;
+        }
+      }
+    }
+    cubes[i] = current;
+  }
+  return Cover(std::move(cubes)).scc_minimized();
+}
+
+Cover irredundant(const Cover& cover) {
+  std::vector<Cube> kept = cover.cubes();
+  // Larger cubes (fewer literals) are kept preferentially: remove from
+  // the most specific end first.
+  std::sort(kept.begin(), kept.end(), [](const Cube& a, const Cube& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a < b;
+  });
+  for (std::size_t i = 0; i < kept.size();) {
+    std::vector<Cube> rest;
+    rest.reserve(kept.size() - 1);
+    for (std::size_t j = 0; j < kept.size(); ++j)
+      if (j != i) rest.push_back(kept[j]);
+    if (covers_cube(Cover(std::move(rest)), kept[i])) {
+      kept.erase(kept.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  return Cover(std::move(kept));
+}
+
+Cover minimized(const Cover& cover, MinimizeStats* stats) {
+  MinimizeStats local;
+  local.cubes_before = cover.num_cubes();
+  local.literals_before = cover.literal_count();
+  Cover result = irredundant(expanded(cover.scc_minimized()));
+  local.cubes_after = result.num_cubes();
+  local.literals_after = result.literal_count();
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+}  // namespace chortle::sop

@@ -1,0 +1,50 @@
+// Two-level minimization in the style of espresso's EXPAND and
+// IRREDUNDANT passes — the "simplify" step of the MIS II script this
+// project substitutes for. Works purely on the ON-set cover using
+// Boolean (Shannon) cofactors and a unate-recursive tautology check:
+//
+//   * a cube c is redundant iff (F \ c) cofactored by c is a tautology;
+//   * a cube may drop a literal iff F cofactored by the enlarged cube
+//     is a tautology (the enlarged cube is still contained in F).
+//
+// EXPAND enlarges every cube to a prime of F, IRREDUNDANT removes
+// covered cubes; both strictly preserve the function (tests prove this
+// on random covers) and never increase cube count or literal count.
+#pragma once
+
+#include "sop/cover.hpp"
+
+namespace chortle::sop {
+
+/// Boolean (Shannon) cofactor of `cover` with respect to `lit`:
+/// cubes containing the opposite literal drop out, occurrences of the
+/// literal itself are erased. (Contrast Cover::cofactor, the algebraic
+/// quotient used by kernel extraction.)
+Cover boolean_cofactor(const Cover& cover, Literal lit);
+
+/// True iff `cover` is the constant-1 function (unate-recursive
+/// paradigm: binate select variable, Shannon split, unate leaf rule).
+bool is_tautology(const Cover& cover);
+
+/// True iff the function of `cover` contains `cube` (covers all its
+/// minterms).
+bool covers_cube(const Cover& cover, const Cube& cube);
+
+/// EXPAND: each cube enlarged to a prime implicant by greedily
+/// dropping literals while containment in the function holds.
+Cover expanded(const Cover& cover);
+
+/// IRREDUNDANT: drops cubes covered by the rest of the cover.
+Cover irredundant(const Cover& cover);
+
+struct MinimizeStats {
+  int cubes_before = 0;
+  int cubes_after = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// Full pass: single-cube containment, EXPAND, IRREDUNDANT, SCC.
+Cover minimized(const Cover& cover, MinimizeStats* stats = nullptr);
+
+}  // namespace chortle::sop

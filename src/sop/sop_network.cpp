@@ -1,0 +1,163 @@
+#include "sop/sop_network.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace chortle::sop {
+
+SopNetwork::NodeId SopNetwork::add_input(const std::string& name) {
+  CHORTLE_REQUIRE(by_name_.find(name) == by_name_.end(),
+                  "duplicate node name: " + name);
+  const NodeId id = num_nodes();
+  nodes_.push_back(Node{name, /*is_input=*/true, Cover::zero()});
+  inputs_.push_back(id);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+SopNetwork::NodeId SopNetwork::add_node(const std::string& name, Cover cover) {
+  CHORTLE_REQUIRE(by_name_.find(name) == by_name_.end(),
+                  "duplicate node name: " + name);
+  for (int var : cover.support())
+    CHORTLE_REQUIRE(var >= 0 && var < num_nodes(),
+                    "cover references unknown node id");
+  const NodeId id = num_nodes();
+  nodes_.push_back(Node{name, /*is_input=*/false, std::move(cover)});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void SopNetwork::set_cover(NodeId id, Cover cover) {
+  CHORTLE_REQUIRE(id >= 0 && id < num_nodes() && !nodes_[id].is_input,
+                  "set_cover target must be an internal node");
+  nodes_[id].cover = std::move(cover);
+}
+
+void SopNetwork::mark_output(NodeId id) {
+  CHORTLE_REQUIRE(id >= 0 && id < num_nodes(), "output id out of range");
+  CHORTLE_REQUIRE(std::find(outputs_.begin(), outputs_.end(), id) ==
+                      outputs_.end(),
+                  "node already marked as output");
+  outputs_.push_back(id);
+}
+
+bool SopNetwork::is_output(NodeId id) const {
+  return std::find(outputs_.begin(), outputs_.end(), id) != outputs_.end();
+}
+
+SopNetwork::NodeId SopNetwork::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidNode : it->second;
+}
+
+std::vector<SopNetwork::NodeId> SopNetwork::fanins(NodeId id) const {
+  return node(id).cover.support();
+}
+
+std::vector<int> SopNetwork::fanout_counts() const {
+  std::vector<int> counts(nodes_.size(), 0);
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (nodes_[id].is_input) continue;
+    for (NodeId fanin : fanins(id)) ++counts[fanin];
+  }
+  return counts;
+}
+
+std::vector<SopNetwork::NodeId> SopNetwork::topological_order() const {
+  enum class Mark { kWhite, kGray, kBlack };
+  std::vector<Mark> marks(nodes_.size(), Mark::kWhite);
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  // Iterative DFS to survive deep networks.
+  for (NodeId root = 0; root < num_nodes(); ++root) {
+    if (marks[root] != Mark::kWhite || nodes_[root].is_input) continue;
+    std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+    marks[root] = Mark::kGray;
+    std::vector<std::vector<NodeId>> fanin_stack{fanins(root)};
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const auto& fi = fanin_stack.back();
+      if (next < fi.size()) {
+        const NodeId child = fi[next++];
+        if (nodes_[child].is_input) continue;
+        CHORTLE_REQUIRE(marks[child] != Mark::kGray,
+                        "combinational cycle through node " +
+                            nodes_[child].name);
+        if (marks[child] == Mark::kWhite) {
+          marks[child] = Mark::kGray;
+          stack.emplace_back(child, 0);
+          fanin_stack.push_back(fanins(child));
+        }
+      } else {
+        marks[id] = Mark::kBlack;
+        order.push_back(id);
+        stack.pop_back();
+        fanin_stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+int SopNetwork::total_literals() const {
+  int total = 0;
+  for (const Node& n : nodes_)
+    if (!n.is_input) total += n.cover.literal_count();
+  return total;
+}
+
+SopNetwork SopNetwork::pruned() const {
+  std::vector<bool> live(nodes_.size(), false);
+  std::vector<NodeId> worklist = outputs_;
+  for (NodeId id : worklist) live[id] = true;
+  while (!worklist.empty()) {
+    const NodeId id = worklist.back();
+    worklist.pop_back();
+    for (NodeId fanin : fanins(id))
+      if (!live[fanin]) {
+        live[fanin] = true;
+        worklist.push_back(fanin);
+      }
+  }
+  SopNetwork out;
+  std::vector<NodeId> remap(nodes_.size(), kInvalidNode);
+  // Inputs are all preserved (a pruned network keeps its interface).
+  for (NodeId id : inputs_) remap[id] = out.add_input(nodes_[id].name);
+  for (NodeId id : topological_order()) {
+    if (!live[id]) continue;
+    Cover remapped;
+    for (const Cube& c : nodes_[id].cover.cubes()) {
+      std::vector<Literal> lits;
+      lits.reserve(c.literals().size());
+      for (Literal lit : c.literals()) {
+        const NodeId mapped = remap[literal_var(lit)];
+        CHORTLE_CHECK(mapped != kInvalidNode);
+        lits.push_back(make_literal(mapped, literal_negated(lit)));
+      }
+      remapped.add_cube(Cube(std::move(lits)));
+    }
+    remap[id] = out.add_node(nodes_[id].name, std::move(remapped));
+  }
+  for (NodeId id : outputs_) {
+    CHORTLE_CHECK(remap[id] != kInvalidNode);
+    out.mark_output(remap[id]);
+  }
+  return out;
+}
+
+void SopNetwork::check() const {
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const Node& n = nodes_[id];
+    CHORTLE_CHECK(by_name_.at(n.name) == id);
+    if (n.is_input) continue;
+    for (NodeId fanin : fanins(id)) {
+      CHORTLE_CHECK(fanin >= 0 && fanin < num_nodes());
+      CHORTLE_CHECK_MSG(fanin != id, "self-loop at " + n.name);
+    }
+  }
+  for (NodeId id : outputs_) CHORTLE_CHECK(id >= 0 && id < num_nodes());
+  (void)topological_order();  // throws on cycles
+}
+
+}  // namespace chortle::sop

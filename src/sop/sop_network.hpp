@@ -1,0 +1,76 @@
+// A multi-level Boolean network whose internal nodes carry sum-of-products
+// covers over their fanin node ids — the representation of a parsed BLIF
+// file and the form the technology-independent optimizer works on.
+// After optimization it is decomposed into the AND/OR DAG consumed by
+// the mappers (see opt/decompose.hpp).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sop/cover.hpp"
+
+namespace chortle::sop {
+
+class SopNetwork {
+ public:
+  using NodeId = int;
+  static constexpr NodeId kInvalidNode = -1;
+
+  struct Node {
+    std::string name;
+    bool is_input = false;
+    // Cover literals use network node ids as variable ids.
+    // For non-input nodes: empty cover == constant 0, a cover containing
+    // the empty cube == constant 1.
+    Cover cover;
+  };
+
+  /// Adds a primary input. Names must be unique across the network.
+  NodeId add_input(const std::string& name);
+  /// Adds an internal node computing `cover` over existing node ids.
+  NodeId add_node(const std::string& name, Cover cover);
+  /// Replaces the cover of an internal node.
+  void set_cover(NodeId id, Cover cover);
+  /// Marks a node as a primary output (may be listed once only).
+  void mark_output(NodeId id);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  bool is_input(NodeId id) const { return node(id).is_input; }
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  bool is_output(NodeId id) const;
+
+  /// Node id by name; kInvalidNode if absent.
+  NodeId find(const std::string& name) const;
+
+  /// Fanin node ids of a node (support of its cover), ascending.
+  std::vector<NodeId> fanins(NodeId id) const;
+  /// Number of internal nodes each node feeds.
+  std::vector<int> fanout_counts() const;
+
+  /// Internal nodes in topological order (fanins before fanouts).
+  /// Throws InvalidInput if the network has a combinational cycle.
+  std::vector<NodeId> topological_order() const;
+
+  /// Total literal occurrences over all internal nodes (MIS cost metric).
+  int total_literals() const;
+
+  /// A copy without dead nodes (unreachable from any output); node ids
+  /// are re-assigned, names preserved.
+  SopNetwork pruned() const;
+
+  /// Structural sanity: fanins exist, no self-loops, acyclic, unique
+  /// names, outputs valid. Throws on violation.
+  void check() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+}  // namespace chortle::sop

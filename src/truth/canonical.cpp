@@ -1,0 +1,83 @@
+#include "truth/canonical.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace chortle::truth {
+
+std::vector<std::vector<int>> all_permutations(int n) {
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<std::vector<int>> result;
+  do {
+    result.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return result;
+}
+
+TruthTable p_canonical(const TruthTable& t) {
+  TruthTable best = t;
+  for (const auto& perm : all_permutations(t.num_vars())) {
+    TruthTable candidate = t.permute(perm);
+    if (candidate < best) best = candidate;
+  }
+  return best;
+}
+
+TruthTable npn_canonical(const TruthTable& t) {
+  const int n = t.num_vars();
+  CHORTLE_REQUIRE(n <= 6, "exhaustive NPN canonization limited to 6 inputs");
+  TruthTable best = t;
+  const unsigned num_masks = 1u << n;
+  for (unsigned mask = 0; mask < num_masks; ++mask) {
+    const TruthTable flipped = t.flip_inputs(mask);
+    const TruthTable complemented = ~flipped;
+    for (const auto& perm : all_permutations(n)) {
+      TruthTable a = flipped.permute(perm);
+      if (a < best) best = std::move(a);
+      TruthTable b = complemented.permute(perm);
+      if (b < best) best = std::move(b);
+    }
+  }
+  return best;
+}
+
+namespace {
+
+template <typename Canonizer>
+std::unordered_set<TruthTable, TruthTableHash> enumerate_classes(
+    int num_vars, bool include_constants, Canonizer canonize) {
+  CHORTLE_REQUIRE(num_vars >= 0 && num_vars <= 4,
+                  "exhaustive class enumeration limited to 4 inputs");
+  std::unordered_set<TruthTable, TruthTableHash> classes;
+  const std::uint64_t num_functions = std::uint64_t{1}
+                                      << (std::uint64_t{1} << num_vars);
+  for (std::uint64_t bits = 0; bits < num_functions; ++bits) {
+    TruthTable t = TruthTable::from_bits(bits, num_vars);
+    if (!include_constants && t.is_const()) continue;
+    classes.insert(canonize(t));
+  }
+  return classes;
+}
+
+}  // namespace
+
+std::unordered_set<TruthTable, TruthTableHash> enumerate_p_classes(
+    int num_vars, bool include_constants) {
+  return enumerate_classes(num_vars, include_constants,
+                           [](const TruthTable& t) { return p_canonical(t); });
+}
+
+std::size_t count_p_classes(int num_vars, bool include_constants) {
+  return enumerate_p_classes(num_vars, include_constants).size();
+}
+
+std::size_t count_npn_classes(int num_vars, bool include_constants) {
+  return enumerate_classes(num_vars, include_constants,
+                           [](const TruthTable& t) {
+                             return npn_canonical(t);
+                           })
+      .size();
+}
+
+}  // namespace chortle::truth

@@ -1,0 +1,37 @@
+// Canonical forms of Boolean functions under input permutation (P),
+// input permutation + input/output negation (NPN). The paper's MIS II
+// baseline library stores one representative per P-class ("only a single
+// instance of all boolean functions that are permutations of each other",
+// §4.1); with free inverters this effectively becomes NPN matching.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "truth/truth_table.hpp"
+
+namespace chortle::truth {
+
+/// Smallest (by TruthTable::operator<) table over all input permutations.
+TruthTable p_canonical(const TruthTable& t);
+
+/// Smallest table over all input permutations, input complementations,
+/// and output complementation. Exhaustive; intended for num_vars <= 6.
+TruthTable npn_canonical(const TruthTable& t);
+
+/// Number of distinct classes among all functions of exactly `num_vars`
+/// input slots (n <= 4 for P, n <= 3 recommended for exhaustive NPN).
+/// If `include_constants` is false the two constant functions are skipped,
+/// matching the paper's counts (10 for K=2, 78 for K=3).
+std::size_t count_p_classes(int num_vars, bool include_constants);
+std::size_t count_npn_classes(int num_vars, bool include_constants);
+
+/// Canonical representatives of every P-class of `num_vars`-input
+/// functions. Exhaustive over all 2^(2^n) functions; num_vars <= 4.
+std::unordered_set<TruthTable, TruthTableHash> enumerate_p_classes(
+    int num_vars, bool include_constants);
+
+/// All permutations of {0..n-1}, in lexicographic order.
+std::vector<std::vector<int>> all_permutations(int n);
+
+}  // namespace chortle::truth

@@ -1,0 +1,286 @@
+#include "truth/truth_table.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace chortle::truth {
+namespace {
+
+// Magic masks: bit m of kVarMask[i] is 1 iff bit i of m is 1, for i < 6.
+constexpr std::uint64_t kVarMask[6] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+
+std::size_t words_for(int num_vars) {
+  return num_vars <= 6 ? 1 : (std::size_t{1} << (num_vars - 6));
+}
+
+}  // namespace
+
+TruthTable::TruthTable(int num_vars) : num_vars_(num_vars) {
+  CHORTLE_REQUIRE(num_vars >= 0 && num_vars <= kMaxVars,
+                  "truth table arity out of range");
+  words_.assign(words_for(num_vars), 0);
+}
+
+TruthTable TruthTable::zeros(int num_vars) { return TruthTable(num_vars); }
+
+TruthTable TruthTable::ones(int num_vars) {
+  TruthTable t(num_vars);
+  for (auto& w : t.words_) w = ~std::uint64_t{0};
+  t.mask_tail();
+  return t;
+}
+
+TruthTable TruthTable::var(int var, int num_vars) {
+  CHORTLE_REQUIRE(var >= 0 && var < num_vars, "projection variable index");
+  TruthTable t(num_vars);
+  if (var < 6) {
+    for (auto& w : t.words_) w = kVarMask[var];
+  } else {
+    // Whole words alternate in runs of 2^(var-6).
+    const std::size_t run = std::size_t{1} << (var - 6);
+    for (std::size_t i = 0; i < t.words_.size(); ++i)
+      if ((i / run) & 1) t.words_[i] = ~std::uint64_t{0};
+  }
+  t.mask_tail();
+  return t;
+}
+
+TruthTable TruthTable::from_binary(const std::string& bits) {
+  CHORTLE_REQUIRE(!bits.empty() && std::has_single_bit(bits.size()),
+                  "truth table string length must be a power of two");
+  int num_vars = std::countr_zero(bits.size());
+  TruthTable t(num_vars);
+  const std::uint64_t n = t.num_minterms();
+  for (std::uint64_t m = 0; m < n; ++m) {
+    const char c = bits[n - 1 - m];
+    CHORTLE_REQUIRE(c == '0' || c == '1', "truth table string must be binary");
+    t.set_bit(m, c == '1');
+  }
+  return t;
+}
+
+TruthTable TruthTable::from_bits(std::uint64_t bits, int num_vars) {
+  CHORTLE_REQUIRE(num_vars <= 6, "from_bits handles at most 6 variables");
+  TruthTable t(num_vars);
+  t.words_[0] = bits;
+  t.mask_tail();
+  return t;
+}
+
+void TruthTable::set_bit(std::uint64_t minterm, bool value) {
+  CHORTLE_CHECK(minterm < num_minterms());
+  const std::uint64_t mask = std::uint64_t{1} << (minterm & 63);
+  if (value)
+    words_[minterm >> 6] |= mask;
+  else
+    words_[minterm >> 6] &= ~mask;
+}
+
+bool TruthTable::is_zero() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+bool TruthTable::is_one() const { return *this == ones(num_vars_); }
+
+std::uint64_t TruthTable::count_ones() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool TruthTable::depends_on(int var) const {
+  CHORTLE_REQUIRE(var >= 0 && var < num_vars_, "variable index");
+  return cofactor0(var) != cofactor1(var);
+}
+
+std::vector<int> TruthTable::support() const {
+  std::vector<int> result;
+  for (int v = 0; v < num_vars_; ++v)
+    if (depends_on(v)) result.push_back(v);
+  return result;
+}
+
+TruthTable TruthTable::cofactor0(int var) const {
+  CHORTLE_REQUIRE(var >= 0 && var < num_vars_, "variable index");
+  TruthTable t(*this);
+  if (var < 6) {
+    const int shift = 1 << var;
+    for (auto& w : t.words_) {
+      const std::uint64_t lo = w & ~kVarMask[var];
+      w = lo | (lo << shift);
+    }
+  } else {
+    const std::size_t run = std::size_t{1} << (var - 6);
+    for (std::size_t i = 0; i < t.words_.size(); ++i)
+      if ((i / run) & 1) t.words_[i] = t.words_[i ^ run];
+  }
+  return t;
+}
+
+TruthTable TruthTable::cofactor1(int var) const {
+  CHORTLE_REQUIRE(var >= 0 && var < num_vars_, "variable index");
+  TruthTable t(*this);
+  if (var < 6) {
+    const int shift = 1 << var;
+    for (auto& w : t.words_) {
+      const std::uint64_t hi = w & kVarMask[var];
+      w = hi | (hi >> shift);
+    }
+  } else {
+    const std::size_t run = std::size_t{1} << (var - 6);
+    for (std::size_t i = 0; i < t.words_.size(); ++i)
+      if (!((i / run) & 1)) t.words_[i] = t.words_[i ^ run];
+  }
+  return t;
+}
+
+TruthTable TruthTable::permute(const std::vector<int>& perm) const {
+  CHORTLE_REQUIRE(static_cast<int>(perm.size()) == num_vars_,
+                  "permutation arity mismatch");
+  std::vector<bool> seen(num_vars_, false);
+  for (int p : perm) {
+    CHORTLE_REQUIRE(p >= 0 && p < num_vars_ && !seen[p],
+                    "not a permutation");
+    seen[p] = true;
+  }
+  TruthTable out(num_vars_);
+  const std::uint64_t n = num_minterms();
+  for (std::uint64_t m = 0; m < n; ++m) {
+    // Source minterm: bit i of src is bit perm[i] of m.
+    std::uint64_t src = 0;
+    for (int i = 0; i < num_vars_; ++i)
+      src |= ((m >> perm[i]) & 1) << i;
+    if (bit(src)) out.set_bit(m, true);
+  }
+  return out;
+}
+
+TruthTable TruthTable::flip_input(int var) const {
+  return flip_inputs(1u << var);
+}
+
+TruthTable TruthTable::flip_inputs(unsigned mask) const {
+  CHORTLE_REQUIRE((mask >> num_vars_) == 0, "flip mask exceeds arity");
+  TruthTable out(num_vars_);
+  const std::uint64_t n = num_minterms();
+  for (std::uint64_t m = 0; m < n; ++m)
+    if (bit(m ^ mask)) out.set_bit(m, true);
+  return out;
+}
+
+TruthTable TruthTable::extend(int new_num_vars) const {
+  CHORTLE_REQUIRE(new_num_vars >= num_vars_ && new_num_vars <= kMaxVars,
+                  "extend arity");
+  TruthTable out(new_num_vars);
+  const std::uint64_t n = out.num_minterms();
+  const std::uint64_t mask = num_minterms() - 1;
+  for (std::uint64_t m = 0; m < n; ++m)
+    if (bit(m & mask)) out.set_bit(m, true);
+  return out;
+}
+
+TruthTable TruthTable::shrink_to_support_prefix() const {
+  int needed = 0;
+  for (int v = 0; v < num_vars_; ++v)
+    if (depends_on(v)) needed = v + 1;
+  if (needed == num_vars_) return *this;
+  TruthTable out(needed);
+  const std::uint64_t n = out.num_minterms();
+  for (std::uint64_t m = 0; m < n; ++m)
+    if (bit(m)) out.set_bit(m, true);
+  return out;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable t(*this);
+  for (auto& w : t.words_) w = ~w;
+  t.mask_tail();
+  return t;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& other) const {
+  TruthTable t(*this);
+  return t &= other;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& other) const {
+  TruthTable t(*this);
+  return t |= other;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& other) const {
+  TruthTable t(*this);
+  return t ^= other;
+}
+
+TruthTable& TruthTable::operator&=(const TruthTable& other) {
+  check_same_arity(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+TruthTable& TruthTable::operator|=(const TruthTable& other) {
+  check_same_arity(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+TruthTable& TruthTable::operator^=(const TruthTable& other) {
+  check_same_arity(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+bool TruthTable::operator==(const TruthTable& other) const {
+  return num_vars_ == other.num_vars_ && words_ == other.words_;
+}
+
+bool TruthTable::operator<(const TruthTable& other) const {
+  if (num_vars_ != other.num_vars_) return num_vars_ < other.num_vars_;
+  // Compare most significant word first.
+  for (std::size_t i = words_.size(); i-- > 0;)
+    if (words_[i] != other.words_[i]) return words_[i] < other.words_[i];
+  return false;
+}
+
+std::string TruthTable::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  const int nibbles = std::max<int>(1, static_cast<int>(num_minterms() / 4));
+  std::string out;
+  out.reserve(nibbles);
+  for (int i = nibbles - 1; i >= 0; --i) {
+    const std::uint64_t w = words_[static_cast<std::size_t>(i) / 16];
+    out.push_back(digits[(w >> ((i % 16) * 4)) & 0xF]);
+  }
+  return out;
+}
+
+std::string TruthTable::to_binary() const {
+  const std::uint64_t n = num_minterms();
+  std::string out(n, '0');
+  for (std::uint64_t m = 0; m < n; ++m)
+    if (bit(m)) out[n - 1 - m] = '1';
+  return out;
+}
+
+std::size_t TruthTable::hash() const {
+  std::size_t h = static_cast<std::size_t>(num_vars_) * 0x9E3779B97F4A7C15ull;
+  for (std::uint64_t w : words_) {
+    h ^= w + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+void TruthTable::mask_tail() {
+  if (num_vars_ < 6) words_[0] &= (std::uint64_t{1} << (1 << num_vars_)) - 1;
+}
+
+void TruthTable::check_same_arity(const TruthTable& other) const {
+  CHORTLE_REQUIRE(num_vars_ == other.num_vars_,
+                  "truth table arity mismatch in binary operation");
+}
+
+}  // namespace chortle::truth

@@ -1,0 +1,114 @@
+// Dense truth tables over a fixed number of input variables (up to 16).
+// Used for LUT programming bits, library canonization, cone functions,
+// and exhaustive equivalence checks on small networks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace chortle::truth {
+
+/// A complete truth table of an n-input single-output Boolean function,
+/// n <= kMaxVars. Bit m of the table is f(m) where bit i of the minterm
+/// index m is the value of input variable i.
+class TruthTable {
+ public:
+  static constexpr int kMaxVars = 16;
+
+  /// Constant-zero function of `num_vars` inputs.
+  explicit TruthTable(int num_vars = 0);
+
+  static TruthTable zeros(int num_vars);
+  static TruthTable ones(int num_vars);
+  /// Projection f = x_var over `num_vars` inputs.
+  static TruthTable var(int var, int num_vars);
+  /// Parse a binary string, most significant minterm first
+  /// ("1000" == AND of 2 vars). Length must be a power of two.
+  static TruthTable from_binary(const std::string& bits);
+  /// Build from the low 2^num_vars bits of a word (num_vars <= 6).
+  static TruthTable from_bits(std::uint64_t bits, int num_vars);
+
+  int num_vars() const { return num_vars_; }
+  std::uint64_t num_minterms() const { return std::uint64_t{1} << num_vars_; }
+
+  bool bit(std::uint64_t minterm) const {
+    CHORTLE_CHECK(minterm < num_minterms());
+    return (words_[minterm >> 6] >> (minterm & 63)) & 1;
+  }
+  void set_bit(std::uint64_t minterm, bool value);
+
+  bool is_zero() const;
+  bool is_one() const;
+  bool is_const() const { return is_zero() || is_one(); }
+
+  /// Number of minterms on which the function is 1.
+  std::uint64_t count_ones() const;
+
+  /// True iff the function's value depends on input `var`.
+  bool depends_on(int var) const;
+  /// Indices of all inputs the function actually depends on.
+  std::vector<int> support() const;
+  int support_size() const { return static_cast<int>(support().size()); }
+
+  /// Shannon cofactors with respect to input `var` (same num_vars,
+  /// result no longer depends on `var`).
+  TruthTable cofactor0(int var) const;
+  TruthTable cofactor1(int var) const;
+
+  /// Reindex inputs: result(y) = f(x) where y[perm[i]] = x[i].
+  /// perm must be a permutation of 0..num_vars-1.
+  TruthTable permute(const std::vector<int>& perm) const;
+  /// Complement input `var`: result(x) = f(x with bit var flipped).
+  TruthTable flip_input(int var) const;
+  /// Complement the set of inputs given by `mask` (bit i set -> flip x_i).
+  TruthTable flip_inputs(unsigned mask) const;
+
+  /// Widen to `new_num_vars` >= num_vars; added inputs are don't-cares
+  /// (the function simply ignores them).
+  TruthTable extend(int new_num_vars) const;
+  /// Drop trailing inputs the function does not depend on.
+  TruthTable shrink_to_support_prefix() const;
+
+  TruthTable operator~() const;
+  TruthTable operator&(const TruthTable& other) const;
+  TruthTable operator|(const TruthTable& other) const;
+  TruthTable operator^(const TruthTable& other) const;
+  TruthTable& operator&=(const TruthTable& other);
+  TruthTable& operator|=(const TruthTable& other);
+  TruthTable& operator^=(const TruthTable& other);
+
+  bool operator==(const TruthTable& other) const;
+  bool operator!=(const TruthTable& other) const { return !(*this == other); }
+  /// Lexicographic order on (num_vars, bits); used for canonical forms.
+  bool operator<(const TruthTable& other) const;
+
+  /// Raw 64-bit words, minterm 0 in the LSB of word 0. Unused high bits
+  /// of the last word are always zero.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  /// The low word; convenient for num_vars <= 6.
+  std::uint64_t low_word() const { return words_[0]; }
+
+  /// Hex string, most significant word first (ABC style).
+  std::string to_hex() const;
+  /// Binary string, most significant minterm first.
+  std::string to_binary() const;
+
+  /// Hash suitable for unordered containers.
+  std::size_t hash() const;
+
+ private:
+  void mask_tail();
+  void check_same_arity(const TruthTable& other) const;
+
+  int num_vars_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct TruthTableHash {
+  std::size_t operator()(const TruthTable& t) const { return t.hash(); }
+};
+
+}  // namespace chortle::truth

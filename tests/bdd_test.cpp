@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "bdd/bdd.hpp"
+#include "bdd/equiv.hpp"
+#include "chortle/mapper.hpp"
+#include "helpers.hpp"
+#include "mcnc/generators.hpp"
+#include "opt/script.hpp"
+#include "truth/truth_table.hpp"
+
+namespace chortle::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndVariables) {
+  Manager m(3);
+  EXPECT_TRUE(m.is_const(m.one()));
+  EXPECT_TRUE(m.is_const(m.zero()));
+  EXPECT_EQ(m.one(), !m.zero());
+  const Ref a = m.var(0);
+  EXPECT_FALSE(m.is_const(a));
+  EXPECT_TRUE(m.evaluate(a, {true, false, false}));
+  EXPECT_FALSE(m.evaluate(a, {false, true, true}));
+  EXPECT_THROW(m.var(3), InvalidInput);
+}
+
+TEST(Bdd, CanonicityEqualFunctionsShareRefs) {
+  Manager m(3);
+  const Ref a = m.var(0), b = m.var(1), c = m.var(2);
+  // Two structurally different computations of the same function.
+  const Ref f1 = m.apply_or(m.apply_and(a, b), m.apply_and(a, c));
+  const Ref f2 = m.apply_and(a, m.apply_or(b, c));
+  EXPECT_EQ(f1, f2);
+  // De Morgan through complement edges.
+  EXPECT_EQ(!m.apply_and(a, b), m.apply_or(!a, !b));
+  // x ^ x == 0, x ^ !x == 1.
+  EXPECT_EQ(m.apply_xor(a, a), m.zero());
+  EXPECT_EQ(m.apply_xor(a, !a), m.one());
+}
+
+TEST(Bdd, MatchesTruthTablesExhaustively) {
+  // Random 4-var functions: the BDD built minterm-by-minterm must
+  // evaluate exactly like the table.
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const truth::TruthTable table =
+        truth::TruthTable::from_bits(rng.next_u64(), 4);
+    Manager m(4);
+    Ref f = m.zero();
+    for (std::uint64_t minterm = 0; minterm < 16; ++minterm) {
+      if (!table.bit(minterm)) continue;
+      Ref term = m.one();
+      for (int v = 0; v < 4; ++v)
+        term = m.apply_and(term,
+                           ((minterm >> v) & 1) ? m.var(v) : !m.var(v));
+      f = m.apply_or(f, term);
+    }
+    for (std::uint64_t minterm = 0; minterm < 16; ++minterm) {
+      std::vector<bool> assignment;
+      for (int v = 0; v < 4; ++v) assignment.push_back((minterm >> v) & 1);
+      EXPECT_EQ(m.evaluate(f, assignment), table.bit(minterm));
+    }
+    EXPECT_EQ(m.count_minterms(f), table.count_ones());
+  }
+}
+
+TEST(Bdd, CountAndFindMinterms) {
+  Manager m(4);
+  const Ref a = m.var(0), b = m.var(1);
+  const Ref f = m.apply_and(a, !b);
+  EXPECT_EQ(m.count_minterms(f), 4u);  // 2 free variables
+  const auto witness = m.find_minterm(f);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(m.evaluate(f, *witness));
+  EXPECT_FALSE(m.find_minterm(m.zero()).has_value());
+  EXPECT_EQ(m.count_minterms(m.one()), 16u);
+  EXPECT_EQ(m.count_minterms(m.zero()), 0u);
+}
+
+TEST(Bdd, NodeBudgetThrows) {
+  Manager m(16, /*max_nodes=*/8);
+  Ref f = m.zero();
+  EXPECT_THROW(
+      {
+        for (int v = 0; v < 16; v += 2)
+          f = m.apply_or(f, m.apply_and(m.var(v), m.var(v + 1)));
+      },
+      NodeBudgetExceeded);
+}
+
+TEST(FormalEquiv, ProvesMappedBenchmarks) {
+  for (const char* name : {"count", "alu2", "apex7", "frg1"}) {
+    const sop::SopNetwork source = mcnc::generate(name);
+    const opt::OptimizedDesign design = opt::optimize(source);
+    core::Options options;
+    options.k = 4;
+    const core::MapResult mapped =
+        core::map_network(design.network, options);
+    const FormalOutcome outcome = check_equivalence(source, mapped.circuit);
+    EXPECT_EQ(outcome.status, FormalOutcome::Status::kEquivalent) << name;
+    EXPECT_TRUE(static_cast<bool>(outcome)) << name;
+  }
+}
+
+TEST(FormalEquiv, FindsInjectedBugWithWitness) {
+  const net::Network n = testing::random_dag(10, 6, 50, 4242);
+  core::Options options;
+  options.k = 4;
+  const core::MapResult mapped = core::map_network(n, options);
+
+  // Flip one truth-table bit in the first LUT.
+  net::LutCircuit corrupted(mapped.circuit.k());
+  for (const std::string& name : mapped.circuit.input_names())
+    corrupted.add_input(name);
+  for (int i = 0; i < mapped.circuit.num_luts(); ++i) {
+    net::Lut lut = mapped.circuit.luts()[static_cast<std::size_t>(i)];
+    if (i == 0) lut.function.set_bit(0, !lut.function.bit(0));
+    corrupted.add_lut(std::move(lut));
+  }
+  for (const net::LutOutput& o : mapped.circuit.outputs())
+    corrupted.add_output(o.name, o.signal, o.negated);
+
+  const FormalOutcome outcome = check_equivalence(n, corrupted);
+  // Unlike random simulation, the BDD check either proves the fault
+  // unobservable (equivalent) or returns a guaranteed witness.
+  if (outcome.status == FormalOutcome::Status::kDifferent) {
+    ASSERT_FALSE(outcome.witness.empty());
+    // Replay the witness on both designs via simulation.
+    const sim::Design da = sim::design_of(n);
+    const sim::Design db = sim::design_of(corrupted);
+    std::vector<sim::Word> in_a, in_b;
+    for (bool bit : outcome.witness)
+      in_a.push_back(bit ? ~sim::Word{0} : 0);
+    // Align b's inputs by name.
+    for (const std::string& name : db.input_names) {
+      const auto it =
+          std::find(da.input_names.begin(), da.input_names.end(), name);
+      in_b.push_back(in_a[static_cast<std::size_t>(
+          it - da.input_names.begin())]);
+    }
+    const auto out_a = da.eval(in_a);
+    const auto out_b = db.eval(in_b);
+    bool differs = false;
+    for (std::size_t i = 0; i < out_a.size(); ++i)
+      if ((out_a[i] & 1) != (out_b[i] & 1)) differs = true;
+    EXPECT_TRUE(differs) << "witness did not distinguish the designs";
+  } else {
+    EXPECT_EQ(outcome.status, FormalOutcome::Status::kEquivalent);
+  }
+}
+
+// The textbook variable-order story: a barrel rotator's BDD explodes
+// with data variables above the select variables, and collapses to a
+// trivial size with the selects on top.
+TEST(FormalEquiv, VariableOrderDecidesTheRotator) {
+  const sop::SopNetwork source = mcnc::make_rot(16, 4);
+  const opt::OptimizedDesign design = opt::optimize(source);
+  core::Options options;
+  options.k = 4;
+  const core::MapResult mapped = core::map_network(design.network, options);
+
+  // Default order (data first, selects last): blows a small budget.
+  const FormalOutcome bad =
+      check_equivalence(source, mapped.circuit, /*max_nodes=*/50'000);
+  EXPECT_EQ(bad.status, FormalOutcome::Status::kInconclusive);
+
+  // Selects first: proves equivalence in the same budget.
+  std::vector<std::string> order;
+  for (int j = 0; j < 4; ++j) order.push_back("s" + std::to_string(j));
+  for (int i = 0; i < 16; ++i) order.push_back("d" + std::to_string(i));
+  const FormalOutcome good =
+      check_equivalence(source, mapped.circuit, /*max_nodes=*/50'000, order);
+  EXPECT_EQ(good.status, FormalOutcome::Status::kEquivalent);
+}
+
+TEST(FormalEquiv, ReportsInconclusiveOnTinyBudget) {
+  const sop::SopNetwork source = mcnc::generate("alu2");
+  const opt::OptimizedDesign design = opt::optimize(source);
+  const FormalOutcome outcome =
+      check_equivalence(source, design.network, /*max_nodes=*/16);
+  EXPECT_EQ(outcome.status, FormalOutcome::Status::kInconclusive);
+  EXPECT_FALSE(outcome.note.empty());
+}
+
+TEST(FormalEquiv, AgreesWithSimulationOnOptimizerOutputs) {
+  for (std::uint64_t seed = 800; seed < 804; ++seed) {
+    mcnc::RandomLogicParams params;
+    params.num_inputs = 10;
+    params.num_outputs = 6;
+    params.num_gates = 60;
+    params.seed = seed;
+    const sop::SopNetwork source = mcnc::random_logic(params);
+    const opt::OptimizedDesign design = opt::optimize(source);
+    const FormalOutcome outcome = check_equivalence(source, design.network);
+    EXPECT_EQ(outcome.status, FormalOutcome::Status::kEquivalent)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace chortle::bdd

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "blif/blif.hpp"
+#include "mcnc/generators.hpp"
+#include "sim/simulate.hpp"
+
+namespace chortle::blif {
+namespace {
+
+const char* kSmall = R"(
+# a small example
+.model demo
+.inputs a b c
+.outputs y z
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.names c z
+0 1
+.end
+)";
+
+TEST(BlifReader, ParsesSmallModel) {
+  const BlifModel model = read_blif_string(kSmall);
+  EXPECT_EQ(model.name, "demo");
+  const auto& net = model.network;
+  EXPECT_EQ(net.inputs().size(), 3u);
+  EXPECT_EQ(net.outputs().size(), 2u);
+  ASSERT_NE(net.find("t"), sop::SopNetwork::kInvalidNode);
+  EXPECT_EQ(net.node(net.find("t")).cover.num_cubes(), 1);
+  EXPECT_EQ(net.node(net.find("y")).cover.num_cubes(), 2);
+  // The z node was given as an OFF-set cover and complemented: z = !c.
+  const auto& z = net.node(net.find("z")).cover;
+  EXPECT_EQ(z.num_cubes(), 1);
+  EXPECT_EQ(z.cube(0).literals()[0],
+            sop::make_literal(net.find("c"), true));
+}
+
+TEST(BlifReader, FunctionalCheck) {
+  const BlifModel model = read_blif_string(kSmall);
+  const sim::Design d = sim::design_of(model.network);
+  // y = (a & b) | c ; z = !c. Exhaustive over 8 patterns.
+  std::vector<sim::Word> in = {0xAA, 0xCC, 0xF0};
+  const auto out = d.eval(in);
+  EXPECT_EQ(out[0] & 0xFF, ((0xAAu & 0xCCu) | 0xF0u) & 0xFF);
+  EXPECT_EQ(out[1] & 0xFFu, ~0xF0u & 0xFFu);
+}
+
+TEST(BlifReader, ContinuationAndComments) {
+  const BlifModel model = read_blif_string(
+      ".model m\n.inputs a \\\nb\n.outputs y # trailing\n"
+      ".names a b y\n11 1\n.end\n");
+  EXPECT_EQ(model.network.inputs().size(), 2u);
+  EXPECT_EQ(model.network.outputs().size(), 1u);
+}
+
+TEST(BlifReader, ToleratesCrlfAndMissingEnd) {
+  // DOS line endings and a file truncated before ".end" both parse.
+  const BlifModel model = read_blif_string(
+      ".model m\r\n.inputs a b\r\n.outputs y\r\n.names a b y\r\n11 1\r\n");
+  EXPECT_EQ(model.network.inputs().size(), 2u);
+  const auto y = model.network.find("y");
+  ASSERT_NE(y, sop::SopNetwork::kInvalidNode);
+  EXPECT_EQ(model.network.node(y).cover.num_cubes(), 1);
+}
+
+TEST(BlifReader, ConstantNodes) {
+  const BlifModel model = read_blif_string(
+      ".model m\n.inputs a\n.outputs one zero\n"
+      ".names one\n1\n.names zero\n.end\n");
+  const auto& net = model.network;
+  EXPECT_TRUE(net.node(net.find("one")).cover.is_one());
+  EXPECT_TRUE(net.node(net.find("zero")).cover.is_zero());
+}
+
+TEST(BlifReader, LatchesBecomePseudoIo) {
+  const BlifModel model = read_blif_string(
+      ".model m\n.inputs a\n.outputs y\n"
+      ".latch d q 0\n"
+      ".names a q d\n11 1\n.names d y\n1 1\n.end\n");
+  EXPECT_EQ(model.num_latches, 1);
+  EXPECT_EQ(model.network.inputs().size(), 2u);   // a + q
+  EXPECT_EQ(model.network.outputs().size(), 2u);  // y + d
+}
+
+TEST(BlifReader, Errors) {
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a\n.outputs y\n.end\n"),
+               InvalidInput);  // undefined output signal
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a\n.outputs a\n"
+                                ".names a b\n1 1\n.names a b\n1 1\n.end\n"),
+               InvalidInput);  // signal defined twice
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a\n.outputs y\n"
+                                ".names a y\n11 1\n.end\n"),
+               InvalidInput);  // row width mismatch
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a\n.outputs y\n"
+                                ".names a y\n1 1\n0 0\n.end\n"),
+               InvalidInput);  // mixed ON/OFF rows
+  EXPECT_THROW(read_blif_string("11 1\n"), InvalidInput);  // stray row
+  EXPECT_THROW(read_blif_file("/nonexistent/file.blif"), InvalidInput);
+}
+
+TEST(BlifWriter, SopRoundTripPreservesFunction) {
+  for (const char* name : {"alu2", "count", "9symml"}) {
+    const sop::SopNetwork original = mcnc::generate(name);
+    const std::string text = write_blif_string(original, name);
+    const BlifModel reread = read_blif_string(text);
+    EXPECT_TRUE(sim::equivalent(sim::design_of(original),
+                                sim::design_of(reread.network)))
+        << name;
+  }
+}
+
+TEST(BlifWriter, LutCircuitRoundTrip) {
+  net::LutCircuit circuit(3);
+  const auto a = circuit.add_input("a");
+  const auto b = circuit.add_input("b");
+  const auto c = circuit.add_input("c");
+  const auto t = circuit.add_lut(net::Lut{
+      {a, b, c},
+      truth::TruthTable::var(0, 3) ^ truth::TruthTable::var(1, 3) ^
+          truth::TruthTable::var(2, 3),
+      "t"});
+  circuit.add_output("y", t);
+  circuit.add_output("yn", t, /*negated=*/true);
+  circuit.add_const_output("k1", true);
+  const std::string text = write_blif_string(circuit, "luts");
+  const BlifModel reread = read_blif_string(text);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(circuit),
+                              sim::design_of(reread.network)));
+}
+
+}  // namespace
+}  // namespace chortle::blif

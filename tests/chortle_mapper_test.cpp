@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "blif/blif.hpp"
+#include "chortle/mapper.hpp"
+#include "helpers.hpp"
+#include "opt/script.hpp"
+#include "sim/simulate.hpp"
+
+namespace chortle::core {
+namespace {
+
+TEST(MapNetwork, TinyExample) {
+  // Figure 1-like network: y = (a & b) | (c & d & e).
+  net::Network n;
+  std::vector<net::NodeId> pis;
+  for (const char* name : {"a", "b", "c", "d", "e"})
+    pis.push_back(n.add_input(name));
+  const auto t1 = n.add_gate(net::GateOp::kAnd,
+                             {{pis[0], false}, {pis[1], false}});
+  const auto t2 = n.add_gate(
+      net::GateOp::kAnd, {{pis[2], false}, {pis[3], false}, {pis[4], false}});
+  const auto root = n.add_gate(net::GateOp::kOr, {{t1, false}, {t2, false}});
+  n.add_output("y", root, false);
+
+  Options options;
+  options.k = 5;
+  const MapResult result = map_network(n, options);
+  EXPECT_EQ(result.stats.num_luts, 1);  // 5 distinct inputs fit one 5-LUT
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(result.circuit)));
+
+  options.k = 3;
+  // Best K=3 mapping: LUT1 = c&d&e, root LUT = (a&b)|LUT1 (t1's root
+  // table merges into the root, utilization division {2, 1}).
+  const MapResult r3 = map_network(n, options);
+  EXPECT_EQ(r3.stats.num_luts, 2);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n), sim::design_of(r3.circuit)));
+}
+
+TEST(MapNetwork, NegatedOutputFoldsIntoRootLut) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g = n.add_gate(net::GateOp::kAnd, {{a, false}, {b, false}});
+  n.add_output("y", g, true);  // y = !(a & b), sole reader
+  Options options;
+  options.k = 4;
+  const MapResult result = map_network(n, options);
+  EXPECT_EQ(result.stats.num_luts, 1);
+  EXPECT_FALSE(result.circuit.outputs()[0].negated);  // folded
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(result.circuit)));
+}
+
+TEST(MapNetwork, SharedRootWithMixedPolaritiesKeepsOutputInversion) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g = n.add_gate(net::GateOp::kAnd, {{a, false}, {b, false}});
+  n.add_output("y", g, false);
+  n.add_output("yn", g, true);
+  Options options;
+  options.k = 4;
+  const MapResult result = map_network(n, options);
+  EXPECT_EQ(result.stats.num_luts, 1);  // one LUT, two output taps
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(result.circuit)));
+}
+
+TEST(MapNetwork, ConstAndPassthroughOutputs) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  n.add_gate(net::GateOp::kAnd, {{a, false}, {b, false}});  // dead gate
+  n.add_const_output("k0", false);
+  n.add_output("thru", a, false);
+  n.add_output("inv", b, true);
+  Options options;
+  options.k = 4;
+  const MapResult result = map_network(n, options);
+  EXPECT_EQ(result.stats.num_luts, 0);  // nothing live needs a LUT
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(result.circuit)));
+}
+
+class MapNetworkProperty : public ::testing::TestWithParam<
+                               std::tuple<std::uint64_t, int>> {};
+
+TEST_P(MapNetworkProperty, RandomDagsMapCorrectly) {
+  const auto [seed, k] = GetParam();
+  const net::Network n = testing::random_dag(14, 10, 90, seed);
+  Options options;
+  options.k = k;
+  const MapResult result = map_network(n, options);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(result.circuit)))
+      << "seed=" << seed << " k=" << k;
+  for (const net::Lut& lut : result.circuit.luts()) {
+    EXPECT_LE(static_cast<int>(lut.inputs.size()), k);
+    EXPECT_GE(lut.inputs.size(), 1u);
+  }
+  EXPECT_EQ(result.stats.num_luts, result.circuit.num_luts());
+  EXPECT_GE(result.stats.num_trees, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, MapNetworkProperty,
+    ::testing::Combine(::testing::Range<std::uint64_t>(100, 108),
+                       ::testing::Values(2, 3, 4, 5, 6)));
+
+TEST(MapNetwork, LargerKNeverNeedsMoreLuts) {
+  for (std::uint64_t seed = 300; seed < 306; ++seed) {
+    const net::Network n = testing::random_dag(12, 8, 70, seed);
+    int previous = 1 << 30;
+    for (int k = 2; k <= 6; ++k) {
+      Options options;
+      options.k = k;
+      const int luts = map_network(n, options).stats.num_luts;
+      EXPECT_LE(luts, previous) << "seed=" << seed << " k=" << k;
+      previous = luts;
+    }
+  }
+}
+
+TEST(MapNetwork, MappedBlifRoundTrip) {
+  const net::Network n = testing::random_dag(10, 6, 50, 777);
+  Options options;
+  options.k = 4;
+  const MapResult result = map_network(n, options);
+  const std::string text = blif::write_blif_string(result.circuit, "mapped");
+  const blif::BlifModel reread = blif::read_blif_string(text);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(reread.network)));
+}
+
+TEST(MapNetwork, RejectsBadOptions) {
+  const net::Network n = testing::random_tree(4, 3, 3, 1);
+  Options options;
+  options.k = 1;
+  EXPECT_THROW(map_network(n, options), InvalidInput);
+  options.k = 4;
+  options.split_threshold = 1;
+  EXPECT_THROW(map_network(n, options), InvalidInput);
+}
+
+}  // namespace
+}  // namespace chortle::core

@@ -1,0 +1,111 @@
+// Tests for the §5 fanout-duplication extension.
+#include <gtest/gtest.h>
+
+#include "chortle/duplicate.hpp"
+#include "chortle/mapper.hpp"
+#include "helpers.hpp"
+#include "sim/simulate.hpp"
+
+namespace chortle::core {
+namespace {
+
+/// The canonical case where duplication pays: a cheap shared cone whose
+/// two readers can absorb it into their own root LUTs.
+net::Network shared_and_network() {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto c = n.add_input("c");
+  const auto d = n.add_input("d");
+  const auto shared = n.add_gate(net::GateOp::kAnd, {{a, false}, {b, false}});
+  const auto y1 =
+      n.add_gate(net::GateOp::kAnd, {{shared, false}, {c, false}});
+  const auto y2 =
+      n.add_gate(net::GateOp::kOr, {{shared, true}, {d, false}});
+  n.add_output("y1", y1, false);
+  n.add_output("y2", y2, false);
+  return n;
+}
+
+TEST(Duplication, SavesTheBoundaryLutOnTheTextbookCase) {
+  const net::Network n = shared_and_network();
+  Options base;
+  base.k = 4;
+  Options dup = base;
+  dup.duplicate_fanout_logic = true;
+
+  const MapResult without = map_network(n, base);
+  const MapResult with = map_network(n, dup);
+  // Without duplication: shared AND, y1, y2 are three trees -> 3 LUTs.
+  // With duplication the shared cone melts into both readers -> 2 LUTs.
+  EXPECT_EQ(without.stats.num_luts, 3);
+  EXPECT_EQ(with.stats.num_luts, 2);
+  EXPECT_EQ(with.stats.duplicated_roots, 1);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(with.circuit)));
+}
+
+TEST(Duplication, NeverDuplicatesOutputRoots) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto c = n.add_input("c");
+  const auto shared = n.add_gate(net::GateOp::kAnd, {{a, false}, {b, false}});
+  const auto y1 =
+      n.add_gate(net::GateOp::kAnd, {{shared, false}, {c, false}});
+  n.add_output("y1", y1, false);
+  n.add_output("shared_out", shared, false);  // the cone is an output
+  Options dup;
+  dup.k = 4;
+  dup.duplicate_fanout_logic = true;
+  const MapResult result = map_network(n, dup);
+  EXPECT_EQ(result.stats.duplicated_roots, 0);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(result.circuit)));
+}
+
+class DuplicationProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(DuplicationProperty, NeverWorseAndAlwaysEquivalent) {
+  const auto [seed, k] = GetParam();
+  const net::Network n = testing::random_dag(12, 8, 80, seed);
+  Options base;
+  base.k = k;
+  Options dup = base;
+  dup.duplicate_fanout_logic = true;
+  const MapResult without = map_network(n, base);
+  const MapResult with = map_network(n, dup);
+  // Greedy accept-only-improvements: the result can never be worse.
+  EXPECT_LE(with.stats.num_luts, without.stats.num_luts)
+      << "seed=" << seed << " k=" << k;
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(with.circuit)))
+      << "seed=" << seed << " k=" << k;
+  for (const net::Lut& lut : with.circuit.luts())
+    EXPECT_LE(static_cast<int>(lut.inputs.size()), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, DuplicationProperty,
+    ::testing::Combine(::testing::Range<std::uint64_t>(500, 508),
+                       ::testing::Values(3, 4, 5)));
+
+TEST(Duplication, StatsAreConsistent) {
+  const net::Network n = testing::random_dag(14, 10, 120, 9001);
+  Options dup;
+  dup.k = 4;
+  dup.duplicate_fanout_logic = true;
+  Forest forest = build_forest(n);
+  const std::size_t roots_before = forest.trees.size();
+  DuplicationStats stats;
+  forest = duplicate_fanout_logic(n, std::move(forest), dup, &stats);
+  EXPECT_EQ(forest.trees.size(), roots_before - stats.accepted);
+  EXPECT_GE(stats.candidates, stats.accepted);
+  if (stats.accepted > 0) {
+    EXPECT_GT(stats.luts_saved, 0);
+  }
+}
+
+}  // namespace
+}  // namespace chortle::core

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "chortle/mapper.hpp"
+#include "flowmap/flowmap.hpp"
+#include "helpers.hpp"
+#include "libmap/subject.hpp"
+#include "sim/simulate.hpp"
+
+namespace chortle::flowmap {
+namespace {
+
+TEST(FlowMap, SingleLutNetwork) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g = n.add_gate(net::GateOp::kAnd, {{a, false}, {b, true}});
+  n.add_output("y", g, false);
+  const FlowMapResult result = flowmap(n, 4);
+  EXPECT_EQ(result.stats.num_luts, 1);
+  EXPECT_EQ(result.stats.depth, 1);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(result.circuit)));
+}
+
+TEST(FlowMap, ChainCollapsesToMinimumDepth) {
+  // A chain of 6 2-input ANDs over 7 inputs: with K=4 the depth-optimal
+  // mapping has depth 2 (a 7-leaf AND tree needs two 4-LUT levels).
+  net::Network n;
+  std::vector<net::NodeId> pis;
+  for (int i = 0; i < 7; ++i) pis.push_back(n.add_input(""));
+  net::NodeId acc = pis[0];
+  for (int i = 1; i < 7; ++i)
+    acc = n.add_gate(net::GateOp::kAnd, {{acc, false}, {pis[
+                                             static_cast<std::size_t>(i)],
+                                         false}});
+  n.add_output("y", acc, false);
+  const FlowMapResult result = flowmap(n, 4);
+  EXPECT_EQ(result.stats.depth, 2);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(result.circuit)));
+}
+
+TEST(FlowMap, ExploitsReconvergence) {
+  // y = (a & !b) | (!a & b): 4 gates of 2 inputs, but only 2 distinct
+  // signals — FlowMap covers the whole xor in one 2-input LUT. This is
+  // exactly what the paper's future-work section asks for (Chortle's
+  // tree mapping cannot see it).
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto t1 = n.add_gate(net::GateOp::kAnd, {{a, false}, {b, true}});
+  const auto t2 = n.add_gate(net::GateOp::kAnd, {{a, true}, {b, false}});
+  const auto r = n.add_gate(net::GateOp::kOr, {{t1, false}, {t2, false}});
+  n.add_output("y", r, false);
+  const FlowMapResult result = flowmap(n, 2);
+  EXPECT_EQ(result.stats.num_luts, 1);
+  EXPECT_EQ(result.stats.depth, 1);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(result.circuit)));
+}
+
+TEST(FlowMap, RequiresKBoundedInput) {
+  net::Network n;
+  std::vector<net::Fanin> fanins;
+  for (int i = 0; i < 5; ++i) fanins.push_back({n.add_input(""), false});
+  n.add_output("y", n.add_gate(net::GateOp::kAnd, fanins), false);
+  EXPECT_THROW(flowmap(n, 4), InvalidInput);
+  EXPECT_NO_THROW(flowmap(n, 5));
+}
+
+class FlowMapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowMapProperty, CorrectAndDepthOptimalOnSubjectGraphs) {
+  const net::Network dag = testing::random_dag(12, 8, 70, GetParam());
+  const net::Network subject = libmap::build_subject_graph(dag);
+  for (int k : {3, 4, 5}) {
+    const FlowMapResult result = flowmap(subject, k);
+    EXPECT_TRUE(sim::equivalent(sim::design_of(subject),
+                                sim::design_of(result.circuit)))
+        << "seed=" << GetParam() << " k=" << k;
+    for (const net::Lut& lut : result.circuit.luts())
+      EXPECT_LE(static_cast<int>(lut.inputs.size()), k);
+    // Depth optimality (for this K-bounded structure): no LUT circuit
+    // can beat ceil(depth / something); we check the weaker but exact
+    // property depth(K) <= depth(K-1) and depth <= gate depth.
+    EXPECT_LE(result.stats.depth, subject.depth());
+    // FlowMap's depth can never exceed the area mapper's depth on the
+    // same structure... (not true in general; instead compare against
+    // the trivial one-gate-per-LUT mapping depth):
+  }
+  // Monotone in K.
+  int previous = 1 << 30;
+  for (int k : {2, 3, 4, 5, 6}) {
+    const int depth = flowmap(subject, k).stats.depth;
+    EXPECT_LE(depth, previous) << "k=" << k;
+    previous = depth;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowMapProperty,
+                         ::testing::Range<std::uint64_t>(200, 208));
+
+// FlowMap optimizes depth; Chortle optimizes area. On the same
+// networks FlowMap's depth is never worse than Chortle's.
+TEST(FlowMap, DepthBeatsOrMatchesChortle) {
+  for (std::uint64_t seed = 220; seed < 226; ++seed) {
+    const net::Network dag = testing::random_dag(12, 8, 80, seed);
+    for (int k : {4, 5}) {
+      core::Options options;
+      options.k = k;
+      const core::MapResult chortle = core::map_network(dag, options);
+      const net::Network subject = libmap::build_subject_graph(dag);
+      const FlowMapResult fm = flowmap(subject, k);
+      EXPECT_LE(fm.stats.depth, chortle.stats.depth)
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chortle::flowmap

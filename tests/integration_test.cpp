@@ -1,0 +1,82 @@
+// End-to-end pipeline tests: benchmark generation -> optimization ->
+// both technology mappers -> functional verification, exactly the flow
+// the paper's Tables 1-4 measure.
+#include <gtest/gtest.h>
+
+#include "blif/blif.hpp"
+#include "chortle/mapper.hpp"
+#include "flowmap/flowmap.hpp"
+#include "libmap/matcher.hpp"
+#include "libmap/subject.hpp"
+#include "mcnc/generators.hpp"
+#include "opt/script.hpp"
+#include "sim/simulate.hpp"
+
+namespace chortle {
+namespace {
+
+class PipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelineTest, FullFlowForK4) {
+  const std::string name = GetParam();
+  const sop::SopNetwork source = mcnc::generate(name);
+  const opt::OptimizedDesign design = opt::optimize(source);
+  ASSERT_TRUE(sim::equivalent(sim::design_of(source),
+                              sim::design_of(design.network)));
+
+  core::Options options;
+  options.k = 4;
+  const core::MapResult chortle = core::map_network(design.network, options);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(source),
+                              sim::design_of(chortle.circuit)));
+
+  const libmap::Library library = libmap::Library::level0_kernels(4);
+  const libmap::BaselineResult baseline =
+      libmap::map_with_library(design.network, library);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(source),
+                              sim::design_of(baseline.circuit)));
+
+  EXPECT_GT(chortle.stats.num_luts, 0);
+  EXPECT_GT(baseline.stats.num_luts, 0);
+}
+
+// The fast subset of the benchmarks; the full set runs in the table
+// benches.
+INSTANTIATE_TEST_SUITE_P(Benchmarks, PipelineTest,
+                         ::testing::Values("9symml", "alu2", "count",
+                                           "apex7", "frg1", "rot"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Pipeline, BlifInBlifOut) {
+  // The user-facing flow: BLIF text in, optimized LUT BLIF out.
+  const sop::SopNetwork source = mcnc::generate("apex7");
+  const std::string input_blif = blif::write_blif_string(source, "apex7");
+
+  const blif::BlifModel model = blif::read_blif_string(input_blif);
+  const opt::OptimizedDesign design = opt::optimize(model.network);
+  core::Options options;
+  options.k = 5;
+  const core::MapResult mapped = core::map_network(design.network, options);
+  const std::string output_blif =
+      blif::write_blif_string(mapped.circuit, "apex7_luts");
+
+  const blif::BlifModel reread = blif::read_blif_string(output_blif);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(model.network),
+                              sim::design_of(reread.network)));
+}
+
+TEST(Pipeline, FlowMapOnOptimizedBenchmark) {
+  const sop::SopNetwork source = mcnc::generate("frg1");
+  const opt::OptimizedDesign design = opt::optimize(source);
+  const net::Network subject = libmap::build_subject_graph(design.network);
+  const flowmap::FlowMapResult fm = flowmap::flowmap(subject, 5);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(source),
+                              sim::design_of(fm.circuit)));
+  core::Options options;
+  options.k = 5;
+  const core::MapResult chortle = core::map_network(design.network, options);
+  EXPECT_LE(fm.stats.depth, chortle.stats.depth);
+}
+
+}  // namespace
+}  // namespace chortle

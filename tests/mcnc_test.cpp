@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "blif/blif.hpp"
+#include "mcnc/generators.hpp"
+#include "mcnc/random_logic.hpp"
+#include "sim/simulate.hpp"
+
+namespace chortle::mcnc {
+namespace {
+
+using sim::Word;
+
+std::vector<Word> eval(const sop::SopNetwork& net,
+                       const std::vector<Word>& in) {
+  return sim::design_of(net).eval(in);
+}
+
+TEST(Generators, AllBenchmarksBuildAndAreDeterministic) {
+  for (const std::string& name : benchmark_names()) {
+    const sop::SopNetwork a = generate(name);
+    const sop::SopNetwork b = generate(name);
+    EXPECT_EQ(blif::write_blif_string(a, name),
+              blif::write_blif_string(b, name))
+        << name;
+    EXPECT_GE(a.outputs().size(), 1u) << name;
+    a.check();
+  }
+}
+
+TEST(Generators, NineSymSymmetricRule) {
+  const sop::SopNetwork net = make_9symml();
+  ASSERT_EQ(net.inputs().size(), 9u);
+  // Exhaustive check against the popcount rule.
+  const sim::Design d = sim::design_of(net);
+  for (std::uint64_t base = 0; base < 512; base += 64) {
+    std::vector<Word> in(9, 0);
+    for (int lane = 0; lane < 64; ++lane)
+      for (int i = 0; i < 9; ++i)
+        if (((base + static_cast<std::uint64_t>(lane)) >> i) & 1)
+          in[static_cast<std::size_t>(i)] |= Word{1} << lane;
+    const Word out = d.eval(in)[0];
+    for (int lane = 0; lane < 64; ++lane) {
+      const int weight = std::popcount(base + static_cast<std::uint64_t>(lane));
+      EXPECT_EQ((out >> lane) & 1, (weight >= 3 && weight <= 6) ? 1u : 0u);
+    }
+  }
+  // Symmetric: permuting inputs never changes the output.
+  std::vector<Word> in1(9, 0), in2(9, 0);
+  in1[0] = ~Word{0};
+  in2[7] = ~Word{0};
+  EXPECT_EQ(d.eval(in1)[0], d.eval(in2)[0]);
+}
+
+TEST(Generators, AluAddsInArithmeticMode) {
+  // bits=3: mode m=0 (arithmetic), s0=0 (no b inversion): out = a+b+cin.
+  const sop::SopNetwork net = make_alu(3, "");
+  const sim::Design d = sim::design_of(net);
+  // Input order: a0..a2, b0..b2, cin, s0, s1, m.
+  ASSERT_EQ(d.input_names.size(), 10u);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      std::vector<Word> in(10, 0);
+      for (int i = 0; i < 3; ++i) {
+        if ((a >> i) & 1) in[static_cast<std::size_t>(i)] = ~Word{0};
+        if ((b >> i) & 1) in[static_cast<std::size_t>(3 + i)] = ~Word{0};
+      }
+      const auto out = d.eval(in);
+      // Outputs: out0..out2, carry, ovf, zero.
+      int sum = 0;
+      for (int i = 0; i < 3; ++i) sum |= static_cast<int>(out[
+          static_cast<std::size_t>(i)] & 1) << i;
+      const int carry = static_cast<int>(out[3] & 1);
+      EXPECT_EQ(sum | (carry << 3), a + b) << a << "+" << b;
+      EXPECT_EQ(static_cast<int>(out[5] & 1), sum == 0 ? 1 : 0);
+    }
+  }
+}
+
+TEST(Generators, AluSubtractsWithS0) {
+  const sop::SopNetwork net = make_alu(3, "");
+  const sim::Design d = sim::design_of(net);
+  // s0=1, cin=1: out = a + ~b + 1 = a - b (mod 8).
+  for (int a = 0; a < 8; ++a)
+    for (int b = 0; b < 8; ++b) {
+      std::vector<Word> in(10, 0);
+      for (int i = 0; i < 3; ++i) {
+        if ((a >> i) & 1) in[static_cast<std::size_t>(i)] = ~Word{0};
+        if ((b >> i) & 1) in[static_cast<std::size_t>(3 + i)] = ~Word{0};
+      }
+      in[6] = ~Word{0};  // cin
+      in[7] = ~Word{0};  // s0
+      const auto out = d.eval(in);
+      int sum = 0;
+      for (int i = 0; i < 3; ++i) sum |= static_cast<int>(out[
+          static_cast<std::size_t>(i)] & 1) << i;
+      EXPECT_EQ(sum, (a - b) & 7);
+    }
+}
+
+TEST(Generators, CountIncrements) {
+  const sop::SopNetwork net = make_count(8);
+  const sim::Design d = sim::design_of(net);
+  for (int x : {0, 1, 5, 127, 254, 255}) {
+    std::vector<Word> in(9, 0);
+    for (int i = 0; i < 8; ++i)
+      if ((x >> i) & 1) in[static_cast<std::size_t>(i)] = ~Word{0};
+    in[8] = ~Word{0};  // enable
+    const auto out = d.eval(in);
+    int q = 0;
+    for (int i = 0; i < 8; ++i)
+      q |= static_cast<int>(out[static_cast<std::size_t>(i)] & 1) << i;
+    const int carry = static_cast<int>(out[8] & 1);
+    EXPECT_EQ(q | (carry << 8), x + 1);
+    // Disabled: passthrough.
+    in[8] = 0;
+    const auto out0 = d.eval(in);
+    int q0 = 0;
+    for (int i = 0; i < 8; ++i)
+      q0 |= static_cast<int>(out0[static_cast<std::size_t>(i)] & 1) << i;
+    EXPECT_EQ(q0, x);
+  }
+}
+
+TEST(Generators, RotRotates) {
+  const sop::SopNetwork net = make_rot(8, 3);
+  const sim::Design d = sim::design_of(net);
+  for (int amount = 0; amount < 8; ++amount) {
+    std::vector<Word> in(11, 0);
+    in[3] = ~Word{0};  // d3 = 1, rest 0
+    for (int j = 0; j < 3; ++j)
+      if ((amount >> j) & 1) in[static_cast<std::size_t>(8 + j)] = ~Word{0};
+    const auto out = d.eval(in);
+    for (int i = 0; i < 8; ++i) {
+      const bool expect_one = (i + amount) % 8 == 3;
+      EXPECT_EQ(out[static_cast<std::size_t>(i)] & 1,
+                expect_one ? 1u : 0u)
+          << "amount=" << amount << " i=" << i;
+    }
+  }
+}
+
+TEST(Generators, PairSelectsAndCompares) {
+  const sop::SopNetwork net = make_pair(4);
+  const sim::Design d = sim::design_of(net);
+  auto set_bus = [&](std::vector<Word>& in, int offset, int value) {
+    for (int i = 0; i < 4; ++i)
+      in[static_cast<std::size_t>(offset + i)] =
+          ((value >> i) & 1) ? ~Word{0} : 0;
+  };
+  std::vector<Word> in(17, 0);
+  set_bus(in, 0, 5);   // a
+  set_bus(in, 4, 6);   // b
+  set_bus(in, 8, 9);   // c
+  set_bus(in, 12, 2);  // d
+  const auto read = [&](const std::vector<Word>& out, int offset) {
+    int v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<int>(out[static_cast<std::size_t>(offset + i)] & 1)
+           << i;
+    return v;
+  };
+  // Output order: r0..3, then interleaved sum1/sum2, carries, eq.
+  const sim::Design design = d;
+  const auto out = design.eval(in);
+  // sel=0 -> r = sum1 = (5+6)&15 = 11; sum2 = 11 too -> eq = 1.
+  EXPECT_EQ(read(out, 0), 11);
+  EXPECT_EQ(out.back() & 1, 1u);  // eq output is last
+  in[16] = ~Word{0};               // sel = 1 -> r = sum2
+  const auto out2 = design.eval(in);
+  EXPECT_EQ(read(out2, 0), 11);
+}
+
+TEST(Generators, FlattenToPlaPreservesFunction) {
+  const sop::SopNetwork structural = make_alu(2, "");
+  const sop::SopNetwork pla = flatten_to_pla(structural);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(structural),
+                              sim::design_of(pla)));
+  // Two-level: every node reads only primary inputs.
+  for (sop::SopNetwork::NodeId id : pla.topological_order())
+    for (sop::SopNetwork::NodeId fanin : pla.fanins(id))
+      EXPECT_TRUE(pla.is_input(fanin));
+}
+
+TEST(Generators, DesRoundShape) {
+  const sop::SopNetwork net = make_des_round();
+  EXPECT_EQ(net.inputs().size(), 112u);
+  EXPECT_EQ(net.outputs().size(), 64u);
+  // New left half equals old right half (wiring outputs).
+  const sim::Design d = sim::design_of(net);
+  std::vector<Word> in(112, 0);
+  in[32] = ~Word{0};  // r0 = 1
+  const auto out = d.eval(in);
+  // Outputs: nr0..nr31 then r0..r31.
+  EXPECT_EQ(out[32], ~Word{0});
+}
+
+TEST(RandomLogic, DeterministicAndSized) {
+  RandomLogicParams params;
+  params.num_inputs = 12;
+  params.num_outputs = 6;
+  params.num_gates = 50;
+  params.seed = 42;
+  const sop::SopNetwork a = random_logic(params);
+  const sop::SopNetwork b = random_logic(params);
+  EXPECT_EQ(blif::write_blif_string(a, "a"), blif::write_blif_string(b, "a"));
+  EXPECT_EQ(a.inputs().size(), 12u);
+  EXPECT_EQ(a.outputs().size(), 6u);
+  params.seed = 43;
+  const sop::SopNetwork c = random_logic(params);
+  EXPECT_NE(blif::write_blif_string(a, "a"), blif::write_blif_string(c, "a"));
+}
+
+TEST(RandomLogic, RejectsBadParameters) {
+  RandomLogicParams params;
+  params.num_inputs = 1;
+  EXPECT_THROW(random_logic(params), InvalidInput);
+}
+
+}  // namespace
+}  // namespace chortle::mcnc

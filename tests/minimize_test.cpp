@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/rng.hpp"
+#include "mcnc/generators.hpp"
+#include "opt/simplify.hpp"
+#include "sim/simulate.hpp"
+#include "sop/isop.hpp"
+#include "sop/minimize.hpp"
+
+namespace chortle::sop {
+namespace {
+
+Literal P(int v) { return make_literal(v, false); }
+Literal N(int v) { return make_literal(v, true); }
+Cube cube(std::vector<Literal> lits) { return Cube(std::move(lits)); }
+
+Cover random_cover(Rng& rng, int num_vars, int num_cubes, int width) {
+  std::vector<Cube> cubes;
+  for (int i = 0; i < num_cubes; ++i) {
+    std::vector<Literal> lits;
+    std::vector<int> used;
+    for (int j = 0; j < width; ++j) {
+      const int v = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(num_vars)));
+      if (std::find(used.begin(), used.end(), v) != used.end()) continue;
+      used.push_back(v);
+      lits.push_back(make_literal(v, rng.next_bool()));
+    }
+    cubes.push_back(Cube(std::move(lits)));
+  }
+  return Cover(std::move(cubes));
+}
+
+TEST(BooleanCofactor, DropsOppositePhaseCubes) {
+  // F = a b + a' c + d
+  const Cover f({cube({P(0), P(1)}), cube({N(0), P(2)}), cube({P(3)})});
+  const Cover fa = boolean_cofactor(f, P(0));
+  EXPECT_EQ(fa.num_cubes(), 2);  // b, d
+  const Cover fan = boolean_cofactor(f, N(0));
+  EXPECT_EQ(fan.num_cubes(), 2);  // c, d
+}
+
+TEST(Tautology, BasicCases) {
+  EXPECT_FALSE(is_tautology(Cover::zero()));
+  EXPECT_TRUE(is_tautology(Cover::one()));
+  // a + a' is a tautology; a + b is not.
+  EXPECT_TRUE(is_tautology(Cover({cube({P(0)}), cube({N(0)})})));
+  EXPECT_FALSE(is_tautology(Cover({cube({P(0)}), cube({P(1)})})));
+  // ab + ab' + a'b + a'b' covers everything.
+  EXPECT_TRUE(is_tautology(Cover({cube({P(0), P(1)}), cube({P(0), N(1)}),
+                                  cube({N(0), P(1)}), cube({N(0), N(1)})})));
+  // Missing one corner.
+  EXPECT_FALSE(is_tautology(Cover({cube({P(0), P(1)}), cube({P(0), N(1)}),
+                                   cube({N(0), P(1)})})));
+  // xor + xnor of deeper vars.
+  EXPECT_TRUE(is_tautology(Cover({cube({P(3), N(5)}), cube({N(3), P(5)}),
+                                  cube({P(3), P(5)}), cube({N(3), N(5)})})));
+}
+
+TEST(Tautology, AgreesWithTruthTablesOnRandomCovers) {
+  Rng rng(91);
+  int tautologies = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int vars = 4;
+    const Cover f = random_cover(rng, vars, 6, 2);
+    const bool expected =
+        f.evaluate(vars, [](int v) { return v; }).is_one();
+    EXPECT_EQ(is_tautology(f), expected);
+    if (expected) ++tautologies;
+  }
+  EXPECT_GT(tautologies, 0);  // the trial mix must exercise both sides
+}
+
+TEST(CoversCube, MatchesSemantics) {
+  // F = ab + a'  covers the cube b but not the cube a.
+  const Cover f({cube({P(0), P(1)}), cube({N(0)})});
+  EXPECT_TRUE(covers_cube(f, cube({P(1)})));
+  EXPECT_FALSE(covers_cube(f, cube({P(0)})));
+  EXPECT_TRUE(covers_cube(f, cube({N(0), P(3)})));
+  EXPECT_FALSE(covers_cube(f, Cube::one()));
+}
+
+TEST(Expand, ReachesPrimes) {
+  // F = ab + a'b: both cubes expand to b.
+  const Cover f({cube({P(0), P(1)}), cube({N(0), P(1)})});
+  const Cover result = expanded(f);
+  EXPECT_EQ(result.num_cubes(), 1);
+  EXPECT_EQ(result.cube(0), cube({P(1)}));
+}
+
+TEST(Irredundant, DropsCoveredCubes) {
+  // F = a + b + ab: the consensus cube ab is redundant.
+  const Cover f({cube({P(0)}), cube({P(1)}), cube({P(0), P(1)})});
+  const Cover result = irredundant(f);
+  EXPECT_EQ(result.num_cubes(), 2);
+}
+
+class MinimizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinimizeProperty, PreservesFunctionAndNeverGrows) {
+  Rng rng(GetParam());
+  const int vars = 6;
+  const Cover f = random_cover(rng, vars, 8, 3);
+  MinimizeStats stats;
+  const Cover g = minimized(f, &stats);
+  EXPECT_EQ(f.evaluate(vars, [](int v) { return v; }),
+            g.evaluate(vars, [](int v) { return v; }));
+  EXPECT_LE(stats.cubes_after, stats.cubes_before);
+  // Every remaining cube is a prime: no literal can be dropped.
+  for (const Cube& c : g.cubes())
+    for (Literal lit : c.literals())
+      EXPECT_FALSE(covers_cube(g, c.without_literal(lit)))
+          << "non-prime cube survived";
+  // ... and necessary: dropping it changes the function.
+  for (int i = 0; i < g.num_cubes(); ++i) {
+    std::vector<Cube> rest;
+    for (int j = 0; j < g.num_cubes(); ++j)
+      if (j != i) rest.push_back(g.cube(j));
+    EXPECT_FALSE(covers_cube(Cover(std::move(rest)), g.cube(i)))
+        << "redundant cube survived";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeProperty,
+                         ::testing::Range<std::uint64_t>(700, 720));
+
+TEST(Minimize, IsopOutputsStayFixed) {
+  // ISOP covers are already irredundant; minimization may still merge
+  // them into fewer primes but must not change the function.
+  Rng rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    truth::TruthTable f(5);
+    for (std::uint64_t m = 0; m < 32; ++m) f.set_bit(m, rng.next_bool());
+    const Cover cover = isop(f);
+    const Cover smaller = minimized(cover);
+    EXPECT_EQ(evaluate_local(smaller, 5), f);
+    EXPECT_LE(smaller.num_cubes(), cover.num_cubes());
+  }
+}
+
+TEST(SimplifyCovers, ShrinksNetworksAndPreservesFunction) {
+  for (const char* name : {"9symml", "count", "apex7"}) {
+    sop::SopNetwork network = mcnc::generate(name);
+    const sop::SopNetwork original = network;
+    const opt::SimplifyStats stats = opt::simplify_covers(network);
+    EXPECT_LE(stats.literals_after, stats.literals_before) << name;
+    EXPECT_TRUE(sim::equivalent(sim::design_of(original),
+                                sim::design_of(network)))
+        << name;
+  }
+}
+
+TEST(SimplifyCovers, SkipsOversizedCovers) {
+  sop::SopNetwork network = mcnc::generate("9symml");  // 80+ cube node
+  opt::SimplifyOptions options;
+  options.max_cubes = 4;
+  const opt::SimplifyStats stats = opt::simplify_covers(network, options);
+  EXPECT_GE(stats.nodes_skipped, 1);
+  EXPECT_EQ(stats.literals_before, stats.literals_after);
+}
+
+}  // namespace
+}  // namespace chortle::sop

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "network/lut_circuit.hpp"
+#include "network/network.hpp"
+
+namespace chortle::net {
+namespace {
+
+TEST(Network, BuildAndQuery) {
+  Network n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId g1 = n.add_gate(GateOp::kAnd, {{a, false}, {b, true}});
+  const NodeId g2 = n.add_gate(GateOp::kOr, {{g1, false}, {c, false}});
+  n.add_output("y", g2, false);
+  n.check();
+  EXPECT_EQ(n.num_inputs(), 3);
+  EXPECT_EQ(n.num_gates(), 2);
+  EXPECT_EQ(n.num_edges(), 4);
+  EXPECT_EQ(n.max_fanin(), 2);
+  EXPECT_EQ(n.depth(), 2);
+  EXPECT_EQ(n.gates_in_topo_order(), (std::vector<NodeId>{g1, g2}));
+  const auto refs = n.reference_counts();
+  EXPECT_EQ(refs[static_cast<std::size_t>(g1)], 1);
+  EXPECT_EQ(refs[static_cast<std::size_t>(g2)], 1);  // the output
+  EXPECT_EQ(refs[static_cast<std::size_t>(a)], 1);
+}
+
+TEST(Network, GateValidation) {
+  Network n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  EXPECT_THROW(n.add_gate(GateOp::kAnd, {{a, false}}), InvalidInput);
+  EXPECT_THROW(n.add_gate(GateOp::kAnd, {{a, false}, {a, true}}),
+               InvalidInput);
+  EXPECT_THROW(n.add_gate(GateOp::kAnd, {{a, false}, {5, false}}),
+               InvalidInput);
+  EXPECT_NO_THROW(n.add_gate(GateOp::kAnd, {{a, false}, {b, false}}));
+}
+
+TEST(Network, ConstOutputsAndHistogram) {
+  Network n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  n.add_gate(GateOp::kAnd, {{a, false}, {b, false}, {c, false}});
+  n.add_const_output("zero", false);
+  n.add_output("y", 3, true);
+  n.check();
+  const auto hist = n.fanin_histogram();
+  EXPECT_EQ(hist[3], 1);
+  EXPECT_TRUE(n.outputs()[0].is_const);
+  EXPECT_FALSE(n.outputs()[0].const_value);
+  EXPECT_TRUE(n.outputs()[1].negated);
+}
+
+TEST(LutCircuit, BuildAndDepth) {
+  LutCircuit c(4);
+  const SignalId a = c.add_input("a");
+  const SignalId b = c.add_input("b");
+  net::Lut l1{{a, b}, truth::TruthTable::from_binary("1000"), "g"};
+  const SignalId s1 = c.add_lut(l1);
+  net::Lut l2{{s1, a}, truth::TruthTable::from_binary("0110"), "h"};
+  const SignalId s2 = c.add_lut(l2);
+  c.add_output("y", s2);
+  c.check();
+  EXPECT_EQ(c.num_luts(), 2);
+  EXPECT_EQ(c.num_signals(), 4);
+  EXPECT_EQ(c.depth(), 2);
+  EXPECT_EQ(c.lut_of(s2).name, "h");
+  EXPECT_TRUE(c.is_input_signal(a));
+  EXPECT_FALSE(c.is_input_signal(s1));
+}
+
+TEST(LutCircuit, Validation) {
+  LutCircuit c(2);
+  const SignalId a = c.add_input("a");
+  const SignalId b = c.add_input("b");
+  const SignalId x = c.add_input("x");
+  // Too many inputs for K=2.
+  EXPECT_THROW(
+      c.add_lut(net::Lut{{a, b, x}, truth::TruthTable(3), ""}),
+      InvalidInput);
+  // Arity mismatch.
+  EXPECT_THROW(c.add_lut(net::Lut{{a, b}, truth::TruthTable(3), ""}),
+               InvalidInput);
+  // Duplicate inputs.
+  EXPECT_THROW(c.add_lut(net::Lut{{a, a}, truth::TruthTable(2), ""}),
+               InvalidInput);
+  // Unknown signal in output.
+  EXPECT_THROW(c.add_output("y", 99), InvalidInput);
+  EXPECT_THROW(LutCircuit(0), InvalidInput);
+}
+
+TEST(LutCircuit, InputsMustPrecedeLuts) {
+  LutCircuit c(2);
+  const SignalId a = c.add_input("a");
+  const SignalId b = c.add_input("b");
+  c.add_lut(net::Lut{{a, b}, truth::TruthTable(2), ""});
+  EXPECT_THROW(c.add_input("late"), InvalidInput);
+}
+
+}  // namespace
+}  // namespace chortle::net

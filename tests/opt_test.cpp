@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "blif/blif.hpp"
+#include "mcnc/generators.hpp"
+#include "mcnc/random_logic.hpp"
+#include "opt/decompose.hpp"
+#include "opt/extract.hpp"
+#include "opt/script.hpp"
+#include "opt/sweep.hpp"
+#include "sim/simulate.hpp"
+
+namespace chortle::opt {
+namespace {
+
+sop::SopNetwork from_blif(const std::string& text) {
+  return blif::read_blif_string(text).network;
+}
+
+TEST(Sweep, PropagatesConstantsThroughTheNetwork) {
+  // t = a & !a = 0; y = t | b  ->  y = b (wire), t dead.
+  sop::SopNetwork net = from_blif(
+      ".model m\n.inputs a b\n.outputs y\n"
+      ".names a t\n# t = const 0 via empty cover\n"
+      ".names t b y\n1- 1\n-1 1\n.end\n");
+  const SweepStats stats = sweep(net);
+  EXPECT_GE(stats.constants_propagated, 1);
+  EXPECT_EQ(net.find("t"), sop::SopNetwork::kInvalidNode);  // pruned
+  // y reduced to the single literal b.
+  const auto& y = net.node(net.find("y")).cover;
+  EXPECT_EQ(y.num_cubes(), 1);
+  EXPECT_EQ(y.cube(0).size(), 1);
+}
+
+TEST(Sweep, CollapsesWireChains) {
+  // w1 = a; w2 = !w1; y = w2 & b  ->  y = !a & b.
+  sop::SopNetwork net = from_blif(
+      ".model m\n.inputs a b\n.outputs y\n"
+      ".names a w1\n1 1\n.names w1 w2\n0 1\n"
+      ".names w2 b y\n11 1\n.end\n");
+  const sop::SopNetwork original = net;
+  const SweepStats stats = sweep(net);
+  EXPECT_GE(stats.wires_collapsed, 2);
+  EXPECT_EQ(stats.nodes_pruned, 2);
+  const auto y = net.find("y");
+  EXPECT_EQ(net.fanins(y), (std::vector<sop::SopNetwork::NodeId>{
+                               net.find("a"), net.find("b")}));
+  EXPECT_TRUE(sim::equivalent(sim::design_of(original),
+                              sim::design_of(net)));
+}
+
+TEST(Sweep, KeepsOutputWires) {
+  // An inverter that drives a primary output must survive.
+  sop::SopNetwork net = from_blif(
+      ".model m\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n");
+  sweep(net);
+  ASSERT_NE(net.find("y"), sop::SopNetwork::kInvalidNode);
+  EXPECT_TRUE(sim::equivalent(
+      sim::design_of(from_blif(
+          ".model m\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n")),
+      sim::design_of(net)));
+}
+
+TEST(Sweep, PreservesFunctionOnRandomNetworks) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    mcnc::RandomLogicParams params;
+    params.num_inputs = 10;
+    params.num_outputs = 6;
+    params.num_gates = 60;
+    params.seed = seed;
+    sop::SopNetwork net = mcnc::random_logic(params);
+    const sop::SopNetwork original = net;
+    const SweepStats stats = sweep(net);
+    EXPECT_LE(stats.literals_after, stats.literals_before);
+    EXPECT_TRUE(sim::equivalent(sim::design_of(original),
+                                sim::design_of(net)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Extract, TextbookDivisor) {
+  // f = ab + ac, g = db + dc share divisor (b + c).
+  sop::SopNetwork net = from_blif(
+      ".model m\n.inputs a b c d\n.outputs f g\n"
+      ".names a b c f\n11- 1\n1-1 1\n"
+      ".names d b c g\n11- 1\n1-1 1\n.end\n");
+  const sop::SopNetwork original = net;
+  const int before = net.total_literals();
+  const ExtractStats stats = extract_divisors(net);
+  EXPECT_GE(stats.divisors_extracted, 1);
+  EXPECT_LT(net.total_literals(), before);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(original),
+                              sim::design_of(net)));
+  // f and g now reference the shared divisor node.
+  EXPECT_NE(net.find("ext0"), sop::SopNetwork::kInvalidNode);
+}
+
+TEST(Extract, StopsWhenNothingSaves) {
+  sop::SopNetwork net = from_blif(
+      ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n");
+  const ExtractStats stats = extract_divisors(net);
+  EXPECT_EQ(stats.divisors_extracted, 0);
+  EXPECT_EQ(stats.literals_before, stats.literals_after);
+}
+
+TEST(Extract, PreservesFunctionOnRandomNetworks) {
+  for (std::uint64_t seed = 21; seed <= 25; ++seed) {
+    mcnc::RandomLogicParams params;
+    params.num_inputs = 10;
+    params.num_outputs = 5;
+    params.num_gates = 40;
+    params.seed = seed;
+    sop::SopNetwork net = mcnc::random_logic(params);
+    sweep(net);
+    const sop::SopNetwork swept = net;
+    extract_divisors(net);
+    EXPECT_TRUE(sim::equivalent(sim::design_of(swept), sim::design_of(net)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Decompose, BuildsAndOrGatesWithPolarities) {
+  // y = a!b + c  ->  OR(AND(a, !b), c).
+  const sop::SopNetwork net = from_blif(
+      ".model m\n.inputs a b c\n.outputs y\n"
+      ".names a b c y\n10- 1\n--1 1\n.end\n");
+  const net::Network out = decompose_to_and_or(net);
+  EXPECT_EQ(out.num_gates(), 2);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(net), sim::design_of(out)));
+}
+
+TEST(Decompose, HandlesWiresConstantsAndNegatedOutputs) {
+  // y = !a (wire), z = a + !a (const 1), w = a & !a (const 0).
+  sop::SopNetwork net = from_blif(
+      ".model m\n.inputs a b\n.outputs y z w\n"
+      ".names a y\n0 1\n"
+      ".names a z\n0 1\n1 1\n"
+      ".names a aw\n1 1\n.names aw w0\n0 1\n.names a w0 w\n11 1\n.end\n");
+  const net::Network out = decompose_to_and_or(net);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(net), sim::design_of(out)));
+  // y is a negated PI reference: no gate needed.
+  bool found_y = false;
+  for (const net::Output& o : out.outputs()) {
+    if (o.name == "y") {
+      found_y = true;
+      EXPECT_FALSE(o.is_const);
+      EXPECT_TRUE(o.negated);
+    }
+    if (o.name == "z") EXPECT_TRUE(o.is_const && o.const_value);
+    if (o.name == "w") EXPECT_TRUE(o.is_const && !o.const_value);
+  }
+  EXPECT_TRUE(found_y);
+}
+
+TEST(Decompose, SharesStructurallyIdenticalGates) {
+  // Two nodes with the same cube over the same fanins share one AND.
+  const sop::SopNetwork net = from_blif(
+      ".model m\n.inputs a b c\n.outputs y z\n"
+      ".names a b c y\n11- 1\n--1 1\n"
+      ".names a b c z\n11- 1\n--0 1\n.end\n");
+  const net::Network out = decompose_to_and_or(net);
+  // AND(a,b) appears once, plus two OR roots.
+  EXPECT_EQ(out.num_gates(), 3);
+}
+
+TEST(Script, OptimizesBenchmarksAndPreservesFunction) {
+  for (const char* name : {"count", "alu2", "frg1"}) {
+    const sop::SopNetwork source = mcnc::generate(name);
+    const OptimizedDesign design = optimize(source);
+    EXPECT_TRUE(sim::equivalent(sim::design_of(source),
+                                sim::design_of(design.sop)))
+        << name;
+    EXPECT_TRUE(sim::equivalent(sim::design_of(source),
+                                sim::design_of(design.network)))
+        << name;
+    EXPECT_LE(design.stats.literals, source.total_literals()) << name;
+    EXPECT_GE(design.network.num_gates(), 1) << name;
+  }
+}
+
+}  // namespace
+}  // namespace chortle::opt

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "chortle/forest.hpp"
+#include "chortle/mapper.hpp"
+#include "chortle/reference.hpp"
+#include "chortle/tree_mapper.hpp"
+#include "chortle/work_tree.hpp"
+#include "helpers.hpp"
+#include "sim/simulate.hpp"
+
+namespace chortle::core {
+namespace {
+
+/// Builds the work tree of a single-tree network.
+WorkTree work_tree_of(const net::Network& n, const Options& options) {
+  const Forest forest = build_forest(n);
+  EXPECT_EQ(forest.trees.size(), 1u);
+  return build_work_tree(n, forest, forest.trees[0], options);
+}
+
+/// A chain/balanced AND network over `leaves` inputs (all distinct).
+net::Network wide_and(int leaves) {
+  net::Network n;
+  std::vector<net::Fanin> fanins;
+  for (int i = 0; i < leaves; ++i)
+    fanins.push_back(net::Fanin{n.add_input(""), false});
+  n.add_output("y", n.add_gate(net::GateOp::kAnd, fanins), false);
+  return n;
+}
+
+TEST(TreeMapper, SingleGateFitsOneLut) {
+  for (int k = 2; k <= 6; ++k) {
+    for (int fanin = 2; fanin <= k; ++fanin) {
+      Options options;
+      options.k = k;
+      TreeMapper mapper(work_tree_of(wide_and(fanin), options), options);
+      EXPECT_EQ(mapper.best_cost(), 1) << "k=" << k << " fanin=" << fanin;
+    }
+  }
+}
+
+// A fanout-free AND of L distinct leaves needs exactly
+// ceil((L-1)/(K-1)) K-input LUTs — the classical tree-covering bound.
+// Without node splitting the DP reaches it exactly.
+TEST(TreeMapper, WideAndMatchesClosedForm) {
+  for (int k = 2; k <= 6; ++k) {
+    for (int leaves = 2; leaves <= 16; ++leaves) {
+      Options options;
+      options.k = k;
+      options.split_threshold = 16;  // no splitting in this range
+      TreeMapper mapper(work_tree_of(wide_and(leaves), options), options);
+      const int expected = (leaves - 2) / (k - 1) + 1;
+      EXPECT_EQ(mapper.best_cost(), expected)
+          << "k=" << k << " leaves=" << leaves;
+    }
+  }
+}
+
+// With node splitting engaged (fanin > 10), the paper concedes that
+// optimality is no longer guaranteed (§3.1.4: "we can no longer
+// guarantee finding the optimal decomposition"). On wide single ANDs
+// the observed loss is at most one LUT.
+TEST(TreeMapper, WideAndWithSplittingStaysWithinOneLut) {
+  for (int k = 2; k <= 6; ++k) {
+    for (int leaves = 11; leaves <= 30; ++leaves) {
+      Options options;
+      options.k = k;  // default split_threshold = 10
+      TreeMapper mapper(work_tree_of(wide_and(leaves), options), options);
+      const int optimal = (leaves - 2) / (k - 1) + 1;
+      EXPECT_GE(mapper.best_cost(), optimal)
+          << "k=" << k << " leaves=" << leaves;
+      EXPECT_LE(mapper.best_cost(), optimal + 1)
+          << "k=" << k << " leaves=" << leaves;
+    }
+  }
+}
+
+TEST(TreeMapper, PaperFigure5Example) {
+  // A 2-level tree: root OR(n1, n2) with n1 = AND(a, b, c) and
+  // n2 = AND(d, e); with K=4 the mapping of Figure 5a (division {1,3})
+  // costs 2 LUTs.
+  net::Network n;
+  std::vector<net::NodeId> pis;
+  for (int i = 0; i < 5; ++i) pis.push_back(n.add_input(""));
+  const auto n1 = n.add_gate(net::GateOp::kAnd,
+                             {{pis[0], false}, {pis[1], false},
+                              {pis[2], false}});
+  const auto n2 = n.add_gate(net::GateOp::kAnd,
+                             {{pis[3], false}, {pis[4], false}});
+  const auto root = n.add_gate(net::GateOp::kOr,
+                               {{n1, false}, {n2, false}});
+  n.add_output("y", root, false);
+  Options options;
+  options.k = 4;
+  TreeMapper mapper(work_tree_of(n, options), options);
+  EXPECT_EQ(mapper.best_cost(), 2);
+  // With K=5 the whole tree fits one LUT.
+  options.k = 5;
+  TreeMapper mapper5(work_tree_of(n, options), options);
+  EXPECT_EQ(mapper5.best_cost(), 1);
+}
+
+using PropertyParam = std::tuple<std::uint64_t, int>;  // seed, K
+
+class TreeMapperProperty : public ::testing::TestWithParam<PropertyParam> {};
+
+// The production subset DP must return exactly the costs of the paper's
+// exhaustive utilization-division + decomposition enumeration.
+TEST_P(TreeMapperProperty, MatchesPaperEnumeration) {
+  const auto [seed, k] = GetParam();
+  Options options;
+  options.k = k;
+  const net::Network n = testing::random_tree(5, 5, 4, seed);
+  const WorkTree work = work_tree_of(n, options);
+  TreeMapper dp(work, options);
+  for (int node = 0; node < work.size(); ++node) {
+    for (int u = 2; u <= k; ++u)
+      EXPECT_EQ(dp.minmap_cost(node, u),
+                reference_minmap_cost(work, options, node, u))
+          << "seed=" << seed << " k=" << k << " node=" << node
+          << " u=" << u;
+  }
+  EXPECT_EQ(dp.best_cost(), reference_best_cost(work, options));
+}
+
+// Paper §3.1: cost(minmap(n, U)) >= cost(minmap(n, K)) for all U <= K
+// (whenever utilization K is feasible, minmap(root, K) is the optimum).
+TEST_P(TreeMapperProperty, UtilizationMonotonicity) {
+  const auto [seed, k] = GetParam();
+  Options options;
+  options.k = k;
+  const net::Network n = testing::random_tree(6, 8, 4, seed ^ 0xFF);
+  const WorkTree work = work_tree_of(n, options);
+  TreeMapper dp(work, options);
+  for (int node = 0; node < work.size(); ++node) {
+    const int best = dp.best_cost_of(node);
+    ASSERT_LT(best, kInfCost);
+    for (int u = 2; u <= k; ++u)
+      EXPECT_GE(dp.minmap_cost(node, u), best);
+    const int at_k = dp.minmap_cost(node, k);
+    if (at_k < kInfCost) {
+      EXPECT_EQ(at_k, best);
+    }
+  }
+}
+
+// The emitted circuit must realize the DP cost exactly and compute the
+// same function as the tree.
+TEST_P(TreeMapperProperty, EmittedCircuitIsCorrect) {
+  const auto [seed, k] = GetParam();
+  Options options;
+  options.k = k;
+  const net::Network n = testing::random_tree(6, 9, 5, seed ^ 0xABC);
+  const MapResult result = map_network(n, options);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(n),
+                              sim::design_of(result.circuit)))
+      << "seed=" << seed << " k=" << k;
+  for (const net::Lut& lut : result.circuit.luts())
+    EXPECT_LE(static_cast<int>(lut.inputs.size()), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, TreeMapperProperty,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 11),
+                       ::testing::Values(2, 3, 4, 5)));
+
+// The same DP-vs-paper-enumeration equality on larger, wider trees
+// (the reference enumerator is exponential, so sizes stay moderate but
+// well beyond the first suite's).
+class TreeMapperDeepProperty
+    : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(TreeMapperDeepProperty, MatchesPaperEnumerationOnWiderTrees) {
+  const auto [seed, k] = GetParam();
+  Options options;
+  options.k = k;
+  const net::Network n = testing::random_tree(7, 8, 5, seed * 977 + 5);
+  const WorkTree work = work_tree_of(n, options);
+  TreeMapper dp(work, options);
+  EXPECT_EQ(dp.best_cost(), reference_best_cost(work, options))
+      << "seed=" << seed << " k=" << k;
+  for (int node = 0; node < work.size(); ++node)
+    for (int u = 2; u <= k; ++u)
+      EXPECT_EQ(dp.minmap_cost(node, u),
+                reference_minmap_cost(work, options, node, u))
+          << "seed=" << seed << " k=" << k << " node=" << node
+          << " u=" << u;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, TreeMapperDeepProperty,
+    ::testing::Combine(::testing::Range<std::uint64_t>(50, 58),
+                       ::testing::Values(2, 4, 6)));
+
+// Lower bound: a circuit of K-input LUTs consuming L tree leaves needs
+// at least ceil((L-1)/(K-1)) tables (each table reduces the live
+// signal count by at most K-1). Optimal tree mappings must respect it.
+TEST(TreeMapper, RespectsInformationLowerBound) {
+  for (std::uint64_t seed = 900; seed < 915; ++seed) {
+    const net::Network n = testing::random_tree(10, 7, 5, seed);
+    for (int k = 2; k <= 6; ++k) {
+      Options options;
+      options.k = k;
+      const WorkTree work = work_tree_of(n, options);
+      TreeMapper mapper(work, options);
+      const int leaves = work.num_leaves;
+      const int bound = leaves <= k ? 1 : (leaves - 2) / (k - 1) + 1;
+      EXPECT_GE(mapper.best_cost(), bound)
+          << "seed=" << seed << " k=" << k << " leaves=" << leaves;
+    }
+  }
+}
+
+// Node splitting (paper §3.1.4): mapping quality is unchanged on
+// moderately wide nodes while the search gets cheaper.
+TEST(TreeMapper, SplittingPreservesQualityOnWideNodes) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const net::Network n = testing::random_tree(8, 4, 9, seed);
+    for (int k : {4, 5}) {
+      Options full;
+      full.k = k;
+      full.split_threshold = 12;  // wide enough: no splitting
+      Options split;
+      split.k = k;
+      split.split_threshold = 5;  // aggressive splitting
+      TreeMapper a(work_tree_of(n, full), full);
+      TreeMapper b(work_tree_of(n, split), split);
+      // The paper reports equal LUT counts experimentally; splitting
+      // can never improve on the unsplit optimum.
+      EXPECT_GE(b.best_cost(), a.best_cost());
+      EXPECT_LE(b.best_cost() - a.best_cost(), 1)
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+// Disabling the decomposition search can never help.
+TEST(TreeMapper, DecompositionSearchNeverHurts) {
+  for (std::uint64_t seed = 40; seed <= 48; ++seed) {
+    const net::Network n = testing::random_tree(8, 6, 6, seed);
+    for (int k : {3, 4, 5}) {
+      Options on;
+      on.k = k;
+      Options off;
+      off.k = k;
+      off.search_decompositions = false;
+      TreeMapper with(work_tree_of(n, on), on);
+      TreeMapper without(work_tree_of(n, off), off);
+      EXPECT_LE(with.best_cost(), without.best_cost())
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chortle::core

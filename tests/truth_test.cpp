@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "truth/canonical.hpp"
+#include "truth/truth_table.hpp"
+
+namespace chortle::truth {
+namespace {
+
+TEST(TruthTable, ConstantsAndProjections) {
+  for (int n = 0; n <= 8; ++n) {
+    EXPECT_TRUE(TruthTable::zeros(n).is_zero());
+    EXPECT_TRUE(TruthTable::ones(n).is_one());
+    EXPECT_EQ(TruthTable::ones(n).count_ones(), std::uint64_t{1} << n);
+    EXPECT_TRUE(TruthTable::zeros(n).is_const());
+  }
+  const TruthTable a = TruthTable::var(0, 2);
+  const TruthTable b = TruthTable::var(1, 2);
+  EXPECT_EQ(a.to_binary(), "1010");
+  EXPECT_EQ(b.to_binary(), "1100");
+  EXPECT_EQ((a & b).to_binary(), "1000");
+  EXPECT_EQ((a | b).to_binary(), "1110");
+  EXPECT_EQ((a ^ b).to_binary(), "0110");
+  EXPECT_EQ((~a).to_binary(), "0101");
+}
+
+TEST(TruthTable, ProjectionsAboveWordBoundary) {
+  // Variables 6+ select whole 64-bit words.
+  const TruthTable v6 = TruthTable::var(6, 7);
+  EXPECT_EQ(v6.words()[0], 0u);
+  EXPECT_EQ(v6.words()[1], ~std::uint64_t{0});
+  const TruthTable v7 = TruthTable::var(7, 8);
+  EXPECT_EQ(v7.count_ones(), 128u);
+  for (std::uint64_t m = 0; m < 256; ++m)
+    EXPECT_EQ(v7.bit(m), ((m >> 7) & 1) != 0);
+}
+
+TEST(TruthTable, FromBinaryRoundTrip) {
+  const TruthTable t = TruthTable::from_binary("0110");
+  EXPECT_EQ(t, TruthTable::var(0, 2) ^ TruthTable::var(1, 2));
+  EXPECT_EQ(t.to_binary(), "0110");
+  EXPECT_EQ(TruthTable::from_binary(t.to_binary()), t);
+  EXPECT_THROW(TruthTable::from_binary("011"), InvalidInput);
+  EXPECT_THROW(TruthTable::from_binary("01x0"), InvalidInput);
+}
+
+TEST(TruthTable, BitAccess) {
+  TruthTable t(3);
+  t.set_bit(5, true);
+  EXPECT_TRUE(t.bit(5));
+  EXPECT_EQ(t.count_ones(), 1u);
+  t.set_bit(5, false);
+  EXPECT_TRUE(t.is_zero());
+}
+
+TEST(TruthTable, CofactorsAndDependence) {
+  // f = a & b | c  over vars a=0, b=1, c=2.
+  const TruthTable a = TruthTable::var(0, 3), b = TruthTable::var(1, 3),
+                   c = TruthTable::var(2, 3);
+  const TruthTable f = (a & b) | c;
+  EXPECT_EQ(f.cofactor1(2), TruthTable::ones(3));
+  EXPECT_EQ(f.cofactor0(2), a & b);
+  EXPECT_EQ(f.cofactor0(0), c);
+  EXPECT_TRUE(f.depends_on(0));
+  EXPECT_TRUE(f.depends_on(1));
+  EXPECT_TRUE(f.depends_on(2));
+  EXPECT_FALSE((a & b).extend(3).depends_on(2));
+  EXPECT_EQ(f.support(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TruthTable, ShannonExpansionHolds) {
+  Rng rng(7);
+  for (int n = 1; n <= 9; ++n) {
+    TruthTable f(n);
+    for (std::uint64_t m = 0; m < f.num_minterms(); ++m)
+      f.set_bit(m, rng.next_bool());
+    for (int v = 0; v < n; ++v) {
+      const TruthTable x = TruthTable::var(v, n);
+      EXPECT_EQ(f, (x & f.cofactor1(v)) | (~x & f.cofactor0(v)));
+      EXPECT_FALSE(f.cofactor0(v).depends_on(v));
+      EXPECT_FALSE(f.cofactor1(v).depends_on(v));
+    }
+  }
+}
+
+TEST(TruthTable, PermuteMovesVariables) {
+  const TruthTable a = TruthTable::var(0, 3);
+  // Send variable 0 to slot 2.
+  const TruthTable p = a.permute({2, 0, 1});
+  EXPECT_EQ(p, TruthTable::var(2, 3));
+  EXPECT_THROW(a.permute({0, 0, 1}), InvalidInput);
+  EXPECT_THROW(a.permute({0, 1}), InvalidInput);
+}
+
+TEST(TruthTable, PermuteComposesWithInverse) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 5;
+    TruthTable f(n);
+    for (std::uint64_t m = 0; m < f.num_minterms(); ++m)
+      f.set_bit(m, rng.next_bool());
+    std::vector<int> perm{0, 1, 2, 3, 4};
+    rng.shuffle(perm);
+    std::vector<int> inverse(n);
+    for (int i = 0; i < n; ++i) inverse[static_cast<std::size_t>(
+        perm[static_cast<std::size_t>(i)])] = i;
+    EXPECT_EQ(f.permute(perm).permute(inverse), f);
+  }
+}
+
+TEST(TruthTable, FlipInput) {
+  const TruthTable a = TruthTable::var(0, 2);
+  EXPECT_EQ(a.flip_input(0), ~a);
+  EXPECT_EQ(a.flip_input(1), a);
+  const TruthTable f = a & TruthTable::var(1, 2);
+  EXPECT_EQ(f.flip_inputs(0b11), ~a & ~TruthTable::var(1, 2));
+  // Flipping twice restores.
+  EXPECT_EQ(f.flip_inputs(0b11).flip_inputs(0b11), f);
+}
+
+TEST(TruthTable, ExtendAndShrink) {
+  const TruthTable f =
+      TruthTable::var(0, 2) & TruthTable::var(1, 2);
+  const TruthTable wide = f.extend(5);
+  EXPECT_EQ(wide.num_vars(), 5);
+  EXPECT_EQ(wide.support(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(wide.shrink_to_support_prefix(), f);
+  EXPECT_EQ(wide.count_ones(), 8u);  // 1 minterm * 2^3 don't-cares
+}
+
+TEST(TruthTable, HexOutput) {
+  EXPECT_EQ((TruthTable::var(0, 2) & TruthTable::var(1, 2)).to_hex(), "8");
+  EXPECT_EQ(TruthTable::ones(4).to_hex(), "ffff");
+  EXPECT_EQ((TruthTable::var(0, 3) ^ TruthTable::var(1, 3) ^
+             TruthTable::var(2, 3))
+                .to_hex(),
+            "96");
+}
+
+TEST(TruthTable, OrderingAndHash) {
+  const TruthTable a = TruthTable::var(0, 2);
+  const TruthTable b = TruthTable::var(1, 2);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+  EXPECT_NE(a.hash(), b.hash());  // not guaranteed, but true here
+  EXPECT_EQ(a.hash(), TruthTable::var(0, 2).hash());
+}
+
+TEST(TruthTable, ArityMismatchThrows) {
+  EXPECT_THROW(TruthTable::var(0, 2) & TruthTable::var(0, 3), InvalidInput);
+  EXPECT_THROW(TruthTable::var(3, 3), InvalidInput);
+  EXPECT_THROW(TruthTable(17), InvalidInput);
+}
+
+TEST(Canonical, PCanonicalInvariantUnderPermutation) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    TruthTable f(4);
+    for (std::uint64_t m = 0; m < 16; ++m) f.set_bit(m, rng.next_bool());
+    std::vector<int> perm{0, 1, 2, 3};
+    rng.shuffle(perm);
+    EXPECT_EQ(p_canonical(f), p_canonical(f.permute(perm)));
+  }
+}
+
+TEST(Canonical, NpnCanonicalInvariantUnderNpnTransforms) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    TruthTable f(4);
+    for (std::uint64_t m = 0; m < 16; ++m) f.set_bit(m, rng.next_bool());
+    std::vector<int> perm{0, 1, 2, 3};
+    rng.shuffle(perm);
+    const unsigned mask = static_cast<unsigned>(rng.next_below(16));
+    TruthTable g = f.flip_inputs(mask).permute(perm);
+    if (rng.next_bool()) g = ~g;
+    EXPECT_EQ(npn_canonical(f), npn_canonical(g));
+  }
+}
+
+// The paper's §4.1 library-size claims: "For K=2 there are only 10
+// unique functions out of a possible 16, and for K=3 there are 78
+// unique functions out of a possible 256."
+TEST(Canonical, PaperPermutationClassCounts) {
+  EXPECT_EQ(count_p_classes(2, /*include_constants=*/false), 10u);
+  EXPECT_EQ(count_p_classes(3, /*include_constants=*/false), 78u);
+  EXPECT_EQ(count_p_classes(2, /*include_constants=*/true), 12u);
+  EXPECT_EQ(count_p_classes(3, /*include_constants=*/true), 80u);
+}
+
+TEST(Canonical, NpnClassCountsMatchLiterature) {
+  // Known NPN class counts: 2 vars -> 4, 3 vars -> 14 (incl. constants).
+  EXPECT_EQ(count_npn_classes(2, true), 4u);
+  EXPECT_EQ(count_npn_classes(3, true), 14u);
+}
+
+TEST(Canonical, EnumerationRepresentativesAreCanonical) {
+  const auto classes = enumerate_p_classes(3, false);
+  EXPECT_EQ(classes.size(), 78u);
+  for (const TruthTable& t : classes) EXPECT_EQ(p_canonical(t), t);
+}
+
+}  // namespace
+}  // namespace chortle::truth

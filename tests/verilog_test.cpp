@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "blif/verilog.hpp"
+#include "chortle/mapper.hpp"
+#include "helpers.hpp"
+
+namespace chortle::blif {
+namespace {
+
+net::LutCircuit small_circuit() {
+  net::LutCircuit c(3);
+  const auto a = c.add_input("a");
+  const auto b = c.add_input("b[0]");  // needs sanitizing
+  const auto x = c.add_input("3x");    // leading digit
+  const auto t = c.add_lut(net::Lut{
+      {a, b, x},
+      truth::TruthTable::var(0, 3) ^ truth::TruthTable::var(1, 3) ^
+          truth::TruthTable::var(2, 3),
+      "t"});
+  c.add_output("y", t);
+  c.add_output("yn", t, /*negated=*/true);
+  c.add_const_output("k", true);
+  return c;
+}
+
+TEST(Verilog, EmitsWellFormedModule) {
+  const std::string text = write_verilog_string(small_circuit(), "demo");
+  EXPECT_NE(text.find("module demo("), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+  EXPECT_NE(text.find("input a;"), std::string::npos);
+  // Sanitized identifiers.
+  EXPECT_NE(text.find("b_0_"), std::string::npos);
+  EXPECT_NE(text.find("_3x"), std::string::npos);
+  EXPECT_EQ(text.find("b[0]"), std::string::npos);
+  // Negated and constant outputs.
+  EXPECT_NE(text.find("= ~t;"), std::string::npos);
+  EXPECT_NE(text.find("= 1'b1;"), std::string::npos);
+  // The xor3 SOP has four cubes -> three '|' in the assign for t.
+  const auto assign_pos = text.find("assign t = ");
+  ASSERT_NE(assign_pos, std::string::npos);
+  const std::string line =
+      text.substr(assign_pos, text.find('\n', assign_pos) - assign_pos);
+  EXPECT_EQ(std::count(line.begin(), line.end(), '|'), 3);
+}
+
+TEST(Verilog, NameCollisionsGetSuffixes) {
+  net::LutCircuit c(2);
+  const auto a = c.add_input("sig[1]");
+  const auto b = c.add_input("sig(1)");  // sanitizes to the same base
+  c.add_lut(net::Lut{{a, b}, truth::TruthTable::from_binary("1000"), "g"});
+  c.add_output("y", c.num_inputs());
+  const std::string text = write_verilog_string(c, "m");
+  EXPECT_NE(text.find("sig_1_"), std::string::npos);
+  EXPECT_NE(text.find("sig_1__2"), std::string::npos);
+}
+
+TEST(Verilog, CoversAllLutsOfAMappedBenchmark) {
+  const net::Network n = testing::random_dag(10, 6, 60, 31337);
+  core::Options options;
+  options.k = 4;
+  const core::MapResult mapped = core::map_network(n, options);
+  const std::string text = write_verilog_string(mapped.circuit, "bench");
+  // One wire and one assign per LUT, one assign per output.
+  const auto count_occurrences = [&](const std::string& needle) {
+    std::size_t count = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1))
+      ++count;
+    return count;
+  };
+  EXPECT_EQ(count_occurrences("  wire "),
+            static_cast<std::size_t>(mapped.circuit.num_luts()));
+  EXPECT_EQ(count_occurrences("  assign "),
+            static_cast<std::size_t>(mapped.circuit.num_luts()) +
+                mapped.circuit.outputs().size());
+}
+
+}  // namespace
+}  // namespace chortle::blif
