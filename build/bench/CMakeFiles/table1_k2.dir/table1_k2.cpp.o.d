@@ -1,0 +1,3 @@
+bench/CMakeFiles/table1_k2.dir/table1_k2.cpp.o: \
+ /root/repo/bench/table1_k2.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/table_common.hpp

@@ -1,0 +1,3 @@
+bench/CMakeFiles/table2_k3.dir/table2_k3.cpp.o: \
+ /root/repo/bench/table2_k3.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/table_common.hpp

@@ -1,0 +1,3 @@
+bench/CMakeFiles/table3_k4.dir/table3_k4.cpp.o: \
+ /root/repo/bench/table3_k4.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/table_common.hpp

@@ -1,0 +1,3 @@
+bench/CMakeFiles/table4_k5.dir/table4_k5.cpp.o: \
+ /root/repo/bench/table4_k5.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/table_common.hpp

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/chortle_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/chortle_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/chortle/CMakeFiles/chortle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/libmap/CMakeFiles/chortle_libmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowmap/CMakeFiles/chortle_flowmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/chortle_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcnc/CMakeFiles/chortle_mcnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/blif/CMakeFiles/chortle_blif.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chortle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sop/CMakeFiles/chortle_sop.dir/DependInfo.cmake"
+  "/root/repo/build/src/truth/CMakeFiles/chortle_truth.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/chortle_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/chortle_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
