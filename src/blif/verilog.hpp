@@ -8,6 +8,7 @@
 #include <string>
 
 #include "network/lut_circuit.hpp"
+#include "sop/sop_network.hpp"
 
 namespace chortle::blif {
 
@@ -19,5 +20,20 @@ void write_verilog(std::ostream& out, const net::LutCircuit& circuit,
                    const std::string& module_name);
 std::string write_verilog_string(const net::LutCircuit& circuit,
                                  const std::string& module_name);
+
+struct VerilogModule {
+  std::string name;
+  sop::SopNetwork network;
+};
+
+/// Parses the structural subset this writer emits: one `module` with
+/// scalar `input`/`output`/`wire` declarations and `assign` statements
+/// whose right-hand sides are sums (`|`) of products (`&`) of
+/// optionally negated (`~`) identifiers or the constants 1'b0/1'b1;
+/// `//` comments are ignored. Every identifier must be declared, and
+/// assigned before use (the writer emits topological order). Throws
+/// InvalidInput on anything outside the subset.
+VerilogModule read_verilog(std::istream& in);
+VerilogModule read_verilog_string(const std::string& text);
 
 }  // namespace chortle::blif

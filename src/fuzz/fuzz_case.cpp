@@ -1,0 +1,18 @@
+#include "fuzz/fuzz_case.hpp"
+
+namespace chortle::fuzz {
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kChortle: return "chortle";
+    case Backend::kFlowMap: return "flowmap";
+    case Backend::kLibMap: return "libmap";
+  }
+  return "?";
+}
+
+std::vector<Backend> all_backends() {
+  return {Backend::kChortle, Backend::kFlowMap, Backend::kLibMap};
+}
+
+}  // namespace chortle::fuzz

@@ -1,0 +1,70 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mcnc/random_logic.hpp"
+
+namespace chortle::fuzz {
+
+FuzzCase sample_case(Rng& rng, const GeneratorOptions& options) {
+  FuzzCase result;
+
+  mcnc::RandomLogicParams params;
+  // Size class: tiny networks reach the degenerate single-gate corners,
+  // medium ones the realistic fanin/reconvergence mix.
+  const double size_roll = rng.next_double();
+  if (size_roll < 0.25) {
+    params.num_gates = static_cast<int>(rng.next_in(1, 8));
+    params.num_inputs = static_cast<int>(rng.next_in(2, 6));
+  } else if (size_roll < 0.70) {
+    params.num_gates = static_cast<int>(rng.next_in(8, 40));
+    params.num_inputs = static_cast<int>(rng.next_in(3, 12));
+  } else {
+    params.num_gates = static_cast<int>(
+        rng.next_in(40, std::max(41, options.max_gates)));
+    params.num_inputs = static_cast<int>(rng.next_in(4, 20));
+  }
+  // Few inputs + many gates forces deep reconvergent structure.
+  params.num_outputs =
+      rng.next_bool(0.2) ? 1 : static_cast<int>(rng.next_in(1, 10));
+  params.max_fanin = static_cast<int>(rng.next_in(2, 8));
+  // 0 disables the periodic wide node; small periods stress splitting.
+  params.wide_node_every =
+      rng.next_bool(0.5) ? 0 : static_cast<int>(rng.next_in(3, 25));
+  params.negate_probability = rng.next_double() * 0.5;
+  if (rng.next_bool(0.3))
+    params.constant_node_probability = rng.next_double() * 0.2;
+  if (rng.next_bool(0.3))
+    params.buffer_node_probability = rng.next_double() * 0.2;
+  params.seed = rng.next_u64();
+  result.network = mcnc::random_logic(params);
+
+  core::Options& mapper = result.options;
+  mapper.k = static_cast<int>(rng.next_in(2, 6));
+  // Mostly the paper's threshold; sometimes tiny, to force splitting on
+  // ordinary nodes, or right at the K boundary.
+  if (rng.next_bool(0.3))
+    mapper.split_threshold = static_cast<int>(rng.next_in(2, 16));
+  mapper.search_decompositions = !rng.next_bool(0.2);
+  if (rng.next_bool(0.3)) {
+    mapper.duplicate_fanout_logic = true;
+    mapper.duplication_max_gates = static_cast<int>(rng.next_in(1, 12));
+    mapper.duplication_max_readers = static_cast<int>(rng.next_in(1, 4));
+  }
+
+  std::ostringstream os;
+  os << "gates=" << params.num_gates << " inputs=" << params.num_inputs
+     << " outputs=" << params.num_outputs << " fanin<=" << params.max_fanin
+     << " wide_every=" << params.wide_node_every
+     << " const_p=" << params.constant_node_probability
+     << " buf_p=" << params.buffer_node_probability
+     << " seed=" << params.seed << " | k=" << mapper.k
+     << " split=" << mapper.split_threshold
+     << " search=" << mapper.search_decompositions
+     << " dup=" << mapper.duplicate_fanout_logic;
+  result.description = os.str();
+  return result;
+}
+
+}  // namespace chortle::fuzz

@@ -1,0 +1,23 @@
+// Parameter-space sampling for the fuzzer: each draw produces one fuzz
+// case whose network shape (size class, fanin distribution, wide nodes,
+// reconvergence depth, degenerate constant/buffer nodes) and mapper
+// configuration (K, split threshold, decomposition search, fanout
+// duplication) are sampled independently, so the sweep reaches the
+// corners a fixed benchmark set never does.
+#pragma once
+
+#include "base/rng.hpp"
+#include "fuzz/fuzz_case.hpp"
+
+namespace chortle::fuzz {
+
+struct GeneratorOptions {
+  /// Upper bound of the largest size class (smoke runs shrink this).
+  int max_gates = 120;
+};
+
+/// Samples one case. Deterministic in the RNG state: the same state
+/// always yields the same case.
+FuzzCase sample_case(Rng& rng, const GeneratorOptions& options = {});
+
+}  // namespace chortle::fuzz

@@ -1,0 +1,193 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <tuple>
+
+#include "base/check.hpp"
+
+namespace chortle::fuzz {
+namespace {
+
+using sop::SopNetwork;
+using NodeId = SopNetwork::NodeId;
+
+/// One candidate edit: replace a node's cover and/or drop one output.
+struct Edit {
+  NodeId changed = SopNetwork::kInvalidNode;
+  sop::Cover cover;  // meaningful when changed is valid
+  NodeId dropped_output = SopNetwork::kInvalidNode;
+};
+
+/// Applies `edit`, drops every node (including primary inputs) that no
+/// surviving output depends on, and returns the compacted network. At
+/// least one primary input is always kept so every downstream stage
+/// sees a non-empty interface.
+SopNetwork apply_and_prune(const SopNetwork& src, const Edit& edit) {
+  const auto cover_of = [&](NodeId id) -> const sop::Cover& {
+    return id == edit.changed ? edit.cover : src.node(id).cover;
+  };
+
+  std::vector<NodeId> outputs;
+  for (NodeId id : src.outputs())
+    if (id != edit.dropped_output) outputs.push_back(id);
+  CHORTLE_CHECK(!outputs.empty());
+
+  std::vector<bool> live(static_cast<std::size_t>(src.num_nodes()), false);
+  std::vector<NodeId> worklist = outputs;
+  for (NodeId id : worklist) live[static_cast<std::size_t>(id)] = true;
+  while (!worklist.empty()) {
+    const NodeId id = worklist.back();
+    worklist.pop_back();
+    if (src.is_input(id)) continue;
+    for (int var : cover_of(id).support()) {
+      if (live[static_cast<std::size_t>(var)]) continue;
+      live[static_cast<std::size_t>(var)] = true;
+      worklist.push_back(var);
+    }
+  }
+
+  SopNetwork out;
+  std::vector<NodeId> remap(static_cast<std::size_t>(src.num_nodes()),
+                            SopNetwork::kInvalidNode);
+  bool kept_an_input = false;
+  for (NodeId id : src.inputs()) {
+    if (!live[static_cast<std::size_t>(id)]) continue;
+    remap[static_cast<std::size_t>(id)] = out.add_input(src.node(id).name);
+    kept_an_input = true;
+  }
+  if (!kept_an_input) {
+    const NodeId first = src.inputs().front();
+    remap[static_cast<std::size_t>(first)] =
+        out.add_input(src.node(first).name);
+  }
+  for (NodeId id : src.topological_order()) {
+    if (!live[static_cast<std::size_t>(id)]) continue;
+    sop::Cover remapped;
+    for (const sop::Cube& cube : cover_of(id).cubes()) {
+      std::vector<sop::Literal> literals;
+      for (sop::Literal lit : cube.literals()) {
+        const NodeId mapped = remap[static_cast<std::size_t>(
+            sop::literal_var(lit))];
+        CHORTLE_CHECK(mapped != SopNetwork::kInvalidNode);
+        literals.push_back(
+            sop::make_literal(mapped, sop::literal_negated(lit)));
+      }
+      remapped.add_cube(sop::Cube(std::move(literals)));
+    }
+    remap[static_cast<std::size_t>(id)] =
+        out.add_node(src.node(id).name, std::move(remapped));
+  }
+  for (NodeId id : outputs) out.mark_output(remap[static_cast<std::size_t>(id)]);
+  return out;
+}
+
+/// Lexicographic size: internal gates, then literals, then inputs.
+std::tuple<int, int, int> cost_of(const SopNetwork& network) {
+  return {network.num_nodes() - static_cast<int>(network.inputs().size()),
+          network.total_literals(),
+          static_cast<int>(network.inputs().size())};
+}
+
+/// All edits of one reduction round, most aggressive first.
+std::vector<Edit> candidate_edits(const SopNetwork& network) {
+  std::vector<Edit> edits;
+  if (network.outputs().size() > 1) {
+    for (NodeId id : network.outputs())
+      edits.push_back(Edit{SopNetwork::kInvalidNode, {}, id});
+  }
+  for (NodeId id = 0; id < network.num_nodes(); ++id) {
+    if (network.is_input(id)) continue;
+    const sop::Cover& cover = network.node(id).cover;
+    edits.push_back(Edit{id, sop::Cover::zero(), SopNetwork::kInvalidNode});
+    edits.push_back(Edit{id, sop::Cover::one(), SopNetwork::kInvalidNode});
+    const std::vector<NodeId> fanins = network.fanins(id);
+    for (std::size_t i = 0; i < fanins.size() && i < 4; ++i) {
+      sop::Cover buffer;
+      buffer.add_cube(sop::Cube(
+          std::vector<sop::Literal>{sop::make_literal(fanins[i], false)}));
+      edits.push_back(Edit{id, std::move(buffer), SopNetwork::kInvalidNode});
+    }
+    if (cover.num_cubes() > 1) {
+      for (int c = 0; c < cover.num_cubes(); ++c) {
+        sop::Cover without;
+        for (int other = 0; other < cover.num_cubes(); ++other)
+          if (other != c) without.add_cube(cover.cube(other));
+        edits.push_back(
+            Edit{id, std::move(without), SopNetwork::kInvalidNode});
+      }
+    }
+    for (int c = 0; c < cover.num_cubes(); ++c) {
+      const sop::Cube& cube = cover.cube(c);
+      if (cube.size() < 2) continue;
+      for (std::size_t l = 0; l < cube.literals().size(); ++l) {
+        sop::Cover narrowed;
+        for (int other = 0; other < cover.num_cubes(); ++other) {
+          if (other != c) {
+            narrowed.add_cube(cover.cube(other));
+            continue;
+          }
+          std::vector<sop::Literal> literals = cube.literals();
+          literals.erase(literals.begin() + static_cast<long>(l));
+          narrowed.add_cube(sop::Cube(std::move(literals)));
+        }
+        edits.push_back(
+            Edit{id, std::move(narrowed), SopNetwork::kInvalidNode});
+      }
+    }
+  }
+  return edits;
+}
+
+bool has_matching_failure(const Verdict& verdict, const Failure& wanted) {
+  return std::any_of(verdict.failures.begin(), verdict.failures.end(),
+                     [&](const Failure& f) {
+                       return f.stage == wanted.stage &&
+                              f.kind == wanted.kind;
+                     });
+}
+
+}  // namespace
+
+ShrinkResult shrink(const FuzzCase& failing,
+                    const OracleOptions& oracle_options,
+                    const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.fuzz_case = failing;
+  result.verdict = check_case(failing, oracle_options);
+  ++result.attempts;
+  CHORTLE_REQUIRE(!result.verdict.ok(),
+                  "shrink requires a case the oracle rejects");
+  const Failure target = result.verdict.failures.front();
+
+  bool improved = true;
+  while (improved && result.attempts < options.max_attempts) {
+    improved = false;
+    for (const Edit& edit : candidate_edits(result.fuzz_case.network)) {
+      if (result.attempts >= options.max_attempts) break;
+      SopNetwork candidate;
+      try {
+        candidate = apply_and_prune(result.fuzz_case.network, edit);
+        candidate.check();
+      } catch (const std::exception&) {
+        continue;  // the edit produced an invalid network; skip it
+      }
+      if (cost_of(candidate) >= cost_of(result.fuzz_case.network)) continue;
+
+      FuzzCase attempt = result.fuzz_case;
+      attempt.network = candidate;
+      const Verdict verdict = check_case(attempt, oracle_options);
+      ++result.attempts;
+      if (!has_matching_failure(verdict, target)) continue;
+
+      result.fuzz_case.network = std::move(attempt.network);
+      result.verdict = verdict;
+      ++result.accepted;
+      improved = true;
+      break;  // restart the candidate enumeration on the smaller network
+    }
+  }
+  return result;
+}
+
+}  // namespace chortle::fuzz

@@ -1,0 +1,37 @@
+// Greedy counterexample shrinking: given a fuzz case the oracle
+// rejects, repeatedly try structure-reducing edits (drop an output,
+// collapse a gate to a constant or to one of its fanins, drop a cube,
+// drop a literal, discard dead inputs) and keep any edit after which
+// the oracle still reports the *same* failure (stage and kind), so a
+// miscompile cannot quietly morph into an unrelated crash while
+// shrinking. The result is the minimal network delta-debugging can
+// reach — typically a handful of gates — ready to be written into the
+// regression corpus.
+#pragma once
+
+#include "fuzz/fuzz_case.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace chortle::fuzz {
+
+struct ShrinkOptions {
+  /// Hard cap on oracle re-runs, the expensive step.
+  int max_attempts = 2000;
+};
+
+struct ShrinkResult {
+  /// The minimized case (same mapper options and backends as the input).
+  FuzzCase fuzz_case;
+  /// The oracle's verdict on the minimized case (still failing).
+  Verdict verdict;
+  int attempts = 0;  // oracle evaluations spent
+  int accepted = 0;  // edits that kept the failure and shrank the case
+};
+
+/// Minimizes `failing` (whose verdict under `oracle_options` must have
+/// at least one failure; throws InvalidInput otherwise).
+ShrinkResult shrink(const FuzzCase& failing,
+                    const OracleOptions& oracle_options,
+                    const ShrinkOptions& options = {});
+
+}  // namespace chortle::fuzz

@@ -10,6 +10,12 @@ sop::SopNetwork random_logic(const RandomLogicParams& params) {
   CHORTLE_REQUIRE(params.num_inputs >= 2 && params.num_gates >= 1 &&
                       params.num_outputs >= 1 && params.max_fanin >= 2,
                   "bad random logic parameters");
+  CHORTLE_REQUIRE(params.constant_node_probability >= 0.0 &&
+                      params.buffer_node_probability >= 0.0 &&
+                      params.constant_node_probability +
+                              params.buffer_node_probability <=
+                          1.0,
+                  "degenerate node probabilities must form a distribution");
   Rng rng(params.seed);
   sop::SopNetwork network;
   std::vector<sop::SopNetwork::NodeId> signals;
@@ -17,6 +23,32 @@ sop::SopNetwork random_logic(const RandomLogicParams& params) {
     signals.push_back(network.add_input("pi" + std::to_string(i)));
 
   for (int g = 0; g < params.num_gates; ++g) {
+    // Degenerate shapes first: constant and buffer nodes short-circuit
+    // the usual fanin selection entirely. The roll is only drawn when a
+    // hook is enabled so that the default RNG stream (and with it every
+    // seeded benchmark substitute) is unchanged.
+    if (params.constant_node_probability > 0.0 ||
+        params.buffer_node_probability > 0.0) {
+      const double degenerate_roll = rng.next_double();
+      if (degenerate_roll < params.constant_node_probability) {
+        sop::Cover cover =
+            rng.next_bool() ? sop::Cover::one() : sop::Cover::zero();
+        signals.push_back(
+            network.add_node("g" + std::to_string(g), std::move(cover)));
+        continue;
+      }
+      if (degenerate_roll < params.constant_node_probability +
+                                params.buffer_node_probability) {
+        const auto source = signals[rng.next_below(signals.size())];
+        sop::Cover cover;
+        cover.add_cube(sop::Cube(std::vector<sop::Literal>{sop::make_literal(
+            source, rng.next_bool(params.negate_probability))}));
+        signals.push_back(
+            network.add_node("g" + std::to_string(g), std::move(cover)));
+        continue;
+      }
+    }
+
     // Fanin width: mostly 2-4, occasionally wide (exercises the
     // mapper's decomposition search and node splitting).
     int fanin;

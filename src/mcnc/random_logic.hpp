@@ -20,6 +20,13 @@ struct RandomLogicParams {
   int wide_node_every = 25; // every Nth gate is wide (up to 3*max_fanin)
   double negate_probability = 0.3;
   std::uint64_t seed = 1;
+  // Degenerate-shape hooks (off by default), used by the fuzzer to reach
+  // the pipeline's edge cases: constant covers exercise sweep folding and
+  // constant primary outputs; buffer (single-literal) covers exercise
+  // wire elimination and outputs that collapse onto inputs. Kept after
+  // `seed` so existing positional initializers stay valid.
+  double constant_node_probability = 0.0;
+  double buffer_node_probability = 0.0;
 };
 
 /// Builds a random, acyclic, fully deterministic SOP network.

@@ -102,50 +102,141 @@ TEST(FormalEquiv, ProvesMappedBenchmarks) {
   }
 }
 
+/// Replays a kDifferent witness through the simulator: evaluates both
+/// designs under the witness assignment (aligned with `a`'s input
+/// order, inputs of `b` matched by name) and reports whether any
+/// output bit actually differs. Every witness the BDD checker returns
+/// must make this true — otherwise the "guaranteed counterexample"
+/// contract is broken.
+bool witness_distinguishes(const sim::Design& da, const sim::Design& db,
+                           const std::vector<bool>& witness) {
+  std::vector<sim::Word> in_a, in_b;
+  for (bool bit : witness) in_a.push_back(bit ? ~sim::Word{0} : 0);
+  for (const std::string& name : db.input_names) {
+    const auto it =
+        std::find(da.input_names.begin(), da.input_names.end(), name);
+    if (it == da.input_names.end()) return false;
+    in_b.push_back(
+        in_a[static_cast<std::size_t>(it - da.input_names.begin())]);
+  }
+  const auto out_a = da.eval(in_a);
+  const auto out_b = db.eval(in_b);
+  for (std::size_t i = 0; i < out_a.size(); ++i)
+    if ((out_a[i] & 1) != (out_b[i] & 1)) return true;
+  return false;
+}
+
+/// A copy of `circuit` with one truth-table bit of LUT `victim`
+/// flipped.
+net::LutCircuit flip_lut_bit(const net::LutCircuit& circuit, int victim,
+                             std::uint64_t bit) {
+  net::LutCircuit corrupted(circuit.k());
+  for (const std::string& name : circuit.input_names())
+    corrupted.add_input(name);
+  for (int i = 0; i < circuit.num_luts(); ++i) {
+    net::Lut lut = circuit.luts()[static_cast<std::size_t>(i)];
+    if (i == victim) {
+      const std::uint64_t b = bit % lut.function.num_minterms();
+      lut.function.set_bit(b, !lut.function.bit(b));
+    }
+    corrupted.add_lut(std::move(lut));
+  }
+  for (const net::LutOutput& o : circuit.outputs()) {
+    if (o.is_const)
+      corrupted.add_const_output(o.name, o.const_value);
+    else
+      corrupted.add_output(o.name, o.signal, o.negated);
+  }
+  return corrupted;
+}
+
 TEST(FormalEquiv, FindsInjectedBugWithWitness) {
   const net::Network n = testing::random_dag(10, 6, 50, 4242);
   core::Options options;
   options.k = 4;
   const core::MapResult mapped = core::map_network(n, options);
-
-  // Flip one truth-table bit in the first LUT.
-  net::LutCircuit corrupted(mapped.circuit.k());
-  for (const std::string& name : mapped.circuit.input_names())
-    corrupted.add_input(name);
-  for (int i = 0; i < mapped.circuit.num_luts(); ++i) {
-    net::Lut lut = mapped.circuit.luts()[static_cast<std::size_t>(i)];
-    if (i == 0) lut.function.set_bit(0, !lut.function.bit(0));
-    corrupted.add_lut(std::move(lut));
-  }
-  for (const net::LutOutput& o : mapped.circuit.outputs())
-    corrupted.add_output(o.name, o.signal, o.negated);
+  const net::LutCircuit corrupted = flip_lut_bit(mapped.circuit, 0, 0);
 
   const FormalOutcome outcome = check_equivalence(n, corrupted);
   // Unlike random simulation, the BDD check either proves the fault
   // unobservable (equivalent) or returns a guaranteed witness.
   if (outcome.status == FormalOutcome::Status::kDifferent) {
     ASSERT_FALSE(outcome.witness.empty());
-    // Replay the witness on both designs via simulation.
-    const sim::Design da = sim::design_of(n);
-    const sim::Design db = sim::design_of(corrupted);
-    std::vector<sim::Word> in_a, in_b;
-    for (bool bit : outcome.witness)
-      in_a.push_back(bit ? ~sim::Word{0} : 0);
-    // Align b's inputs by name.
-    for (const std::string& name : db.input_names) {
-      const auto it =
-          std::find(da.input_names.begin(), da.input_names.end(), name);
-      in_b.push_back(in_a[static_cast<std::size_t>(
-          it - da.input_names.begin())]);
-    }
-    const auto out_a = da.eval(in_a);
-    const auto out_b = db.eval(in_b);
-    bool differs = false;
-    for (std::size_t i = 0; i < out_a.size(); ++i)
-      if ((out_a[i] & 1) != (out_b[i] & 1)) differs = true;
-    EXPECT_TRUE(differs) << "witness did not distinguish the designs";
+    EXPECT_TRUE(witness_distinguishes(sim::design_of(n),
+                                      sim::design_of(corrupted),
+                                      outcome.witness))
+        << "witness did not distinguish the designs";
   } else {
     EXPECT_EQ(outcome.status, FormalOutcome::Status::kEquivalent);
+  }
+}
+
+TEST(FormalEquiv, EveryWitnessDistinguishesUnderSimulation) {
+  // Sweep seeds and fault sites; every kDifferent outcome must carry a
+  // witness that simulation confirms. Flipped bits in dead LUT minterms
+  // may legitimately prove equivalent, but across this sweep at least a
+  // few faults must be observable.
+  int different = 0;
+  for (std::uint64_t seed = 100; seed < 125; ++seed) {
+    const net::Network n = testing::random_dag(8, 5, 35, seed);
+    core::Options options;
+    options.k = 4;
+    const core::MapResult mapped = core::map_network(n, options);
+    if (mapped.circuit.num_luts() == 0) continue;
+    const net::LutCircuit corrupted = flip_lut_bit(
+        mapped.circuit, static_cast<int>(seed) % mapped.circuit.num_luts(),
+        seed);
+    const FormalOutcome outcome = check_equivalence(n, corrupted);
+    ASSERT_NE(outcome.status, FormalOutcome::Status::kInconclusive)
+        << "seed " << seed;
+    if (outcome.status != FormalOutcome::Status::kDifferent) continue;
+    ++different;
+    ASSERT_FALSE(outcome.witness.empty()) << "seed " << seed;
+    EXPECT_FALSE(outcome.output_name.empty()) << "seed " << seed;
+    EXPECT_TRUE(witness_distinguishes(sim::design_of(n),
+                                      sim::design_of(corrupted),
+                                      outcome.witness))
+        << "seed " << seed << ": witness does not distinguish";
+  }
+  EXPECT_GE(different, 3) << "almost no fault was observable; the sweep "
+                             "is not exercising the witness path";
+}
+
+TEST(FormalEquiv, FlippedOutputPolarityAlwaysYieldsAWitness) {
+  // Negating a (non-constant) output is observable under every
+  // assignment where the function is defined, so kDifferent — and a
+  // simulation-confirmed witness — is guaranteed, not probabilistic.
+  for (std::uint64_t seed = 500; seed < 505; ++seed) {
+    const net::Network n = testing::random_dag(7, 4, 25, seed);
+    core::Options options;
+    options.k = 4;
+    const core::MapResult mapped = core::map_network(n, options);
+
+    net::LutCircuit corrupted(mapped.circuit.k());
+    for (const std::string& name : mapped.circuit.input_names())
+      corrupted.add_input(name);
+    for (const net::Lut& lut : mapped.circuit.luts())
+      corrupted.add_lut(lut);
+    bool flipped = false;
+    for (const net::LutOutput& o : mapped.circuit.outputs()) {
+      if (o.is_const) {
+        corrupted.add_const_output(o.name, o.const_value);
+      } else {
+        corrupted.add_output(o.name, o.signal,
+                             flipped ? o.negated : !o.negated);
+        flipped = true;
+      }
+    }
+    if (!flipped) continue;
+
+    const FormalOutcome outcome = check_equivalence(n, corrupted);
+    ASSERT_EQ(outcome.status, FormalOutcome::Status::kDifferent)
+        << "seed " << seed;
+    ASSERT_FALSE(outcome.witness.empty()) << "seed " << seed;
+    EXPECT_TRUE(witness_distinguishes(sim::design_of(n),
+                                      sim::design_of(corrupted),
+                                      outcome.witness))
+        << "seed " << seed;
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include "blif/blif.hpp"
 #include "mcnc/generators.hpp"
+#include "mcnc/random_logic.hpp"
 #include "sim/simulate.hpp"
 
 namespace chortle::blif {
@@ -99,6 +100,26 @@ TEST(BlifReader, Errors) {
                InvalidInput);  // mixed ON/OFF rows
   EXPECT_THROW(read_blif_string("11 1\n"), InvalidInput);  // stray row
   EXPECT_THROW(read_blif_file("/nonexistent/file.blif"), InvalidInput);
+}
+
+TEST(BlifWriter, SeededRandomNetworksRoundTrip) {
+  // Batch round-trip: emit -> reparse -> sim::equivalent, over random
+  // networks including degenerate constant/buffer shapes.
+  mcnc::RandomLogicParams params;
+  params.num_inputs = 9;
+  params.num_outputs = 5;
+  params.num_gates = 45;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    params.seed = seed;
+    params.constant_node_probability = seed % 3 == 0 ? 0.15 : 0.0;
+    params.buffer_node_probability = seed % 2 == 0 ? 0.15 : 0.0;
+    const sop::SopNetwork original = mcnc::random_logic(params);
+    const BlifModel reread =
+        read_blif_string(write_blif_string(original, "rand"));
+    EXPECT_TRUE(sim::equivalent(sim::design_of(original),
+                                sim::design_of(reread.network)))
+        << "seed " << seed;
+  }
 }
 
 TEST(BlifWriter, SopRoundTripPreservesFunction) {

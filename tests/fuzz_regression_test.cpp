@@ -1,0 +1,52 @@
+// Replays every reproducer in tests/corpus/ through the differential
+// oracle. Entries marked "expect: pass" pin down degenerate shapes that
+// once needed special handling; entries marked "expect: fail" are
+// shrunk counterexamples (e.g. an injected truth-table flip) that must
+// keep failing — a reproducer that replays green has stopped testing
+// anything. New reproducers written by fuzz_mapper into tests/corpus/
+// are picked up automatically.
+#include <gtest/gtest.h>
+
+#include "fuzz/corpus.hpp"
+
+#ifndef CHORTLE_CORPUS_DIR
+#error "CHORTLE_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace chortle::fuzz {
+namespace {
+
+int gate_count(const sop::SopNetwork& network) {
+  return network.num_nodes() - static_cast<int>(network.inputs().size());
+}
+
+TEST(FuzzRegression, CorpusIsPresent) {
+  const std::vector<CorpusEntry> corpus = load_corpus(CHORTLE_CORPUS_DIR);
+  ASSERT_FALSE(corpus.empty())
+      << "no reproducers under " << CHORTLE_CORPUS_DIR;
+}
+
+TEST(FuzzRegression, EveryEntryReplaysAsRecorded) {
+  for (const CorpusEntry& entry : load_corpus(CHORTLE_CORPUS_DIR)) {
+    const Verdict verdict = replay_entry(entry);
+    if (entry.expect_failure) {
+      EXPECT_FALSE(verdict.ok())
+          << entry.name << " was recorded as a failing reproducer but "
+          << "replayed green";
+    } else {
+      EXPECT_TRUE(verdict.ok())
+          << entry.name << " regressed: " << verdict.summary();
+    }
+  }
+}
+
+TEST(FuzzRegression, FailingReproducersStayMinimal) {
+  // Shrunk counterexamples must stay small enough to debug by eye.
+  for (const CorpusEntry& entry : load_corpus(CHORTLE_CORPUS_DIR)) {
+    if (!entry.expect_failure) continue;
+    EXPECT_LE(gate_count(entry.fuzz_case.network), 10) << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace chortle::fuzz

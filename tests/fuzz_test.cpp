@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "base/rng.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+#include "mcnc/random_logic.hpp"
+#include "sim/simulate.hpp"
+
+namespace chortle::fuzz {
+namespace {
+
+int gate_count(const sop::SopNetwork& network) {
+  return network.num_nodes() - static_cast<int>(network.inputs().size());
+}
+
+TEST(FuzzGenerator, IsDeterministicInTheRngState) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 5; ++i) {
+    const FuzzCase ca = sample_case(a);
+    const FuzzCase cb = sample_case(b);
+    EXPECT_EQ(ca.description, cb.description);
+    EXPECT_EQ(ca.network.num_nodes(), cb.network.num_nodes());
+    EXPECT_EQ(ca.options.k, cb.options.k);
+    EXPECT_TRUE(sim::equivalent(sim::design_of(ca.network),
+                                sim::design_of(cb.network)));
+  }
+}
+
+TEST(FuzzGenerator, SweepsTheParameterSpace) {
+  Rng rng(7);
+  std::set<int> ks;
+  bool saw_duplication = false, saw_fixed_decomposition = false;
+  bool saw_single_output = false, saw_degenerate = false;
+  int smallest = 1 << 30, largest = 0;
+  for (int i = 0; i < 300; ++i) {
+    const FuzzCase c = sample_case(rng);
+    ks.insert(c.options.k);
+    saw_duplication |= c.options.duplicate_fanout_logic;
+    saw_fixed_decomposition |= !c.options.search_decompositions;
+    saw_single_output |= c.network.outputs().size() == 1;
+    saw_degenerate |=
+        c.description.find("const_p=0 ") == std::string::npos;
+    smallest = std::min(smallest, gate_count(c.network));
+    largest = std::max(largest, gate_count(c.network));
+  }
+  EXPECT_EQ(ks, (std::set<int>{2, 3, 4, 5, 6}));
+  EXPECT_TRUE(saw_duplication);
+  EXPECT_TRUE(saw_fixed_decomposition);
+  EXPECT_TRUE(saw_single_output);
+  EXPECT_TRUE(saw_degenerate);
+  EXPECT_LE(smallest, 4);
+  EXPECT_GE(largest, 60);
+}
+
+TEST(FuzzOracle, PassesOnCleanSweep) {
+  FuzzOptions options;
+  options.runs = 20;
+  options.seed = 2024;
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_EQ(report.runs_completed, 20);
+  EXPECT_TRUE(report.ok())
+      << (report.failures.empty()
+              ? std::string()
+              : report.failures.front().verdict.summary());
+}
+
+TEST(FuzzOracle, AcceptsDegenerateNetworks) {
+  // All-constant and buffer-only networks map to circuits without LUTs;
+  // the oracle must treat them as ordinary cases.
+  mcnc::RandomLogicParams params;
+  params.num_inputs = 3;
+  params.num_gates = 6;
+  params.num_outputs = 3;
+  params.constant_node_probability = 0.5;
+  params.buffer_node_probability = 0.5;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    params.seed = seed;
+    FuzzCase fuzz_case;
+    fuzz_case.network = mcnc::random_logic(params);
+    const Verdict verdict = check_case(fuzz_case);
+    EXPECT_TRUE(verdict.ok()) << "seed " << seed << ": "
+                              << verdict.summary();
+  }
+}
+
+TEST(FuzzOracle, CatchesAnInjectedMiscompile) {
+  // Find a case whose Chortle circuit has at least one LUT, inject a
+  // single flipped truth-table bit, and the oracle must object.
+  OracleOptions oracle;
+  oracle.injection.enabled = true;
+  int caught = 0, tried = 0;
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    const FuzzCase fuzz_case = sample_case(rng);
+    ++tried;
+    const Verdict verdict = check_case(fuzz_case, oracle);
+    if (verdict.ok()) continue;  // 0-LUT circuit or masked fault
+    ++caught;
+    EXPECT_EQ(verdict.failures.front().stage, "chortle");
+  }
+  EXPECT_GE(caught, tried / 2) << "the injection was almost never caught";
+}
+
+TEST(FuzzShrink, MinimizesAnInjectedFailureToAFewGates) {
+  OracleOptions oracle;
+  oracle.injection.enabled = true;
+  Rng rng(5);
+  // Draw until the injection is observable, then shrink.
+  for (int i = 0; i < 20; ++i) {
+    const FuzzCase fuzz_case = sample_case(rng);
+    const Verdict verdict = check_case(fuzz_case, oracle);
+    if (verdict.ok()) continue;
+
+    const ShrinkResult result = shrink(fuzz_case, oracle);
+    EXPECT_FALSE(result.verdict.ok());
+    EXPECT_EQ(result.verdict.failures.front().stage,
+              verdict.failures.front().stage);
+    EXPECT_LE(gate_count(result.fuzz_case.network),
+              gate_count(fuzz_case.network));
+    EXPECT_LE(gate_count(result.fuzz_case.network), 10)
+        << "shrunk reproducer must be at most 10 gates";
+    return;
+  }
+  FAIL() << "no observable injected failure in 20 samples";
+}
+
+TEST(FuzzShrink, RequiresAFailingCase) {
+  Rng rng(11);
+  const FuzzCase fuzz_case = sample_case(rng);
+  EXPECT_THROW(shrink(fuzz_case, OracleOptions{}), InvalidInput);
+}
+
+TEST(FuzzCorpus, EncodeDecodeRoundTrips) {
+  Rng rng(17);
+  CorpusEntry entry;
+  entry.name = "round_trip";
+  entry.fuzz_case = sample_case(rng);
+  entry.fuzz_case.backends = {Backend::kChortle, Backend::kLibMap};
+  entry.injection.enabled = true;
+  entry.injection.lut_index = 3;
+  entry.injection.bit_index = 7;
+  entry.expect_failure = true;
+  entry.note = "sample note";
+
+  const CorpusEntry reread =
+      decode_entry(encode_entry(entry), entry.name);
+  EXPECT_EQ(reread.name, entry.name);
+  EXPECT_EQ(reread.expect_failure, true);
+  EXPECT_EQ(reread.note, "sample note");
+  EXPECT_EQ(reread.fuzz_case.backends, entry.fuzz_case.backends);
+  EXPECT_EQ(reread.fuzz_case.options.k, entry.fuzz_case.options.k);
+  EXPECT_EQ(reread.fuzz_case.options.split_threshold,
+            entry.fuzz_case.options.split_threshold);
+  EXPECT_EQ(reread.fuzz_case.options.search_decompositions,
+            entry.fuzz_case.options.search_decompositions);
+  EXPECT_EQ(reread.fuzz_case.options.duplicate_fanout_logic,
+            entry.fuzz_case.options.duplicate_fanout_logic);
+  EXPECT_TRUE(reread.injection.enabled);
+  EXPECT_EQ(reread.injection.lut_index, 3);
+  EXPECT_EQ(reread.injection.bit_index, 7u);
+  EXPECT_TRUE(sim::equivalent(sim::design_of(entry.fuzz_case.network),
+                              sim::design_of(reread.fuzz_case.network)));
+}
+
+TEST(FuzzEndToEnd, InjectedMiscompileIsShrunkWrittenAndReplaysRed) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "chortle_fuzz_corpus_test")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  FuzzOptions options;
+  options.runs = 10;
+  options.seed = 42;
+  options.oracle.injection.enabled = true;
+  options.corpus_dir = dir;
+  const FuzzReport report = run_fuzz(options);
+  ASSERT_FALSE(report.ok()) << "injection was never caught in 10 runs";
+
+  for (const RunFailure& failure : report.failures) {
+    EXPECT_LE(gate_count(failure.shrunk.network), 10);
+    EXPECT_FALSE(failure.shrunk_verdict.ok());
+    EXPECT_FALSE(failure.reproducer_path.empty());
+  }
+
+  // Reload from disk and replay: every reproducer must still be red.
+  const std::vector<CorpusEntry> corpus = load_corpus(dir);
+  ASSERT_EQ(corpus.size(), report.failures.size());
+  for (const CorpusEntry& entry : corpus) {
+    EXPECT_TRUE(entry.expect_failure);
+    EXPECT_TRUE(entry.injection.enabled);
+    const Verdict verdict = replay_entry(entry);
+    EXPECT_FALSE(verdict.ok())
+        << entry.name << " replayed green; the reproducer is useless";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzFuzzer, TimeBudgetStopsEarly) {
+  FuzzOptions options;
+  options.runs = 100000;
+  options.seed = 3;
+  options.time_budget_seconds = 0.5;
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_LT(report.runs_completed, options.runs);
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace chortle::fuzz

@@ -75,5 +75,97 @@ TEST(Verilog, CoversAllLutsOfAMappedBenchmark) {
                 mapped.circuit.outputs().size());
 }
 
+/// The writer's identifier sanitization, without collision suffixes
+/// (callers must use collision-free names).
+std::string sanitized(const std::string& raw) {
+  std::string name;
+  for (char c : raw)
+    name.push_back(
+        (std::isalnum(static_cast<unsigned char>(c)) || c == '_') ? c : '_');
+  if (name.empty() || std::isdigit(static_cast<unsigned char>(name[0])))
+    name.insert(name.begin(), '_');
+  return name;
+}
+
+/// Round-trip comparison: the writer sanitizes input names and renames
+/// every output `name` to `out_<name>`, so apply the same renaming to
+/// the expected design before the name-aligned equivalence check.
+::testing::AssertionResult round_trips(const net::LutCircuit& circuit) {
+  const std::string text = write_verilog_string(circuit, "rt");
+  const VerilogModule reread = read_verilog_string(text);
+  sim::Design expected = sim::design_of(circuit);
+  for (std::string& name : expected.input_names) name = sanitized(name);
+  for (std::string& name : expected.output_names)
+    name = sanitized("out$" + name);
+  if (!sim::equivalent(expected, sim::design_of(reread.network)))
+    return ::testing::AssertionFailure()
+           << "reparsed module is not equivalent to the circuit:\n"
+           << text;
+  return ::testing::AssertionSuccess();
+}
+
+TEST(VerilogReader, ParsesTheWriterOutput) {
+  const net::LutCircuit circuit = small_circuit();
+  const std::string text = write_verilog_string(circuit, "demo");
+  const VerilogModule module = read_verilog_string(text);
+  EXPECT_EQ(module.name, "demo");
+  EXPECT_EQ(module.network.inputs().size(), 3u);
+  EXPECT_EQ(module.network.outputs().size(), 3u);
+  EXPECT_TRUE(round_trips(circuit));
+}
+
+TEST(VerilogReader, SeededMappedNetworksRoundTrip) {
+  // Batch round-trip over mapped random networks at several LUT sizes.
+  for (std::uint64_t seed = 60; seed < 66; ++seed) {
+    const net::Network n = testing::random_dag(8, 5, 40, seed);
+    core::Options options;
+    options.k = 2 + static_cast<int>(seed % 5);
+    const core::MapResult mapped = core::map_network(n, options);
+    EXPECT_TRUE(round_trips(mapped.circuit))
+        << "seed " << seed << " k " << options.k;
+  }
+}
+
+TEST(VerilogReader, ParsesConstantsAndPolarities) {
+  const VerilogModule module = read_verilog_string(R"(
+    // hand-written member of the structural subset
+    module tiny(a, b, y, z, k0, k1);
+      input a;
+      input b;
+      output y; output z; output k0; output k1;
+      wire t;
+      assign t = (a & ~b) | (~a & b);
+      assign y = t;
+      assign z = ~t;
+      assign k0 = 1'b0;
+      assign k1 = ~1'b0 & 1'b1;
+    endmodule
+  )");
+  EXPECT_EQ(module.name, "tiny");
+  const sim::Design design = sim::design_of(module.network);
+  // Pattern 0 (bit 0): a=1, b=1; pattern 1 (bit 1): a=0, b=1.
+  const auto out = design.eval({0b01ull, 0b11ull});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0] & 0b11, 0b10ull);  // y = a xor b
+  EXPECT_EQ(out[1] & 0b11, 0b01ull);  // z = ~(a xor b)
+  EXPECT_EQ(out[2] & 0b11, 0b00ull);  // k0 = 0
+  EXPECT_EQ(out[3] & 0b11, 0b11ull);  // k1 = 1
+}
+
+TEST(VerilogReader, RejectsInputOutsideTheSubset) {
+  EXPECT_THROW(read_verilog_string("module m(); initial begin end"),
+               InvalidInput);
+  EXPECT_THROW(read_verilog_string("module m(y); output y; endmodule"),
+               InvalidInput);  // output never assigned
+  EXPECT_THROW(
+      read_verilog_string(
+          "module m(y); output y; assign y = q; endmodule"),
+      InvalidInput);  // use before assignment
+  EXPECT_THROW(
+      read_verilog_string("module m(a, y); input a; output y; "
+                          "assign y = a; assign y = ~a; endmodule"),
+      InvalidInput);  // double assignment
+}
+
 }  // namespace
 }  // namespace chortle::blif

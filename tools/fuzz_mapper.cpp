@@ -1,0 +1,115 @@
+// fuzz_mapper: the differential fuzzing harness for the whole mapping
+// pipeline. Samples random networks across the generator parameter
+// space, runs each through optimize -> chortle / flowmap / libmap, and
+// cross-checks every result against the source by simulation (and BDD
+// equivalence when small enough) plus structural invariants. Any
+// failure is shrunk to a minimal counterexample and written into the
+// corpus directory as a replayable BLIF reproducer.
+//
+//   fuzz_mapper [--runs N] [--seed S] [--smoke] [--corpus DIR]
+//               [--inject-miscompile [LUT,BIT]] [--no-shrink] [--quiet]
+//
+//   --smoke               ~30-second CI mode: small cases, time budget
+//   --inject-miscompile   flip one LUT truth-table bit in every Chortle
+//                         result (self-test: the oracle must catch it)
+//
+// Exit status: 0 when every run passed, 1 on any failure, 2 on usage.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "fuzz/fuzzer.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: fuzz_mapper [--runs N] [--seed S] [--smoke] "
+               "[--corpus DIR] [--inject-miscompile [LUT,BIT]] "
+               "[--no-shrink] [--quiet]\n");
+}
+
+/// Parses a non-negative decimal or exits with a usage error — a typo'd
+/// count must not silently become "0 runs, 0 failures".
+std::uint64_t parse_number(const char* flag, const std::string& text) {
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &consumed, 10);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size() || text.empty()) {
+    std::fprintf(stderr, "fuzz_mapper: %s expects a number, got '%s'\n",
+                 flag, text.c_str());
+    usage();
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace chortle;
+  fuzz::FuzzOptions options;
+  options.runs = 100;
+  options.log = &std::cerr;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--runs" && i + 1 < argc) {
+      options.runs = static_cast<int>(parse_number("--runs", argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = parse_number("--seed", argv[++i]);
+    } else if (arg == "--smoke") {
+      options.runs = 10000;  // the budget, not the count, ends the run
+      options.time_budget_seconds = 30.0;
+      options.generator.max_gates = 60;
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      options.corpus_dir = argv[++i];
+    } else if (arg == "--inject-miscompile") {
+      options.oracle.injection.enabled = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        const std::string spec = argv[++i];
+        const auto comma = spec.find(',');
+        options.oracle.injection.lut_index = static_cast<int>(
+            parse_number("--inject-miscompile", spec.substr(0, comma)));
+        if (comma != std::string::npos)
+          options.oracle.injection.bit_index =
+              parse_number("--inject-miscompile", spec.substr(comma + 1));
+      }
+    } else if (arg == "--no-shrink") {
+      options.shrink_failures = false;
+    } else if (arg == "--quiet") {
+      options.log = nullptr;
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    const fuzz::FuzzReport report = fuzz::run_fuzz(options);
+    std::fprintf(stderr,
+                 "fuzz_mapper: %d runs, %zu failures, %.1fs (seed %llu)\n",
+                 report.runs_completed, report.failures.size(),
+                 report.seconds,
+                 static_cast<unsigned long long>(options.seed));
+    for (const fuzz::RunFailure& failure : report.failures) {
+      std::fprintf(stderr, "  run %d: %s\n", failure.run,
+                   failure.verdict.summary().c_str());
+      if (!failure.reproducer_path.empty())
+        std::fprintf(stderr, "    reproducer: %s\n",
+                     failure.reproducer_path.c_str());
+    }
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fuzz_mapper: %s\n", error.what());
+    return 1;
+  }
+}
