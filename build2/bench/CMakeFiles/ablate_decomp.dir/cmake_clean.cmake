@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_decomp.dir/ablate_decomp.cpp.o"
+  "CMakeFiles/ablate_decomp.dir/ablate_decomp.cpp.o.d"
+  "ablate_decomp"
+  "ablate_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

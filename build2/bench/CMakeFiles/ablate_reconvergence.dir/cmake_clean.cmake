@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_reconvergence.dir/ablate_reconvergence.cpp.o"
+  "CMakeFiles/ablate_reconvergence.dir/ablate_reconvergence.cpp.o.d"
+  "ablate_reconvergence"
+  "ablate_reconvergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reconvergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_split.dir/ablate_split.cpp.o"
+  "CMakeFiles/ablate_split.dir/ablate_split.cpp.o.d"
+  "ablate_split"
+  "ablate_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

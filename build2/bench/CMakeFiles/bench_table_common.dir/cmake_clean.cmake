@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_common.dir/table_common.cpp.o"
+  "CMakeFiles/bench_table_common.dir/table_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_clb.dir/ext_clb.cpp.o"
+  "CMakeFiles/ext_clb.dir/ext_clb.cpp.o.d"
+  "ext_clb"
+  "ext_clb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_clb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

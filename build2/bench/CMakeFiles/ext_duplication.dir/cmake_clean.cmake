@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_duplication.dir/ext_duplication.cpp.o"
+  "CMakeFiles/ext_duplication.dir/ext_duplication.cpp.o.d"
+  "ext_duplication"
+  "ext_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

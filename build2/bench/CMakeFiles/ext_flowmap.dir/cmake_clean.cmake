@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_flowmap.dir/ext_flowmap.cpp.o"
+  "CMakeFiles/ext_flowmap.dir/ext_flowmap.cpp.o.d"
+  "ext_flowmap"
+  "ext_flowmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_flowmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_stats.dir/library_stats.cpp.o"
+  "CMakeFiles/library_stats.dir/library_stats.cpp.o.d"
+  "library_stats"
+  "library_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mapper.dir/micro_mapper.cpp.o"
+  "CMakeFiles/micro_mapper.dir/micro_mapper.cpp.o.d"
+  "micro_mapper"
+  "micro_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

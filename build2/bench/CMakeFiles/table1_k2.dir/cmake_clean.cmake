@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_k2.dir/table1_k2.cpp.o"
+  "CMakeFiles/table1_k2.dir/table1_k2.cpp.o.d"
+  "table1_k2"
+  "table1_k2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_k2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_k3.dir/table2_k3.cpp.o"
+  "CMakeFiles/table2_k3.dir/table2_k3.cpp.o.d"
+  "table2_k3"
+  "table2_k3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_k3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

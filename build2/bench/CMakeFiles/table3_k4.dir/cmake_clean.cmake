@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_k4.dir/table3_k4.cpp.o"
+  "CMakeFiles/table3_k4.dir/table3_k4.cpp.o.d"
+  "table3_k4"
+  "table3_k4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_k4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_k5.dir/table4_k5.cpp.o"
+  "CMakeFiles/table4_k5.dir/table4_k5.cpp.o.d"
+  "table4_k5"
+  "table4_k5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_k5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_explore.dir/arch_explore.cpp.o"
+  "CMakeFiles/arch_explore.dir/arch_explore.cpp.o.d"
+  "arch_explore"
+  "arch_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arch_explore.
+# This may be replaced when dependencies are built.

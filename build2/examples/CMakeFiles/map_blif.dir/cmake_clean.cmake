@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_blif.dir/map_blif.cpp.o"
+  "CMakeFiles/map_blif.dir/map_blif.cpp.o.d"
+  "map_blif"
+  "map_blif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_blif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_mapping.dir/verify_mapping.cpp.o"
+  "CMakeFiles/verify_mapping.dir/verify_mapping.cpp.o.d"
+  "verify_mapping"
+  "verify_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

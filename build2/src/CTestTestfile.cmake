@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("truth")
+subdirs("sop")
+subdirs("network")
+subdirs("blif")
+subdirs("sim")
+subdirs("chortle")
+subdirs("opt")
+subdirs("libmap")
+subdirs("flowmap")
+subdirs("mcnc")
+subdirs("arch")
+subdirs("bdd")
+subdirs("fuzz")

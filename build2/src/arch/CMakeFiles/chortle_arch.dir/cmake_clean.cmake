@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_arch.dir/clb.cpp.o"
+  "CMakeFiles/chortle_arch.dir/clb.cpp.o.d"
+  "libchortle_arch.a"
+  "libchortle_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

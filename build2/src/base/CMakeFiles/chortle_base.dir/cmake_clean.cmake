@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_base.dir/logging.cpp.o"
+  "CMakeFiles/chortle_base.dir/logging.cpp.o.d"
+  "libchortle_base.a"
+  "libchortle_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

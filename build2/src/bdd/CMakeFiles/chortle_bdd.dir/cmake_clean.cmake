@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/chortle_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/chortle_bdd.dir/equiv.cpp.o"
+  "CMakeFiles/chortle_bdd.dir/equiv.cpp.o.d"
+  "libchortle_bdd.a"
+  "libchortle_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

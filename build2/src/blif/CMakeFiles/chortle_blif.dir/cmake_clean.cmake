@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_blif.dir/blif.cpp.o"
+  "CMakeFiles/chortle_blif.dir/blif.cpp.o.d"
+  "CMakeFiles/chortle_blif.dir/verilog.cpp.o"
+  "CMakeFiles/chortle_blif.dir/verilog.cpp.o.d"
+  "libchortle_blif.a"
+  "libchortle_blif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_blif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

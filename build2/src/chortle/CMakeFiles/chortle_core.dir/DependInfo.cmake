@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chortle/duplicate.cpp" "src/chortle/CMakeFiles/chortle_core.dir/duplicate.cpp.o" "gcc" "src/chortle/CMakeFiles/chortle_core.dir/duplicate.cpp.o.d"
+  "/root/repo/src/chortle/forest.cpp" "src/chortle/CMakeFiles/chortle_core.dir/forest.cpp.o" "gcc" "src/chortle/CMakeFiles/chortle_core.dir/forest.cpp.o.d"
+  "/root/repo/src/chortle/mapper.cpp" "src/chortle/CMakeFiles/chortle_core.dir/mapper.cpp.o" "gcc" "src/chortle/CMakeFiles/chortle_core.dir/mapper.cpp.o.d"
+  "/root/repo/src/chortle/reference.cpp" "src/chortle/CMakeFiles/chortle_core.dir/reference.cpp.o" "gcc" "src/chortle/CMakeFiles/chortle_core.dir/reference.cpp.o.d"
+  "/root/repo/src/chortle/tree_mapper.cpp" "src/chortle/CMakeFiles/chortle_core.dir/tree_mapper.cpp.o" "gcc" "src/chortle/CMakeFiles/chortle_core.dir/tree_mapper.cpp.o.d"
+  "/root/repo/src/chortle/work_tree.cpp" "src/chortle/CMakeFiles/chortle_core.dir/work_tree.cpp.o" "gcc" "src/chortle/CMakeFiles/chortle_core.dir/work_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/base/CMakeFiles/chortle_base.dir/DependInfo.cmake"
+  "/root/repo/build2/src/truth/CMakeFiles/chortle_truth.dir/DependInfo.cmake"
+  "/root/repo/build2/src/network/CMakeFiles/chortle_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_core.dir/duplicate.cpp.o"
+  "CMakeFiles/chortle_core.dir/duplicate.cpp.o.d"
+  "CMakeFiles/chortle_core.dir/forest.cpp.o"
+  "CMakeFiles/chortle_core.dir/forest.cpp.o.d"
+  "CMakeFiles/chortle_core.dir/mapper.cpp.o"
+  "CMakeFiles/chortle_core.dir/mapper.cpp.o.d"
+  "CMakeFiles/chortle_core.dir/reference.cpp.o"
+  "CMakeFiles/chortle_core.dir/reference.cpp.o.d"
+  "CMakeFiles/chortle_core.dir/tree_mapper.cpp.o"
+  "CMakeFiles/chortle_core.dir/tree_mapper.cpp.o.d"
+  "CMakeFiles/chortle_core.dir/work_tree.cpp.o"
+  "CMakeFiles/chortle_core.dir/work_tree.cpp.o.d"
+  "libchortle_core.a"
+  "libchortle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_flowmap.dir/flowmap.cpp.o"
+  "CMakeFiles/chortle_flowmap.dir/flowmap.cpp.o.d"
+  "libchortle_flowmap.a"
+  "libchortle_flowmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_flowmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_fuzz.dir/corpus.cpp.o"
+  "CMakeFiles/chortle_fuzz.dir/corpus.cpp.o.d"
+  "CMakeFiles/chortle_fuzz.dir/fuzz_case.cpp.o"
+  "CMakeFiles/chortle_fuzz.dir/fuzz_case.cpp.o.d"
+  "CMakeFiles/chortle_fuzz.dir/fuzzer.cpp.o"
+  "CMakeFiles/chortle_fuzz.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/chortle_fuzz.dir/generator.cpp.o"
+  "CMakeFiles/chortle_fuzz.dir/generator.cpp.o.d"
+  "CMakeFiles/chortle_fuzz.dir/oracle.cpp.o"
+  "CMakeFiles/chortle_fuzz.dir/oracle.cpp.o.d"
+  "CMakeFiles/chortle_fuzz.dir/shrink.cpp.o"
+  "CMakeFiles/chortle_fuzz.dir/shrink.cpp.o.d"
+  "libchortle_fuzz.a"
+  "libchortle_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libmap/library.cpp" "src/libmap/CMakeFiles/chortle_libmap.dir/library.cpp.o" "gcc" "src/libmap/CMakeFiles/chortle_libmap.dir/library.cpp.o.d"
+  "/root/repo/src/libmap/matcher.cpp" "src/libmap/CMakeFiles/chortle_libmap.dir/matcher.cpp.o" "gcc" "src/libmap/CMakeFiles/chortle_libmap.dir/matcher.cpp.o.d"
+  "/root/repo/src/libmap/subject.cpp" "src/libmap/CMakeFiles/chortle_libmap.dir/subject.cpp.o" "gcc" "src/libmap/CMakeFiles/chortle_libmap.dir/subject.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/base/CMakeFiles/chortle_base.dir/DependInfo.cmake"
+  "/root/repo/build2/src/truth/CMakeFiles/chortle_truth.dir/DependInfo.cmake"
+  "/root/repo/build2/src/network/CMakeFiles/chortle_network.dir/DependInfo.cmake"
+  "/root/repo/build2/src/chortle/CMakeFiles/chortle_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_libmap.dir/library.cpp.o"
+  "CMakeFiles/chortle_libmap.dir/library.cpp.o.d"
+  "CMakeFiles/chortle_libmap.dir/matcher.cpp.o"
+  "CMakeFiles/chortle_libmap.dir/matcher.cpp.o.d"
+  "CMakeFiles/chortle_libmap.dir/subject.cpp.o"
+  "CMakeFiles/chortle_libmap.dir/subject.cpp.o.d"
+  "libchortle_libmap.a"
+  "libchortle_libmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_libmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

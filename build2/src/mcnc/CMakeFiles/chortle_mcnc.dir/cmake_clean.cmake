@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_mcnc.dir/generators.cpp.o"
+  "CMakeFiles/chortle_mcnc.dir/generators.cpp.o.d"
+  "CMakeFiles/chortle_mcnc.dir/random_logic.cpp.o"
+  "CMakeFiles/chortle_mcnc.dir/random_logic.cpp.o.d"
+  "libchortle_mcnc.a"
+  "libchortle_mcnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_mcnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_network.dir/lut_circuit.cpp.o"
+  "CMakeFiles/chortle_network.dir/lut_circuit.cpp.o.d"
+  "CMakeFiles/chortle_network.dir/network.cpp.o"
+  "CMakeFiles/chortle_network.dir/network.cpp.o.d"
+  "libchortle_network.a"
+  "libchortle_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/decompose.cpp" "src/opt/CMakeFiles/chortle_opt.dir/decompose.cpp.o" "gcc" "src/opt/CMakeFiles/chortle_opt.dir/decompose.cpp.o.d"
+  "/root/repo/src/opt/extract.cpp" "src/opt/CMakeFiles/chortle_opt.dir/extract.cpp.o" "gcc" "src/opt/CMakeFiles/chortle_opt.dir/extract.cpp.o.d"
+  "/root/repo/src/opt/script.cpp" "src/opt/CMakeFiles/chortle_opt.dir/script.cpp.o" "gcc" "src/opt/CMakeFiles/chortle_opt.dir/script.cpp.o.d"
+  "/root/repo/src/opt/simplify.cpp" "src/opt/CMakeFiles/chortle_opt.dir/simplify.cpp.o" "gcc" "src/opt/CMakeFiles/chortle_opt.dir/simplify.cpp.o.d"
+  "/root/repo/src/opt/sweep.cpp" "src/opt/CMakeFiles/chortle_opt.dir/sweep.cpp.o" "gcc" "src/opt/CMakeFiles/chortle_opt.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/base/CMakeFiles/chortle_base.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sop/CMakeFiles/chortle_sop.dir/DependInfo.cmake"
+  "/root/repo/build2/src/network/CMakeFiles/chortle_network.dir/DependInfo.cmake"
+  "/root/repo/build2/src/truth/CMakeFiles/chortle_truth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_opt.dir/decompose.cpp.o"
+  "CMakeFiles/chortle_opt.dir/decompose.cpp.o.d"
+  "CMakeFiles/chortle_opt.dir/extract.cpp.o"
+  "CMakeFiles/chortle_opt.dir/extract.cpp.o.d"
+  "CMakeFiles/chortle_opt.dir/script.cpp.o"
+  "CMakeFiles/chortle_opt.dir/script.cpp.o.d"
+  "CMakeFiles/chortle_opt.dir/simplify.cpp.o"
+  "CMakeFiles/chortle_opt.dir/simplify.cpp.o.d"
+  "CMakeFiles/chortle_opt.dir/sweep.cpp.o"
+  "CMakeFiles/chortle_opt.dir/sweep.cpp.o.d"
+  "libchortle_opt.a"
+  "libchortle_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchortle_opt.a"
+)

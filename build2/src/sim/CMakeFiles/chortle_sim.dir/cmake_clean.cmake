@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_sim.dir/simulate.cpp.o"
+  "CMakeFiles/chortle_sim.dir/simulate.cpp.o.d"
+  "libchortle_sim.a"
+  "libchortle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

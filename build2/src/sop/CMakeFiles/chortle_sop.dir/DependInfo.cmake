@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sop/cover.cpp" "src/sop/CMakeFiles/chortle_sop.dir/cover.cpp.o" "gcc" "src/sop/CMakeFiles/chortle_sop.dir/cover.cpp.o.d"
+  "/root/repo/src/sop/cube.cpp" "src/sop/CMakeFiles/chortle_sop.dir/cube.cpp.o" "gcc" "src/sop/CMakeFiles/chortle_sop.dir/cube.cpp.o.d"
+  "/root/repo/src/sop/isop.cpp" "src/sop/CMakeFiles/chortle_sop.dir/isop.cpp.o" "gcc" "src/sop/CMakeFiles/chortle_sop.dir/isop.cpp.o.d"
+  "/root/repo/src/sop/kernels.cpp" "src/sop/CMakeFiles/chortle_sop.dir/kernels.cpp.o" "gcc" "src/sop/CMakeFiles/chortle_sop.dir/kernels.cpp.o.d"
+  "/root/repo/src/sop/minimize.cpp" "src/sop/CMakeFiles/chortle_sop.dir/minimize.cpp.o" "gcc" "src/sop/CMakeFiles/chortle_sop.dir/minimize.cpp.o.d"
+  "/root/repo/src/sop/sop_network.cpp" "src/sop/CMakeFiles/chortle_sop.dir/sop_network.cpp.o" "gcc" "src/sop/CMakeFiles/chortle_sop.dir/sop_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/base/CMakeFiles/chortle_base.dir/DependInfo.cmake"
+  "/root/repo/build2/src/truth/CMakeFiles/chortle_truth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

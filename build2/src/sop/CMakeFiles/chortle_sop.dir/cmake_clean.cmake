@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_sop.dir/cover.cpp.o"
+  "CMakeFiles/chortle_sop.dir/cover.cpp.o.d"
+  "CMakeFiles/chortle_sop.dir/cube.cpp.o"
+  "CMakeFiles/chortle_sop.dir/cube.cpp.o.d"
+  "CMakeFiles/chortle_sop.dir/isop.cpp.o"
+  "CMakeFiles/chortle_sop.dir/isop.cpp.o.d"
+  "CMakeFiles/chortle_sop.dir/kernels.cpp.o"
+  "CMakeFiles/chortle_sop.dir/kernels.cpp.o.d"
+  "CMakeFiles/chortle_sop.dir/minimize.cpp.o"
+  "CMakeFiles/chortle_sop.dir/minimize.cpp.o.d"
+  "CMakeFiles/chortle_sop.dir/sop_network.cpp.o"
+  "CMakeFiles/chortle_sop.dir/sop_network.cpp.o.d"
+  "libchortle_sop.a"
+  "libchortle_sop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_sop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/truth/canonical.cpp" "src/truth/CMakeFiles/chortle_truth.dir/canonical.cpp.o" "gcc" "src/truth/CMakeFiles/chortle_truth.dir/canonical.cpp.o.d"
+  "/root/repo/src/truth/truth_table.cpp" "src/truth/CMakeFiles/chortle_truth.dir/truth_table.cpp.o" "gcc" "src/truth/CMakeFiles/chortle_truth.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/base/CMakeFiles/chortle_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_truth.dir/canonical.cpp.o"
+  "CMakeFiles/chortle_truth.dir/canonical.cpp.o.d"
+  "CMakeFiles/chortle_truth.dir/truth_table.cpp.o"
+  "CMakeFiles/chortle_truth.dir/truth_table.cpp.o.d"
+  "libchortle_truth.a"
+  "libchortle_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chortle_mapper_test.dir/chortle_mapper_test.cpp.o"
+  "CMakeFiles/chortle_mapper_test.dir/chortle_mapper_test.cpp.o.d"
+  "chortle_mapper_test"
+  "chortle_mapper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chortle_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

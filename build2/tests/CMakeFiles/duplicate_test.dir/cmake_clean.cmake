@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplicate_test.dir/duplicate_test.cpp.o"
+  "CMakeFiles/duplicate_test.dir/duplicate_test.cpp.o.d"
+  "duplicate_test"
+  "duplicate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowmap_test.dir/flowmap_test.cpp.o"
+  "CMakeFiles/flowmap_test.dir/flowmap_test.cpp.o.d"
+  "flowmap_test"
+  "flowmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

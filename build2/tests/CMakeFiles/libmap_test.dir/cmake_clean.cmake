@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libmap_test.dir/libmap_test.cpp.o"
+  "CMakeFiles/libmap_test.dir/libmap_test.cpp.o.d"
+  "libmap_test"
+  "libmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcnc_test.dir/mcnc_test.cpp.o"
+  "CMakeFiles/mcnc_test.dir/mcnc_test.cpp.o.d"
+  "mcnc_test"
+  "mcnc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcnc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

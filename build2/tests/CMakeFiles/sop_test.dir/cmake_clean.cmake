@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_test.dir/sop_test.cpp.o"
+  "CMakeFiles/sop_test.dir/sop_test.cpp.o.d"
+  "sop_test"
+  "sop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

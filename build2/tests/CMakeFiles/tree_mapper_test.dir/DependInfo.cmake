@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tree_mapper_test.cpp" "tests/CMakeFiles/tree_mapper_test.dir/tree_mapper_test.cpp.o" "gcc" "tests/CMakeFiles/tree_mapper_test.dir/tree_mapper_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/arch/CMakeFiles/chortle_arch.dir/DependInfo.cmake"
+  "/root/repo/build2/src/bdd/CMakeFiles/chortle_bdd.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fuzz/CMakeFiles/chortle_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build2/src/chortle/CMakeFiles/chortle_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/libmap/CMakeFiles/chortle_libmap.dir/DependInfo.cmake"
+  "/root/repo/build2/src/flowmap/CMakeFiles/chortle_flowmap.dir/DependInfo.cmake"
+  "/root/repo/build2/src/opt/CMakeFiles/chortle_opt.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mcnc/CMakeFiles/chortle_mcnc.dir/DependInfo.cmake"
+  "/root/repo/build2/src/blif/CMakeFiles/chortle_blif.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/chortle_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sop/CMakeFiles/chortle_sop.dir/DependInfo.cmake"
+  "/root/repo/build2/src/truth/CMakeFiles/chortle_truth.dir/DependInfo.cmake"
+  "/root/repo/build2/src/network/CMakeFiles/chortle_network.dir/DependInfo.cmake"
+  "/root/repo/build2/src/base/CMakeFiles/chortle_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

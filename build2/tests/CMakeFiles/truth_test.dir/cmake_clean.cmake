@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truth_test.dir/truth_test.cpp.o"
+  "CMakeFiles/truth_test.dir/truth_test.cpp.o.d"
+  "truth_test"
+  "truth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_mapper.dir/fuzz_mapper.cpp.o"
+  "CMakeFiles/fuzz_mapper.dir/fuzz_mapper.cpp.o.d"
+  "fuzz_mapper"
+  "fuzz_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
