@@ -2,4 +2,6 @@
 // baseline on the MCNC-89 benchmark substitutes at K=2.
 #include "table_common.hpp"
 
-int main() { return chortle::bench::run_table(2, "Table 1"); }
+int main(int argc, char** argv) {
+  return chortle::bench::run_table(2, "Table 1", argc, argv);
+}

@@ -2,4 +2,6 @@
 // baseline on the MCNC-89 benchmark substitutes at K=5.
 #include "table_common.hpp"
 
-int main() { return chortle::bench::run_table(5, "Table 4"); }
+int main(int argc, char** argv) {
+  return chortle::bench::run_table(5, "Table 4", argc, argv);
+}

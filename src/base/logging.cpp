@@ -1,7 +1,10 @@
 #include "base/logging.hpp"
 
 #include <atomic>
-#include <iostream>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace chortle {
 namespace {
@@ -19,18 +22,71 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// CHORTLE_LOG_LEVEL: a level name (case-insensitive) or digit 0-4.
+/// Unrecognized values are ignored so a typo cannot silence errors.
+bool parse_level(const char* text, LogLevel* out) {
+  if (text == nullptr || *text == '\0') return false;
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p)
+    lower += static_cast<char>(
+        *p >= 'A' && *p <= 'Z' ? *p - 'A' + 'a' : *p);
+  if (lower == "debug" || lower == "0") *out = LogLevel::kDebug;
+  else if (lower == "info" || lower == "1") *out = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning" || lower == "2")
+    *out = LogLevel::kWarn;
+  else if (lower == "error" || lower == "3") *out = LogLevel::kError;
+  else if (lower == "off" || lower == "none" || lower == "4")
+    *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+void apply_env_override_once() {
+  static const bool applied = [] {
+    LogLevel level;
+    if (parse_level(std::getenv("CHORTLE_LOG_LEVEL"), &level))
+      g_level.store(level, std::memory_order_relaxed);
+    return true;
+  }();
+  (void)applied;
+}
+
+std::chrono::steady_clock::time_point log_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex* const mu = new std::mutex;  // immortal
+  return *mu;
+}
+
 }  // namespace
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() {
+  apply_env_override_once();
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void set_log_level(LogLevel level) {
+  apply_env_override_once();  // explicit calls win over the environment
   g_level.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    log_epoch())
+          .count();
+  // One formatted write per line under a lock: concurrent threads
+  // cannot interleave characters, and lines stay in timestamp order.
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[%12.6f %-5s] %s\n", seconds, level_name(level),
+               message.c_str());
+  std::fflush(stderr);
 }
 
 }  // namespace detail

@@ -1,5 +1,12 @@
 // Minimal leveled logging to stderr. Quiet by default so that bench
 // harness stdout stays machine-parsable; raise the level for debugging.
+//
+// Thread-safe: each line is emitted with a single locked write, prefixed
+// with a monotonic seconds-since-start timestamp and the level tag. The
+// CHORTLE_LOG_LEVEL environment variable (debug|info|warn|error|off or
+// 0-4) overrides the default threshold at startup, so bench and fuzz
+// runs can raise verbosity without recompiling; set_log_level() still
+// wins over the environment.
 #pragma once
 
 #include <sstream>

@@ -3,6 +3,8 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
+#include <utility>
 
 namespace chortle {
 
@@ -24,6 +26,32 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Measures one scope and delivers the elapsed seconds to a sink at
+/// scope exit. The sink keeps this header dependency-free: callers
+/// accumulate into a double, or use obs::phase_sink to report into a
+/// run report and the metrics registry.
+class ScopedTimer {
+ public:
+  using Sink = std::function<void(double seconds)>;
+
+  explicit ScopedTimer(Sink sink) : sink_(std::move(sink)) {}
+  /// Adds the elapsed seconds into *accumulator at scope exit.
+  explicit ScopedTimer(double* accumulator)
+      : sink_([accumulator](double s) { *accumulator += s; }) {}
+  ~ScopedTimer() {
+    if (sink_) sink_(timer_.seconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far (the sink still fires at scope exit).
+  double seconds() const { return timer_.seconds(); }
+
+ private:
+  WallTimer timer_;
+  Sink sink_;
 };
 
 }  // namespace chortle

@@ -8,6 +8,8 @@
 
 #include "base/check.hpp"
 #include "base/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sop/isop.hpp"
 
 namespace chortle::blif {
@@ -63,6 +65,7 @@ std::vector<std::string> logical_lines(std::istream& in) {
     pending.clear();
   }
   if (!pending.empty()) lines.push_back(pending);
+  OBS_COUNT("blif.logical_lines", lines.size());
   return lines;
 }
 
@@ -185,7 +188,10 @@ Cover cover_from_rows(const NamesSection& section,
 }  // namespace
 
 BlifModel read_blif(std::istream& in) {
+  OBS_SPAN("blif.parse");
   const RawModel raw = parse_raw(in);
+  OBS_COUNT("blif.models_parsed", 1);
+  OBS_COUNT("blif.names_sections", raw.names.size());
   BlifModel result;
   result.name = raw.name.empty() ? "model" : raw.name;
   result.num_latches = raw.num_latches;

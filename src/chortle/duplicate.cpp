@@ -5,6 +5,8 @@
 
 #include "chortle/tree_mapper.hpp"
 #include "chortle/work_tree.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chortle::core {
 namespace {
@@ -36,6 +38,7 @@ std::vector<net::NodeId> consumer_roots(const net::Network& network,
 Forest duplicate_fanout_logic(const net::Network& network, Forest forest,
                               const Options& options,
                               DuplicationStats* stats) {
+  OBS_SPAN_ARG("chortle.duplicate", network.num_nodes());
   DuplicationStats local;
   std::vector<bool> read_by_output(
       static_cast<std::size_t>(network.num_nodes()), false);
@@ -45,8 +48,11 @@ Forest duplicate_fanout_logic(const net::Network& network, Forest forest,
   // Tree cost under the current partition, cached per root.
   std::map<net::NodeId, int> cost_cache;
   const auto tree_cost = [&](net::NodeId root) {
-    if (auto it = cost_cache.find(root); it != cost_cache.end())
+    if (auto it = cost_cache.find(root); it != cost_cache.end()) {
+      OBS_COUNT("chortle.duplicate.cache_hits", 1);
       return it->second;
+    }
+    OBS_COUNT("chortle.duplicate.cache_misses", 1);
     const int cost =
         TreeMapper(build_work_tree(network, forest.is_root, root, options),
                    options)
@@ -112,6 +118,8 @@ Forest duplicate_fanout_logic(const net::Network& network, Forest forest,
   }
 
   Forest result = build_forest_with_roots(network, forest.is_root);
+  OBS_COUNT("chortle.duplicate.candidates", local.candidates);
+  OBS_COUNT("chortle.duplicate.accepted", local.accepted);
   if (stats != nullptr) *stats = local;
   return result;
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace chortle::core {
 namespace {
 
@@ -55,6 +58,7 @@ void collect_trees(const net::Network& network, Forest* forest) {
 }  // namespace
 
 Forest build_forest(const net::Network& network) {
+  OBS_SPAN_ARG("forest.build", network.num_nodes());
   const int n = network.num_nodes();
   Forest forest;
   forest.is_root.assign(static_cast<std::size_t>(n), false);
@@ -84,11 +88,14 @@ Forest build_forest(const net::Network& network) {
   }
 
   collect_trees(network, &forest);
+  OBS_COUNT("chortle.forest.builds", 1);
+  OBS_COUNT("chortle.forest.trees", forest.trees.size());
   return forest;
 }
 
 Forest build_forest_with_roots(const net::Network& network,
                                std::vector<bool> is_root) {
+  OBS_SPAN_ARG("forest.build_with_roots", network.num_nodes());
   Forest forest;
   forest.is_root = std::move(is_root);
   forest.is_live = compute_liveness(network);

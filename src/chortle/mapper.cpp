@@ -7,10 +7,13 @@
 #include "chortle/forest.hpp"
 #include "chortle/tree_mapper.hpp"
 #include "chortle/work_tree.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chortle::core {
 
 MapResult map_network(const net::Network& network, const Options& options) {
+  OBS_SPAN_ARG("chortle.map_network", network.num_nodes());
   options.validate();
   network.check();
   WallTimer timer;
@@ -80,6 +83,8 @@ MapResult map_network(const net::Network& network, const Options& options) {
   result.stats.depth = circuit.depth();
   result.stats.duplicated_roots = duplication.accepted;
   result.stats.seconds = timer.seconds();
+  OBS_COUNT("chortle.map.networks", 1);
+  OBS_COUNT("chortle.map.luts", result.stats.num_luts);
   return result;
 }
 

@@ -5,6 +5,9 @@
 #include <utility>
 #include <functional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace chortle::core {
 namespace {
 
@@ -14,10 +17,16 @@ int lowest_bit(std::uint32_t mask) { return std::countr_zero(mask); }
 
 TreeMapper::TreeMapper(WorkTree tree, const Options& options)
     : tree_(std::move(tree)), options_(options), k_(options.k) {
+  obs::TraceSpan span("tree_map.solve", tree_.size());
   options_.validate();
   tables_.resize(static_cast<std::size_t>(tree_.size()));
   // Postorder traversal: leaf nodes to the root (paper Figure 4).
   for (int node : tree_.postorder()) solve_node(node);
+  OBS_COUNT("chortle.trees_mapped", 1);
+  OBS_COUNT("chortle.tree.nodes", tree_.size());
+  OBS_COUNT("chortle.tree.dp_cells", counters_.dp_cells);
+  OBS_COUNT("chortle.tree.util_divisions", counters_.util_divisions);
+  OBS_COUNT("chortle.tree.decomp_candidates", counters_.decomp_candidates);
 }
 
 std::int32_t TreeMapper::direct_contribution(const WorkChild& child,
@@ -45,6 +54,10 @@ void TreeMapper::solve_node(int node) {
   t.node_cost.assign(num_subsets, kInfCost);
   t.node_cost_u.assign(num_subsets, 0);
   t.h[0 * stride + 0] = 0;
+  counters_.dp_cells +=
+      static_cast<std::uint64_t>(num_subsets) * static_cast<unsigned>(stride);
+  std::uint64_t util_divisions = 0;
+  std::uint64_t decomp_candidates = 0;
 
   for (std::uint32_t subset = 1; subset < num_subsets; ++subset) {
     const int e = lowest_bit(subset);
@@ -64,6 +77,7 @@ void TreeMapper::solve_node(int node) {
       Choice best_choice;
       // Option A: child e taken directly with u_e of the root's inputs.
       const int max_ue = std::min(u_total, k_);
+      util_divisions += static_cast<unsigned>(std::max(max_ue, 0));
       for (int ue = 1; ue <= max_ue; ue++) {
         const std::int32_t ce = direct_contribution(wn.children[e], ue);
         if (ce >= kInfCost) continue;
@@ -79,6 +93,7 @@ void TreeMapper::solve_node(int node) {
       // would need U = 1 and are handled in pass 2.
       if (u_total >= 1) {
         for (std::uint32_t d = rest; d != 0; d = (d - 1) & rest) {
+          ++decomp_candidates;
           const std::uint32_t group = d | (std::uint32_t{1} << e);
           if (group == subset) continue;  // leaves S \ d empty; needs U = 1
           const std::int32_t gc = t.node_cost[group];
@@ -124,6 +139,8 @@ void TreeMapper::solve_node(int node) {
       choice_at(subset, 1) = Choice{subset, 0, 'B'};
     }
   }
+  counters_.util_divisions += util_divisions;
+  counters_.decomp_candidates += decomp_candidates;
 }
 
 int TreeMapper::minmap_cost(int node, int utilization) const {

@@ -90,6 +90,15 @@ class TreeMapper {
   void solve_node(int node);
   std::int32_t direct_contribution(const WorkChild& child, int u) const;
 
+  /// Search-effort tallies, accumulated locally per node and flushed to
+  /// the observability registry once per tree (the inner loops are far
+  /// too hot for per-event registry updates).
+  struct DpCounters {
+    std::uint64_t dp_cells = 0;          // h(S, U) cells computed
+    std::uint64_t util_divisions = 0;    // direct u_e assignments tried
+    std::uint64_t decomp_candidates = 0; // intermediate groups tried
+  };
+
   // --- reconstruction ---
   struct Expr {
     bool is_leaf = false;
@@ -115,6 +124,7 @@ class TreeMapper {
   Options options_;
   int k_;
   std::vector<NodeTables> tables_;
+  DpCounters counters_;
 
   // Valid only during emit():
   net::LutCircuit* circuit_ = nullptr;

@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "chortle/work_tree.hpp"
+#include "obs/metrics.hpp"
 
 namespace chortle::core {
 
@@ -71,6 +72,7 @@ class Builder {
     const int bound =
         options_.search_decompositions ? options_.split_threshold : 2;
     if (static_cast<int>(children.size()) > bound) {
+      OBS_COUNT("chortle.tree.split_events", 1);
       // Split into two halves of roughly equal fanin (paper §3.1.4);
       // each half becomes a new node with the same operation.
       const std::size_t half = children.size() / 2;

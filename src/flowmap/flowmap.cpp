@@ -6,6 +6,8 @@
 
 #include "base/check.hpp"
 #include "base/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chortle::flowmap {
 namespace {
@@ -106,6 +108,7 @@ class FlowMapper {
   }
 
   FlowMapResult run() {
+    OBS_SPAN_ARG("flowmap.map", network_.num_nodes());
     WallTimer timer;
     label_.assign(static_cast<std::size_t>(network_.num_nodes()), 0);
     cut_of_.resize(static_cast<std::size_t>(network_.num_nodes()));
@@ -116,6 +119,10 @@ class FlowMapper {
     result.stats.num_luts = result.circuit.num_luts();
     result.stats.depth = result.circuit.depth();
     result.stats.seconds = timer.seconds();
+    OBS_COUNT("flowmap.networks", 1);
+    OBS_COUNT("flowmap.labels", labels_computed_);
+    OBS_COUNT("flowmap.maxflow_runs", maxflow_runs_);
+    OBS_COUNT("flowmap.luts", result.stats.num_luts);
     return result;
   }
 
@@ -179,6 +186,8 @@ class FlowMapper {
       }
     }
 
+    ++labels_computed_;
+    ++maxflow_runs_;
     const int flow = graph.max_flow(0, 1, k_);
     if (flow <= k_) {
       label_[static_cast<std::size_t>(t)] = std::max(p, 1);
@@ -308,6 +317,9 @@ class FlowMapper {
   int k_;
   std::vector<int> label_;
   std::vector<std::vector<net::NodeId>> cut_of_;
+  // Flushed to the observability registry once per run().
+  std::uint64_t labels_computed_ = 0;
+  std::uint64_t maxflow_runs_ = 0;
 };
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include "base/timer.hpp"
 #include "fuzz/corpus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chortle::fuzz {
 
@@ -17,8 +19,10 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
       break;
     // Each run seeds its own RNG (SplitMix decorrelates nearby seeds),
     // so run N is reproducible in isolation.
+    obs::TraceSpan case_span("fuzz.case", run);
     Rng rng(options.seed + static_cast<std::uint64_t>(run));
     const FuzzCase fuzz_case = sample_case(rng, options.generator);
+    OBS_COUNT("fuzz.cases_generated", 1);
     const Verdict verdict = check_case(fuzz_case, options.oracle);
     ++report.runs_completed;
     if (options.log && (run + 1) % 50 == 0)
@@ -27,6 +31,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
                    << timer.seconds() << "s)\n";
     if (verdict.ok()) continue;
 
+    OBS_COUNT("fuzz.failures", 1);
     RunFailure failure;
     failure.run = run;
     failure.description = fuzz_case.description;
@@ -35,8 +40,10 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
       *options.log << "fuzz: run " << run << " FAILED [" << verdict.summary()
                    << "] case: " << fuzz_case.description << "\n";
     if (options.shrink_failures) {
+      obs::TraceSpan shrink_span("fuzz.shrink", run);
       const ShrinkResult shrunk =
           shrink(fuzz_case, options.oracle, options.shrinker);
+      OBS_COUNT("fuzz.shrink_attempts", shrunk.attempts);
       failure.shrunk = shrunk.fuzz_case;
       failure.shrunk_verdict = shrunk.verdict;
       if (options.log)

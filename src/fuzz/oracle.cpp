@@ -11,6 +11,7 @@
 #include "libmap/library.hpp"
 #include "libmap/matcher.hpp"
 #include "libmap/subject.hpp"
+#include "obs/metrics.hpp"
 #include "opt/script.hpp"
 #include "sim/simulate.hpp"
 
@@ -100,6 +101,7 @@ class OracleRun {
 
     for (Backend backend : case_.backends) {
       ++verdict_.backends_run;
+      OBS_COUNT("fuzz.backend_runs", 1);
       try {
         run_backend(backend, design.network);
       } catch (const std::exception& error) {
@@ -112,6 +114,13 @@ class OracleRun {
  private:
   void fail(const std::string& stage, const std::string& kind,
             const std::string& detail) {
+    // The counter name depends on the runtime failure kind, so this
+    // goes through the registry directly rather than OBS_COUNT (whose
+    // per-call-site MetricId cache assumes one fixed name).
+    if constexpr (obs::kObsEnabled) {
+      auto& registry = obs::Registry::global();
+      registry.add(registry.counter("fuzz.disagree." + kind), 1);
+    }
     verdict_.failures.push_back(Failure{stage, kind, detail});
   }
 

@@ -1,0 +1,379 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "base/check.hpp"
+
+namespace chortle::obs {
+namespace {
+
+void require_kind(Json::Kind have, Json::Kind want, const char* what) {
+  if (have != want)
+    throw InvalidInput(std::string("JSON value is not a ") + what);
+}
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << static_cast<char>(c);
+        }
+    }
+  }
+  out << '"';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    std::ostringstream os;
+    os << "JSON parse error at offset " << pos_ << ": " << what;
+    throw InvalidInput(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(object));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_code_point(out, parse_hex4()); break;
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("bad hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  /// Encodes one BMP code point as UTF-8 (surrogate pairs are combined).
+  void append_code_point(std::string& out, unsigned cp) {
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u')
+        fail("unpaired surrogate");
+      pos_ += 2;
+      const unsigned lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    }
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // JSON forbids leading zeros ("01"), which stoll would accept.
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9')
+      fail("leading zero in number");
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      if (integral) return Json(static_cast<std::int64_t>(std::stoll(token)));
+      return Json(std::stod(token));
+    } catch (const std::exception&) {
+      fail("malformed number '" + token + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  require_kind(kind_, Kind::kBool, "bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  require_kind(kind_, Kind::kNumber, "number");
+  return number_;
+}
+
+std::int64_t Json::as_int() const {
+  require_kind(kind_, Kind::kNumber, "number");
+  return is_int_ ? int_ : static_cast<std::int64_t>(number_);
+}
+
+const std::string& Json::as_string() const {
+  require_kind(kind_, Kind::kString, "string");
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  require_kind(kind_, Kind::kArray, "array");
+  return array_;
+}
+
+Json::Array& Json::as_array() {
+  require_kind(kind_, Kind::kArray, "array");
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  require_kind(kind_, Kind::kObject, "object");
+  return object_;
+}
+
+Json::Object& Json::as_object() {
+  require_kind(kind_, Kind::kObject, "object");
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Json& Json::set(std::string key, Json value) {
+  require_kind(kind_, Kind::kObject, "object");
+  for (auto& [k, v] : object_)
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  object_.emplace_back(std::move(key), std::move(value));
+  return object_.back().second;
+}
+
+void Json::push_back(Json value) {
+  require_kind(kind_, Kind::kArray, "array");
+  array_.push_back(std::move(value));
+}
+
+void Json::dump_at(std::ostream& out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent <= 0) return;
+    out << '\n';
+    for (int i = 0; i < indent * d; ++i) out << ' ';
+  };
+  switch (kind_) {
+    case Kind::kNull: out << "null"; break;
+    case Kind::kBool: out << (bool_ ? "true" : "false"); break;
+    case Kind::kNumber:
+      if (is_int_) {
+        out << int_;
+      } else if (std::isfinite(number_)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", number_);
+        out << buf;
+      } else {
+        out << "null";  // JSON has no NaN/Inf
+      }
+      break;
+    case Kind::kString: write_escaped(out, string_); break;
+    case Kind::kArray: {
+      out << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out << ',';
+        newline_pad(depth + 1);
+        array_[i].dump_at(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline_pad(depth);
+      out << ']';
+      break;
+    }
+    case Kind::kObject: {
+      out << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out << ',';
+        newline_pad(depth + 1);
+        write_escaped(out, object_[i].first);
+        out << (indent > 0 ? ": " : ":");
+        object_[i].second.dump_at(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline_pad(depth);
+      out << '}';
+      break;
+    }
+  }
+}
+
+void Json::dump(std::ostream& out, int indent) const {
+  dump_at(out, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace chortle::obs

@@ -1,0 +1,85 @@
+// Minimal JSON document model used by the observability layer: the
+// trace exporter and run-report writer need a serializer, and the test
+// suite plus tools/obs_check need to parse those files back. Objects
+// preserve insertion order so reports stay diffable run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace chortle::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(double value) : kind_(Kind::kNumber), number_(value) {}
+  Json(std::int64_t value)
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)),
+        int_(value), is_int_(true) {}
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(unsigned value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::uint64_t value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+  Json(Array value) : kind_(Kind::kArray), array_(std::move(value)) {}
+  Json(Object value) : kind_(Kind::kObject), object_(std::move(value)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw InvalidInput on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object lookup; nullptr when the key is absent (or not an object).
+  const Json* find(std::string_view key) const;
+  /// Insert-or-assign preserving first-insertion order.
+  Json& set(std::string key, Json value);
+  /// Array append.
+  void push_back(Json value);
+
+  void dump(std::ostream& out, int indent = 0) const;
+  std::string dump(int indent = 0) const;
+
+  /// Strict parser for the standard JSON grammar (UTF-8, \uXXXX
+  /// escapes). Throws InvalidInput with the byte offset on error.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_at(std::ostream& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace chortle::obs

@@ -1,0 +1,337 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "base/check.hpp"
+
+namespace chortle::obs {
+namespace {
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct Descriptor {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::vector<double> bounds;  // histograms only
+  std::atomic<std::int64_t> gauge{0};
+};
+
+/// Atomic accumulation of doubles via compare-exchange on the bit
+/// pattern (std::atomic<double>::fetch_add is C++20 but not universally
+/// lowered well; updates here are per-observation, not per-increment).
+class AtomicDouble {
+ public:
+  explicit AtomicDouble(double init) : bits_(std::bit_cast<std::uint64_t>(init)) {}
+
+  double load() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void store(double value) {
+    bits_.store(std::bit_cast<std::uint64_t>(value),
+                std::memory_order_relaxed);
+  }
+  void add(double delta) { update([delta](double v) { return v + delta; }); }
+  void min_with(double value) {
+    update([value](double v) { return value < v ? value : v; });
+  }
+  void max_with(double value) {
+    update([value](double v) { return value > v ? value : v; });
+  }
+
+ private:
+  template <typename Fn>
+  void update(Fn fn) {
+    std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+    while (true) {
+      const std::uint64_t desired =
+          std::bit_cast<std::uint64_t>(fn(std::bit_cast<double>(expected)));
+      if (desired == expected) return;
+      if (bits_.compare_exchange_weak(expected, desired,
+                                      std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  std::atomic<std::uint64_t> bits_;
+};
+
+struct HistCell {
+  explicit HistCell(const std::vector<double>& bucket_bounds)
+      : bounds(bucket_bounds),
+        buckets(new std::atomic<std::uint64_t>[bucket_bounds.size() + 1]),
+        sum(0.0),
+        min(std::numeric_limits<double>::infinity()),
+        max(-std::numeric_limits<double>::infinity()) {
+    for (std::size_t i = 0; i <= bounds.size(); ++i) buckets[i] = 0;
+  }
+
+  std::vector<double> bounds;  // copied so observe() needs no registry lock
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+  AtomicDouble sum;
+  AtomicDouble min;
+  AtomicDouble max;
+};
+
+struct Cell {
+  std::atomic<std::uint64_t> count{0};
+  std::unique_ptr<HistCell> hist;  // histograms only
+};
+
+/// One thread's private cells. Owned jointly by the thread (fast,
+/// lock-free updates) and the registry (so values survive thread exit).
+/// `mu` guards growth of the deque; element access needs no lock because
+/// deque growth never relocates existing elements and only the owning
+/// thread appends.
+struct ThreadCells {
+  std::mutex mu;
+  std::deque<Cell> cells;
+  std::atomic<std::size_t> size{0};
+};
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+}  // namespace
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  CHORTLE_REQUIRE(bounds == other.bounds,
+                  "merging histograms with different bucket bounds");
+  for (std::size_t i = 0; i < buckets.size(); ++i)
+    buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, hist] : other.histograms)
+    histograms[name].merge(hist);
+}
+
+MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    const std::uint64_t base = earlier.counter(name);
+    delta.counters[name] = value >= base ? value - base : 0;
+  }
+  delta.gauges = gauges;
+  for (const auto& [name, hist] : histograms) {
+    HistogramSnapshot d = hist;  // min/max cannot be diffed; keep ours
+    if (const auto it = earlier.histograms.find(name);
+        it != earlier.histograms.end() && it->second.bounds == hist.bounds) {
+      const HistogramSnapshot& base = it->second;
+      for (std::size_t i = 0; i < d.buckets.size(); ++i)
+        d.buckets[i] -= std::min(d.buckets[i], base.buckets[i]);
+      d.count -= std::min(d.count, base.count);
+      d.sum -= base.sum;
+    }
+    delta.histograms[name] = std::move(d);
+  }
+  return delta;
+}
+
+struct Registry::Impl {
+  std::uint64_t id = g_next_registry_id.fetch_add(1);
+  mutable std::mutex mu;
+  std::deque<Descriptor> metrics;
+  std::map<std::string, MetricId, std::less<>> by_name;
+  std::vector<std::shared_ptr<ThreadCells>> threads;
+
+  /// This thread's cells for this registry, created and published on
+  /// first use. Thread-local lookup keyed by registry id so tests may
+  /// hold several registries.
+  ThreadCells& local() {
+    thread_local std::vector<std::pair<std::uint64_t,
+                                       std::shared_ptr<ThreadCells>>> cache;
+    for (const auto& [rid, cells] : cache)
+      if (rid == id) return *cells;
+    auto cells = std::make_shared<ThreadCells>();
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      threads.push_back(cells);
+    }
+    cache.emplace_back(id, cells);
+    return *cache.back().second;
+  }
+
+  /// Grows `tc` (under both locks, registry lock first) until `id` has
+  /// a cell, materializing histogram cells from their descriptors.
+  Cell& ensure(ThreadCells& tc, MetricId id) {
+    const std::size_t want = static_cast<std::size_t>(id);
+    if (want < tc.size.load(std::memory_order_acquire))
+      return tc.cells[want];
+    const std::lock_guard<std::mutex> registry_lock(mu);
+    const std::lock_guard<std::mutex> thread_lock(tc.mu);
+    CHORTLE_REQUIRE(want < metrics.size(), "unknown metric id");
+    while (tc.cells.size() < metrics.size()) {
+      const Descriptor& d = metrics[tc.cells.size()];
+      Cell& cell = tc.cells.emplace_back();
+      if (d.kind == Kind::kHistogram)
+        cell.hist = std::make_unique<HistCell>(d.bounds);
+    }
+    tc.size.store(tc.cells.size(), std::memory_order_release);
+    return tc.cells[want];
+  }
+
+  MetricId intern(std::string_view name, Kind kind,
+                  std::vector<double> bounds) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (const auto it = by_name.find(name); it != by_name.end()) {
+      const Descriptor& d = metrics[static_cast<std::size_t>(it->second)];
+      CHORTLE_REQUIRE(d.kind == kind,
+                      "metric re-registered with a different kind");
+      if (kind == Kind::kHistogram)
+        CHORTLE_REQUIRE(d.bounds == bounds,
+                        "histogram re-registered with different bounds");
+      return it->second;
+    }
+    const MetricId id = static_cast<MetricId>(metrics.size());
+    Descriptor& d = metrics.emplace_back();
+    d.name = std::string(name);
+    d.kind = kind;
+    d.bounds = std::move(bounds);
+    by_name.emplace(d.name, id);
+    return id;
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  static Registry* const registry = new Registry;  // immortal
+  return *registry;
+}
+
+MetricId Registry::counter(std::string_view name) {
+  return impl_->intern(name, Kind::kCounter, {});
+}
+
+MetricId Registry::gauge(std::string_view name) {
+  return impl_->intern(name, Kind::kGauge, {});
+}
+
+MetricId Registry::histogram(std::string_view name,
+                             std::vector<double> bounds) {
+  CHORTLE_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
+                  "histogram bounds must be ascending");
+  return impl_->intern(name, Kind::kHistogram, std::move(bounds));
+}
+
+std::vector<double> Registry::latency_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
+}
+
+void Registry::add(MetricId id, std::uint64_t delta) {
+  ThreadCells& tc = impl_->local();
+  impl_->ensure(tc, id).count.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::set_gauge(MetricId id, std::int64_t value) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  CHORTLE_REQUIRE(static_cast<std::size_t>(id) < impl_->metrics.size(),
+                  "unknown metric id");
+  impl_->metrics[static_cast<std::size_t>(id)].gauge.store(
+      value, std::memory_order_relaxed);
+}
+
+void Registry::observe(MetricId id, double value) {
+  ThreadCells& tc = impl_->local();
+  Cell& cell = impl_->ensure(tc, id);
+  CHORTLE_REQUIRE(cell.hist != nullptr, "observe() on a non-histogram");
+  HistCell& h = *cell.hist;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(h.bounds.begin(), h.bounds.end(), value) -
+      h.bounds.begin());
+  h.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.add(value);
+  h.min.min_with(value);
+  h.max.max_with(value);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  for (std::size_t id = 0; id < impl_->metrics.size(); ++id) {
+    const Descriptor& d = impl_->metrics[id];
+    switch (d.kind) {
+      case Kind::kCounter: out.counters[d.name] = 0; break;
+      case Kind::kGauge:
+        out.gauges[d.name] = d.gauge.load(std::memory_order_relaxed);
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot& h = out.histograms[d.name];
+        h.bounds = d.bounds;
+        h.buckets.assign(d.bounds.size() + 1, 0);
+        break;
+      }
+    }
+  }
+  for (const auto& tc : impl_->threads) {
+    const std::lock_guard<std::mutex> thread_lock(tc->mu);
+    const std::size_t n =
+        std::min(tc->cells.size(), impl_->metrics.size());
+    for (std::size_t id = 0; id < n; ++id) {
+      const Descriptor& d = impl_->metrics[id];
+      const Cell& cell = tc->cells[id];
+      if (d.kind == Kind::kCounter) {
+        out.counters[d.name] +=
+            cell.count.load(std::memory_order_relaxed);
+      } else if (d.kind == Kind::kHistogram && cell.hist != nullptr) {
+        HistogramSnapshot part;
+        part.bounds = cell.hist->bounds;
+        part.count = cell.count.load(std::memory_order_relaxed);
+        part.sum = cell.hist->sum.load();
+        part.min = cell.hist->min.load();
+        part.max = cell.hist->max.load();
+        part.buckets.resize(part.bounds.size() + 1);
+        for (std::size_t b = 0; b < part.buckets.size(); ++b)
+          part.buckets[b] =
+              cell.hist->buckets[b].load(std::memory_order_relaxed);
+        out.histograms[d.name].merge(part);
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  for (Descriptor& d : impl_->metrics)
+    d.gauge.store(0, std::memory_order_relaxed);
+  for (const auto& tc : impl_->threads) {
+    const std::lock_guard<std::mutex> thread_lock(tc->mu);
+    for (Cell& cell : tc->cells) {
+      cell.count.store(0, std::memory_order_relaxed);
+      if (cell.hist != nullptr) {
+        HistCell& h = *cell.hist;
+        for (std::size_t b = 0; b <= h.bounds.size(); ++b)
+          h.buckets[b].store(0, std::memory_order_relaxed);
+        h.sum.store(0.0);
+        h.min.store(std::numeric_limits<double>::infinity());
+        h.max.store(-std::numeric_limits<double>::infinity());
+      }
+    }
+  }
+}
+
+}  // namespace chortle::obs

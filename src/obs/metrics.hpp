@@ -1,0 +1,103 @@
+// Lock-cheap metrics for the mapping pipeline: named counters, gauges,
+// and fixed-bucket latency histograms. Updates go to thread-local cells
+// (an uncontended relaxed atomic add — no shared cache line, no lock on
+// the hot path); snapshot() merges every thread's cells into one value
+// set, and snapshots themselves merge/diff so harnesses can report the
+// increment attributable to a single benchmark.
+//
+// Registration is find-or-create by name, so independent modules can
+// share a counter by agreeing on its name (scheme: "<module>.<noun>",
+// see DESIGN.md §8). With CHORTLE_OBS_DISABLED defined the OBS_COUNT
+// macro compiles away entirely.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chortle::obs {
+
+#if defined(CHORTLE_OBS_DISABLED)
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+using MetricId = int;
+
+struct HistogramSnapshot {
+  /// Ascending upper bucket bounds; buckets has bounds.size() + 1
+  /// entries, the last one catching values above every bound.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful when count > 0
+  double max = 0.0;
+
+  void merge(const HistogramSnapshot& other);
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value, 0 when the name was never registered.
+  std::uint64_t counter(const std::string& name) const;
+  /// Element-wise sum (gauges take the other side's value when present).
+  void merge(const MetricsSnapshot& other);
+  /// Counters and histograms as the increment since `earlier`; gauges
+  /// keep this snapshot's value.
+  MetricsSnapshot since(const MetricsSnapshot& earlier) const;
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every OBS_* macro reports into.
+  static Registry& global();
+
+  /// Find-or-create by name. Re-registering an existing name with a
+  /// different kind throws InvalidInput.
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  MetricId histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Power-of-ten latency bounds in seconds, 1us .. 100s.
+  static std::vector<double> latency_bounds();
+
+  void add(MetricId id, std::uint64_t delta = 1);
+  void set_gauge(MetricId id, std::int64_t value);
+  void observe(MetricId id, double value);
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every cell and gauge (test isolation; not thread-safe with
+  /// respect to concurrent updates to the same metrics).
+  void reset();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace chortle::obs
+
+// Bumps the named process-wide counter. The id is resolved once per
+// call site; the increment is an uncontended atomic add. Hot inner
+// loops should instead accumulate into a local and flush once.
+#define OBS_COUNT(name, delta)                                       \
+  do {                                                               \
+    if constexpr (::chortle::obs::kObsEnabled) {                     \
+      static const ::chortle::obs::MetricId obs_count_id =           \
+          ::chortle::obs::Registry::global().counter(name);          \
+      ::chortle::obs::Registry::global().add(                        \
+          obs_count_id, static_cast<std::uint64_t>(delta));          \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,152 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "base/logging.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace chortle::obs {
+
+RunReport::RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+void RunReport::set_option(const std::string& name, Json value) {
+  options_.set(name, std::move(value));
+}
+
+void RunReport::add_phase(const std::string& name, double seconds) {
+  for (auto& [phase, total] : phases_)
+    if (phase == name) {
+      total += seconds;
+      return;
+    }
+  phases_.emplace_back(name, seconds);
+}
+
+double RunReport::phase_seconds(const std::string& name) const {
+  for (const auto& [phase, total] : phases_)
+    if (phase == name) return total;
+  return 0.0;
+}
+
+double RunReport::phases_total_seconds() const {
+  double total = 0.0;
+  for (const auto& [phase, seconds] : phases_) total += seconds;
+  return total;
+}
+
+void RunReport::set_field(const std::string& name, Json value) {
+  extras_.set(name, std::move(value));
+}
+
+void RunReport::add_benchmark(Json entry) {
+  benchmarks_.push_back(std::move(entry));
+}
+
+void RunReport::capture_metrics(MetricsSnapshot snapshot) {
+  metrics_ = std::move(snapshot);
+  metrics_captured_ = true;
+}
+
+Json RunReport::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", kRunReportSchema);
+  doc.set("tool", tool_);
+  doc.set("options", options_);
+  Json phases = Json::object();
+  for (const auto& [name, seconds] : phases_) phases.set(name, seconds);
+  doc.set("phases", std::move(phases));
+  const MetricsSnapshot snapshot =
+      metrics_captured_ ? metrics_ : Registry::global().snapshot();
+  const Json metrics = snapshot_to_json(snapshot);
+  doc.set("counters", *metrics.find("counters"));
+  doc.set("gauges", *metrics.find("gauges"));
+  doc.set("histograms", *metrics.find("histograms"));
+  if (!benchmarks_.as_array().empty()) doc.set("benchmarks", benchmarks_);
+  for (const auto& [name, value] : extras_.as_object())
+    doc.set(name, value);
+  doc.set("total_seconds", timer_.seconds());
+  doc.set("peak_rss_kb", static_cast<std::int64_t>(peak_rss_kb()));
+  return doc;
+}
+
+void RunReport::write(std::ostream& out) const {
+  to_json().dump(out, 2);
+  out << "\n";
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_WARN << "cannot open stats output file '" << path << "'";
+    return false;
+  }
+  write(out);
+  return out.good();
+}
+
+Json snapshot_to_json(const MetricsSnapshot& snapshot) {
+  Json counters = Json::object();
+  for (const auto& [name, value] : snapshot.counters)
+    counters.set(name, value);
+  Json gauges = Json::object();
+  for (const auto& [name, value] : snapshot.gauges) gauges.set(name, value);
+  Json histograms = Json::object();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    Json h = Json::object();
+    h.set("count", hist.count);
+    h.set("sum", hist.sum);
+    if (hist.count > 0) {
+      h.set("min", hist.min);
+      h.set("max", hist.max);
+    }
+    Json buckets = Json::array();
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      Json bucket = Json::object();
+      bucket.set("le", i < hist.bounds.size() ? Json(hist.bounds[i])
+                                              : Json());  // null = +inf
+      bucket.set("count", hist.buckets[i]);
+      buckets.push_back(std::move(bucket));
+    }
+    h.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(h));
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;  // bytes on macOS
+#else
+  return usage.ru_maxrss;  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+ScopedTimer::Sink phase_sink(RunReport& report, std::string name,
+                             double* out_seconds) {
+  return [&report, name = std::move(name), out_seconds](double seconds) {
+    report.add_phase(name, seconds);
+    if (out_seconds != nullptr) *out_seconds += seconds;
+    if constexpr (kObsEnabled) {
+      Registry& registry = Registry::global();
+      registry.observe(
+          registry.histogram("phase." + name, Registry::latency_bounds()),
+          seconds);
+    }
+  };
+}
+
+}  // namespace chortle::obs

@@ -1,0 +1,174 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "base/logging.hpp"
+#include "obs/json.hpp"
+
+namespace chortle::obs {
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_micros = 0;
+  std::uint64_t dur_micros = 0;
+  std::int64_t arg = detail::kNoArg;
+};
+
+/// One thread's event buffer. `mu` serializes the owner's appends with
+/// the collector's reads; both are short critical sections.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+/// Bounds trace memory: ~48 bytes/event, so 2^21 events ≈ 100 MB worst
+/// case. Beyond the cap events are counted as dropped, not stored.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 21;
+
+struct Collector {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> threads;
+  std::uint32_t next_tid = 1;
+  std::atomic<std::uint64_t> dropped{0};
+
+  ThreadBuffer& local() {
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+      auto b = std::make_shared<ThreadBuffer>();
+      const std::lock_guard<std::mutex> lock(mu);
+      b->tid = next_tid++;
+      threads.push_back(b);
+      return b;
+    }();
+    return *buffer;
+  }
+};
+
+Collector& collector() {
+  static Collector* const c = new Collector;  // immortal
+  return *c;
+}
+
+std::atomic<bool> g_trace_enabled{false};
+
+std::chrono::steady_clock::time_point process_start() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+// Touch the timebase at static-init time so "since process start" does
+// not silently mean "since the first span".
+const bool g_timebase_initialized = (process_start(), true);
+
+}  // namespace
+
+bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - process_start())
+          .count());
+}
+
+std::size_t trace_event_count() {
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mu);
+  std::size_t total = 0;
+  for (const auto& buffer : c.threads) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void clear_trace() {
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mu);
+  for (const auto& buffer : c.threads) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  c.dropped.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void record_complete_event(std::string name, std::uint64_t begin_micros,
+                           std::uint64_t end_micros, std::int64_t arg) {
+  ThreadBuffer& buffer = collector().local();
+  const std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    collector().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back(TraceEvent{
+      std::move(name), begin_micros,
+      end_micros >= begin_micros ? end_micros - begin_micros : 0, arg});
+}
+
+}  // namespace detail
+
+void write_chrome_trace(std::ostream& out) {
+  (void)g_timebase_initialized;
+  Collector& c = collector();
+  // Snapshot buffer pointers, then drain each under its own lock; new
+  // events recorded during serialization are picked up best-effort.
+  std::vector<std::shared_ptr<ThreadBuffer>> threads;
+  {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    threads = c.threads;
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : threads) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (const TraceEvent& event : buffer->events) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "{\"name\":";
+      Json(event.name).dump(out);
+      out << ",\"cat\":\"chortle\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+          << buffer->tid << ",\"ts\":" << event.ts_micros
+          << ",\"dur\":" << event.dur_micros;
+      if (event.arg != detail::kNoArg)
+        out << ",\"args\":{\"v\":" << event.arg << "}";
+      out << "}";
+    }
+  }
+  const std::uint64_t dropped = c.dropped.load(std::memory_order_relaxed);
+  out << "],\"otherData\":{\"tool\":\"chortle\",\"droppedEvents\":"
+      << dropped << "}}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_WARN << "cannot open trace output file '" << path << "'";
+    return false;
+  }
+  write_chrome_trace(out);
+  return out.good();
+}
+
+std::string trace_path_from_env() {
+  const char* value = std::getenv("CHORTLE_TRACE");
+  return value == nullptr ? std::string() : std::string(value);
+}
+
+}  // namespace chortle::obs

@@ -1,0 +1,91 @@
+// Scoped trace spans for the mapping pipeline. OBS_SPAN("tree_map")
+// records one complete ("ph":"X") event per dynamic scope into a
+// per-thread buffer; write_chrome_trace() serializes every recorded
+// event as Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing. Tracing is off by default: a disabled span costs
+// one relaxed atomic load and records nothing, so instrumentation can
+// stay in hot code. CHORTLE_OBS_DISABLED compiles spans out entirely.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"  // kObsEnabled
+
+namespace chortle::obs {
+
+/// Runtime gate. Enable before the region of interest; events recorded
+/// while enabled stay buffered until clear_trace().
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+/// Steady-clock microseconds since process start (the trace timebase).
+std::uint64_t trace_now_micros();
+
+/// Number of buffered events across all threads (diagnostics/tests).
+std::size_t trace_event_count();
+
+/// Drops all buffered events (and the dropped-event tally).
+void clear_trace();
+
+/// Serializes the buffer as {"traceEvents":[...]} Chrome trace JSON.
+void write_chrome_trace(std::ostream& out);
+/// Convenience: write_chrome_trace to `path`; false (with a WARN log)
+/// when the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path);
+
+/// Value of the CHORTLE_TRACE environment variable (the trace output
+/// path harnesses honor), or an empty string when unset.
+std::string trace_path_from_env();
+
+namespace detail {
+constexpr std::int64_t kNoArg = INT64_MIN;
+void record_complete_event(std::string name, std::uint64_t begin_micros,
+                           std::uint64_t end_micros, std::int64_t arg);
+}  // namespace detail
+
+/// RAII span: records [construction, destruction) as one event when
+/// tracing was enabled at construction. The optional integer arg lands
+/// in the event's "args":{"v":...} (use it for sizes/counts).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name,
+                     std::int64_t arg = detail::kNoArg) {
+    if (kObsEnabled && trace_enabled()) {
+      active_ = true;
+      name_ = std::move(name);
+      arg_ = arg;
+      begin_ = trace_now_micros();
+    }
+  }
+  ~TraceSpan() {
+    if (active_)
+      detail::record_complete_event(std::move(name_), begin_,
+                                    trace_now_micros(), arg_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach/overwrite the arg after construction (e.g. a result count).
+  void set_arg(std::int64_t arg) {
+    if (active_) arg_ = arg;
+  }
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  std::uint64_t begin_ = 0;
+  std::int64_t arg_ = detail::kNoArg;
+};
+
+}  // namespace chortle::obs
+
+#define OBS_SPAN_CONCAT_INNER(a, b) a##b
+#define OBS_SPAN_CONCAT(a, b) OBS_SPAN_CONCAT_INNER(a, b)
+// Traces the enclosing scope. Usage: OBS_SPAN("forest.build");
+#define OBS_SPAN(name) \
+  ::chortle::obs::TraceSpan OBS_SPAN_CONCAT(obs_span_, __COUNTER__)(name)
+#define OBS_SPAN_ARG(name, arg)                                     \
+  ::chortle::obs::TraceSpan OBS_SPAN_CONCAT(obs_span_, __COUNTER__)( \
+      name, static_cast<std::int64_t>(arg))

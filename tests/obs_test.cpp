@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "base/check.hpp"
+#include "base/timer.hpp"
+#include "chortle/mapper.hpp"
+#include "mcnc/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "opt/script.hpp"
+
+namespace chortle {
+namespace {
+
+using obs::Json;
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, RoundTripsEveryKind) {
+  Json doc = Json::object();
+  doc.set("null", Json());
+  doc.set("yes", true);
+  doc.set("int", std::int64_t{-42});
+  doc.set("big", std::uint64_t{1} << 53);
+  doc.set("pi", 3.25);
+  doc.set("text", "a\"b\\c\n\t\x01z");
+  Json list = Json::array();
+  list.push_back(1);
+  list.push_back("two");
+  doc.set("list", std::move(list));
+
+  std::ostringstream out;
+  doc.dump(out, 2);
+  const Json back = Json::parse(out.str());
+  EXPECT_TRUE(back.find("null")->is_null());
+  EXPECT_TRUE(back.find("yes")->as_bool());
+  EXPECT_EQ(back.find("int")->as_int(), -42);
+  EXPECT_EQ(back.find("big")->as_int(), std::int64_t{1} << 53);
+  EXPECT_DOUBLE_EQ(back.find("pi")->as_number(), 3.25);
+  EXPECT_EQ(back.find("text")->as_string(), "a\"b\\c\n\t\x01z");
+  EXPECT_EQ(back.find("list")->as_array().size(), 2u);
+  EXPECT_EQ(back.find("list")->as_array()[1].as_string(), "two");
+  EXPECT_EQ(back.find("missing"), nullptr);
+}
+
+TEST(Json, PreservesKeyOrder) {
+  const Json doc = Json::parse(R"({"z":1,"a":2,"m":3})");
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : doc.as_object()) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(Json, ParsesEscapesAndSurrogatePairs) {
+  const Json doc = Json::parse(R"("\u0041\u00e9\ud83d\ude00")");
+  EXPECT_EQ(doc.as_string(), "A\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), InvalidInput);
+  EXPECT_THROW(Json::parse("{"), InvalidInput);
+  EXPECT_THROW(Json::parse("[1,]"), InvalidInput);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), InvalidInput);
+  EXPECT_THROW(Json::parse("\"unterminated"), InvalidInput);
+  EXPECT_THROW(Json::parse("01"), InvalidInput);
+  EXPECT_THROW(Json::parse("1 2"), InvalidInput);
+  EXPECT_THROW(Json::parse("nul"), InvalidInput);
+  EXPECT_THROW(Json::parse("\"\\ud83d\""), InvalidInput);  // lone surrogate
+}
+
+// ------------------------------------------------------------- metrics
+
+TEST(Metrics, CountersAccumulateAcrossThreads) {
+  obs::Registry registry;
+  const obs::MetricId id = registry.counter("test.hits");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) registry.add(id);
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.snapshot().counter("test.hits"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, GaugesKeepLastValueAndHistogramsBucketize) {
+  obs::Registry registry;
+  const obs::MetricId gauge = registry.gauge("test.depth");
+  registry.set_gauge(gauge, 7);
+  registry.set_gauge(gauge, -3);
+
+  const obs::MetricId hist =
+      registry.histogram("test.lat", {0.001, 0.1, 10.0});
+  registry.observe(hist, 0.0005);  // bucket 0
+  registry.observe(hist, 0.05);    // bucket 1
+  registry.observe(hist, 1.0);     // bucket 2
+  registry.observe(hist, 99.0);    // overflow bucket
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.gauges.at("test.depth"), -3);
+  const obs::HistogramSnapshot& h = snap.histograms.at("test.lat");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.buckets,
+            (std::vector<std::uint64_t>{1, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(h.min, 0.0005);
+  EXPECT_DOUBLE_EQ(h.max, 99.0);
+  EXPECT_NEAR(h.sum, 100.0505, 1e-9);
+}
+
+TEST(Metrics, SnapshotMergeAndSince) {
+  obs::Registry registry;
+  const obs::MetricId id = registry.counter("test.n");
+  const obs::MetricId hist =
+      registry.histogram("test.h", registry.latency_bounds());
+  registry.add(id, 5);
+  registry.observe(hist, 0.01);
+  const obs::MetricsSnapshot before = registry.snapshot();
+
+  registry.add(id, 7);
+  registry.observe(hist, 0.02);
+  const obs::MetricsSnapshot after = registry.snapshot();
+  const obs::MetricsSnapshot delta = after.since(before);
+  EXPECT_EQ(delta.counter("test.n"), 7u);
+  EXPECT_EQ(delta.histograms.at("test.h").count, 1u);
+
+  obs::MetricsSnapshot merged = before;
+  merged.merge(delta);
+  EXPECT_EQ(merged.counter("test.n"), after.counter("test.n"));
+  EXPECT_EQ(merged.histograms.at("test.h").count, 2u);
+}
+
+TEST(Metrics, RegisteringSameNameDifferentKindThrows) {
+  obs::Registry registry;
+  (void)registry.counter("test.dual");
+  EXPECT_THROW((void)registry.gauge("test.dual"), InvalidInput);
+  // Same kind find-or-creates the same id.
+  EXPECT_EQ(registry.counter("test.dual"), registry.counter("test.dual"));
+}
+
+TEST(Metrics, ResetZeroesEverything) {
+  obs::Registry& registry = obs::Registry::global();
+  OBS_COUNT("test.reset_probe", 3);
+  registry.reset();
+  EXPECT_EQ(registry.snapshot().counter("test.reset_probe"), 0u);
+}
+
+// --------------------------------------------------------------- trace
+
+TEST(Trace, NestedSpansExportAsValidChromeTrace) {
+  obs::clear_trace();
+  obs::set_trace_enabled(true);
+  {
+    OBS_SPAN("outer");
+    {
+      OBS_SPAN_ARG("inner", 17);
+    }
+  }
+  obs::set_trace_enabled(false);
+  EXPECT_EQ(obs::trace_event_count(), 2u);
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  const Json doc = Json::parse(out.str());
+  const Json::Array& events = doc.find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 2u);
+
+  // Spans unwind inner-first; both must be complete events on this
+  // thread, and the outer one must contain the inner in time.
+  const Json& inner = events[0];
+  const Json& outer = events[1];
+  EXPECT_EQ(inner.find("name")->as_string(), "inner");
+  EXPECT_EQ(outer.find("name")->as_string(), "outer");
+  EXPECT_EQ(inner.find("ph")->as_string(), "X");
+  EXPECT_EQ(inner.find("args")->find("v")->as_int(), 17);
+  const std::int64_t inner_ts = inner.find("ts")->as_int();
+  const std::int64_t inner_end = inner_ts + inner.find("dur")->as_int();
+  const std::int64_t outer_ts = outer.find("ts")->as_int();
+  const std::int64_t outer_end = outer_ts + outer.find("dur")->as_int();
+  EXPECT_LE(outer_ts, inner_ts);
+  EXPECT_LE(inner_end, outer_end);
+  EXPECT_EQ(inner.find("tid")->as_int(), outer.find("tid")->as_int());
+
+  obs::clear_trace();
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  obs::clear_trace();
+  obs::set_trace_enabled(false);
+  {
+    OBS_SPAN("invisible");
+  }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+// -------------------------------------------------------------- report
+
+TEST(Report, RoundTripsThroughJson) {
+  obs::Registry::global().reset();
+  obs::RunReport report("obs_test");
+  report.set_option("k", 3);
+  report.set_option("smoke", true);
+  report.add_phase("map", 0.25);
+  report.add_phase("map", 0.25);  // accumulates
+  report.add_phase("verify", 0.5);
+  report.set_field("failures", 0);
+  Json entry = Json::object();
+  entry.set("name", "alu2");
+  entry.set("luts", 129);
+  report.add_benchmark(std::move(entry));
+
+  obs::MetricsSnapshot snap;
+  snap.counters["test.metric"] = 11;
+  report.capture_metrics(snap);
+
+  EXPECT_DOUBLE_EQ(report.phase_seconds("map"), 0.5);
+  EXPECT_DOUBLE_EQ(report.phases_total_seconds(), 1.0);
+
+  std::ostringstream out;
+  report.write(out);
+  const Json doc = Json::parse(out.str());
+  EXPECT_EQ(doc.find("schema")->as_string(), obs::kRunReportSchema);
+  EXPECT_EQ(doc.find("tool")->as_string(), "obs_test");
+  EXPECT_EQ(doc.find("options")->find("k")->as_int(), 3);
+  EXPECT_DOUBLE_EQ(doc.find("phases")->find("map")->as_number(), 0.5);
+  EXPECT_EQ(doc.find("counters")->find("test.metric")->as_int(), 11);
+  EXPECT_EQ(doc.find("failures")->as_int(), 0);
+  EXPECT_EQ(
+      doc.find("benchmarks")->as_array()[0].find("name")->as_string(),
+      "alu2");
+  EXPECT_GT(doc.find("total_seconds")->as_number(), 0.0);
+  // ru_maxrss is always positive on Linux/macOS.
+  EXPECT_GT(doc.find("peak_rss_kb")->as_int(), 0);
+}
+
+TEST(Report, ScopedTimerFeedsPhaseSink) {
+  obs::Registry::global().reset();
+  obs::RunReport report("obs_test");
+  double local = 0.0;
+  {
+    ScopedTimer timer(obs::phase_sink(report, "busy", &local));
+    WallTimer spin;
+    while (spin.seconds() < 0.001) {
+    }
+  }
+  EXPECT_GT(report.phase_seconds("busy"), 0.0);
+  EXPECT_DOUBLE_EQ(report.phase_seconds("busy"), local);
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.histograms.at("phase.busy").count, 1u);
+}
+
+// --------------------------------------------------- pipeline counters
+
+TEST(Integration, MappingABenchmarkBumpsTheDpCounters) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.reset();
+
+  const sop::SopNetwork source = mcnc::generate("count");
+  const opt::OptimizedDesign design = opt::optimize(source);
+  core::Options options;
+  options.k = 3;
+  const core::MapResult result = core::map_network(design.network, options);
+  EXPECT_GT(result.stats.num_luts, 0);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_GT(snap.counter("chortle.tree.dp_cells"), 0u);
+  EXPECT_GT(snap.counter("chortle.tree.util_divisions"), 0u);
+  EXPECT_GT(snap.counter("chortle.tree.decomp_candidates"), 0u);
+  EXPECT_GT(snap.counter("chortle.trees_mapped"), 0u);
+  EXPECT_GT(snap.counter("chortle.forest.trees"), 0u);
+  EXPECT_EQ(snap.counter("chortle.map.networks"), 1u);
+  EXPECT_EQ(snap.counter("chortle.map.luts"),
+            static_cast<std::uint64_t>(result.stats.num_luts));
+}
+
+TEST(Integration, WideFanInNodeCountsASplitEvent) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.reset();
+
+  // One AND gate whose fanin exceeds the default split threshold (10)
+  // forces Builder::attach down the split path.
+  net::Network network;
+  std::vector<net::NodeId> inputs;
+  for (int i = 0; i < 12; ++i)
+    inputs.push_back(network.add_input("x" + std::to_string(i)));
+  std::vector<net::Fanin> fanins;
+  for (net::NodeId input : inputs) fanins.push_back(net::Fanin{input, false});
+  const net::NodeId gate = network.add_gate(net::GateOp::kAnd, fanins);
+  network.add_output("f", gate, false);
+
+  core::Options options;
+  options.k = 4;
+  (void)core::map_network(network, options);
+  EXPECT_GT(registry.snapshot().counter("chortle.tree.split_events"), 0u);
+}
+
+}  // namespace
+}  // namespace chortle

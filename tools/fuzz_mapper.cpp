@@ -8,10 +8,14 @@
 //
 //   fuzz_mapper [--runs N] [--seed S] [--smoke] [--corpus DIR]
 //               [--inject-miscompile [LUT,BIT]] [--no-shrink] [--quiet]
+//               [--stats-out FILE] [--trace-out FILE]
 //
 //   --smoke               ~30-second CI mode: small cases, time budget
 //   --inject-miscompile   flip one LUT truth-table bit in every Chortle
 //                         result (self-test: the oracle must catch it)
+//   --stats-out FILE      write a chortle-run-report/1 JSON document
+//   --trace-out FILE      enable tracing, write Chrome trace-event JSON
+//                         (CHORTLE_TRACE=FILE in the env is equivalent)
 //
 // Exit status: 0 when every run passed, 1 on any failure, 2 on usage.
 #include <cstdio>
@@ -20,6 +24,8 @@
 #include <string>
 
 #include "fuzz/fuzzer.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -27,7 +33,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: fuzz_mapper [--runs N] [--seed S] [--smoke] "
                "[--corpus DIR] [--inject-miscompile [LUT,BIT]] "
-               "[--no-shrink] [--quiet]\n");
+               "[--no-shrink] [--quiet] "
+               "[--stats-out FILE] [--trace-out FILE]\n");
 }
 
 /// Parses a non-negative decimal or exits with a usage error — a typo'd
@@ -56,6 +63,9 @@ int main(int argc, char** argv) {
   fuzz::FuzzOptions options;
   options.runs = 100;
   options.log = &std::cerr;
+  std::string stats_out;
+  std::string trace_out;
+  bool smoke = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,9 +74,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed" && i + 1 < argc) {
       options.seed = parse_number("--seed", argv[++i]);
     } else if (arg == "--smoke") {
+      smoke = true;
       options.runs = 10000;  // the budget, not the count, ends the run
       options.time_budget_seconds = 30.0;
       options.generator.max_gates = 60;
+    } else if (arg == "--stats-out" && i + 1 < argc) {
+      stats_out = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (arg == "--corpus" && i + 1 < argc) {
       options.corpus_dir = argv[++i];
     } else if (arg == "--inject-miscompile") {
@@ -93,6 +108,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (trace_out.empty()) trace_out = obs::trace_path_from_env();
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
+
+  obs::RunReport run_report("fuzz_mapper");
+  run_report.set_option("runs", options.runs);
+  run_report.set_option("seed", options.seed);
+  run_report.set_option("smoke", smoke);
+  run_report.set_option("shrink", options.shrink_failures);
+  run_report.set_option("inject_miscompile",
+                        options.oracle.injection.enabled);
+
   try {
     const fuzz::FuzzReport report = fuzz::run_fuzz(options);
     std::fprintf(stderr,
@@ -107,6 +133,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "    reproducer: %s\n",
                      failure.reproducer_path.c_str());
     }
+    run_report.add_phase("fuzz", report.seconds);
+    run_report.set_field("runs_completed", report.runs_completed);
+    run_report.set_field(
+        "failures", static_cast<std::uint64_t>(report.failures.size()));
+    if (!stats_out.empty() && !run_report.write_file(stats_out)) return 1;
+    if (!trace_out.empty() && !obs::write_chrome_trace_file(trace_out))
+      return 1;
     return report.ok() ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fuzz_mapper: %s\n", error.what());

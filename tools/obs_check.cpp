@@ -1,0 +1,148 @@
+// obs_check: validates the two JSON artifacts the observability layer
+// emits — a chortle-run-report/1 document (--report) and a Chrome
+// trace-event file (--trace). CI runs it against the table harness
+// output so a malformed report or trace fails the build instead of
+// silently uploading garbage.
+//
+//   obs_check [--report FILE] [--trace FILE]
+//
+// Exit status: 0 when every given file validates, 1 on any problem,
+// 2 on usage.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using chortle::obs::Json;
+
+int g_errors = 0;
+
+void problem(const std::string& file, const std::string& what) {
+  std::fprintf(stderr, "obs_check: %s: %s\n", file.c_str(), what.c_str());
+  ++g_errors;
+}
+
+bool load(const std::string& path, Json* out) {
+  std::ifstream in(path);
+  if (!in) {
+    problem(path, "cannot open");
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    *out = Json::parse(buffer.str());
+  } catch (const std::exception& error) {
+    problem(path, std::string("invalid JSON: ") + error.what());
+    return false;
+  }
+  return true;
+}
+
+/// Every value of `object` must be a non-negative number.
+void check_numeric_map(const std::string& path, const Json& object,
+                       const std::string& section) {
+  if (!object.is_object()) {
+    problem(path, "'" + section + "' is not an object");
+    return;
+  }
+  for (const auto& [key, value] : object.as_object()) {
+    if (!value.is_number() || value.as_number() < 0.0)
+      problem(path, section + "." + key + " is not a non-negative number");
+  }
+}
+
+void check_report(const std::string& path) {
+  Json doc;
+  if (!load(path, &doc)) return;
+  if (!doc.is_object()) {
+    problem(path, "report is not a JSON object");
+    return;
+  }
+  const Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != chortle::obs::kRunReportSchema)
+    problem(path, std::string("schema is not \"") +
+                      chortle::obs::kRunReportSchema + "\"");
+  const Json* tool = doc.find("tool");
+  if (!tool || !tool->is_string() || tool->as_string().empty())
+    problem(path, "missing/empty 'tool'");
+  const Json* phases = doc.find("phases");
+  if (!phases)
+    problem(path, "missing 'phases'");
+  else
+    check_numeric_map(path, *phases, "phases");
+  const Json* counters = doc.find("counters");
+  if (!counters)
+    problem(path, "missing 'counters'");
+  else
+    check_numeric_map(path, *counters, "counters");
+  const Json* total = doc.find("total_seconds");
+  if (!total || !total->is_number() || total->as_number() <= 0.0)
+    problem(path, "missing/non-positive 'total_seconds'");
+  const Json* benchmarks = doc.find("benchmarks");
+  if (benchmarks && !benchmarks->is_array())
+    problem(path, "'benchmarks' is not an array");
+}
+
+void check_trace(const std::string& path) {
+  Json doc;
+  if (!load(path, &doc)) return;
+  const Json* events = doc.is_object() ? doc.find("traceEvents") : nullptr;
+  if (!events || !events->is_array()) {
+    problem(path, "missing 'traceEvents' array");
+    return;
+  }
+  if (events->as_array().empty())
+    problem(path, "'traceEvents' is empty (was tracing enabled?)");
+  std::size_t index = 0;
+  for (const Json& event : events->as_array()) {
+    const std::string at = "traceEvents[" + std::to_string(index++) + "]";
+    if (!event.is_object()) {
+      problem(path, at + " is not an object");
+      continue;
+    }
+    const Json* name = event.find("name");
+    if (!name || !name->is_string() || name->as_string().empty())
+      problem(path, at + " has no name");
+    const Json* ph = event.find("ph");
+    if (!ph || !ph->is_string() || ph->as_string() != "X")
+      problem(path, at + " is not a complete (\"ph\":\"X\") event");
+    for (const char* field : {"ts", "dur", "pid", "tid"}) {
+      const Json* value = event.find(field);
+      if (!value || !value->is_number())
+        problem(path, at + " has no numeric '" + field + "'");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool saw_file = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report" && i + 1 < argc) {
+      check_report(argv[++i]);
+      saw_file = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      check_trace(argv[++i]);
+      saw_file = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: obs_check [--report FILE] [--trace FILE]\n");
+      return 2;
+    }
+  }
+  if (!saw_file) {
+    std::fprintf(stderr, "obs_check: no files given\n");
+    return 2;
+  }
+  if (g_errors == 0) std::fprintf(stderr, "obs_check: OK\n");
+  return g_errors == 0 ? 0 : 1;
+}
