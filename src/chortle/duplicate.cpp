@@ -1,8 +1,11 @@
 #include "chortle/duplicate.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <numeric>
 
+#include "base/thread_pool.hpp"
 #include "chortle/tree_mapper.hpp"
 #include "chortle/work_tree.hpp"
 #include "obs/metrics.hpp"
@@ -36,8 +39,8 @@ std::vector<net::NodeId> consumer_roots(const net::Network& network,
 }  // namespace
 
 Forest duplicate_fanout_logic(const net::Network& network, Forest forest,
-                              const Options& options,
-                              DuplicationStats* stats) {
+                              const Options& options, DuplicationStats* stats,
+                              base::ThreadPool* pool) {
   OBS_SPAN_ARG("chortle.duplicate", network.num_nodes());
   DuplicationStats local;
   std::vector<bool> read_by_output(
@@ -85,23 +88,27 @@ Forest duplicate_fanout_logic(const net::Network& network, Forest forest,
       int before = tree_cost(r);
       for (net::NodeId c : consumers) before += tree_cost(c);
 
-      // Tentatively inline r into its readers.
+      // Tentatively inline r into its readers. The per-reader trial
+      // mappings are independent, so they fan out across the pool; the
+      // verdict is the same as the sequential scan's (infeasibility and
+      // the cost sum are both order-independent).
       std::vector<bool> trial = forest.is_root;
       trial[static_cast<std::size_t>(r)] = false;
-      int after = 0;
-      bool feasible = true;
-      std::vector<int> trial_costs;
-      for (net::NodeId c : consumers) {
-        const WorkTree work = build_work_tree(network, trial, c, options);
+      std::vector<int> trial_costs(consumers.size(), kInfCost);
+      std::atomic<bool> feasible{true};
+      base::parallel_for(pool, consumers.size(), [&](std::size_t i) {
+        const WorkTree work =
+            build_work_tree(network, trial, consumers[i], options);
         if (work.size() > 4 * options.duplication_max_gates) {
-          feasible = false;  // keep evaluation bounded
-          break;
+          feasible.store(false, std::memory_order_relaxed);
+          return;  // keep evaluation bounded
         }
-        const int cost = TreeMapper(work, options).best_cost();
-        trial_costs.push_back(cost);
-        after += cost;
-      }
-      if (!feasible || after >= before) continue;
+        trial_costs[i] = TreeMapper(work, options).best_cost();
+      });
+      if (!feasible.load(std::memory_order_relaxed)) continue;
+      const long long after =
+          std::accumulate(trial_costs.begin(), trial_costs.end(), 0LL);
+      if (after >= before) continue;
 
       forest.is_root[static_cast<std::size_t>(r)] = false;
       // Re-collect the trees so later consumer scans see the new
@@ -110,7 +117,7 @@ Forest duplicate_fanout_logic(const net::Network& network, Forest forest,
       cost_cache.erase(r);
       for (std::size_t i = 0; i < consumers.size(); ++i)
         cost_cache[consumers[i]] = trial_costs[i];
-      local.luts_saved += before - after;
+      local.luts_saved += static_cast<int>(before - after);
       ++local.accepted;
       changed = true;
     }

@@ -1,7 +1,10 @@
 #include "chortle/mapper.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <numeric>
 
+#include "base/thread_pool.hpp"
 #include "base/timer.hpp"
 #include "chortle/duplicate.hpp"
 #include "chortle/forest.hpp"
@@ -18,11 +21,16 @@ MapResult map_network(const net::Network& network, const Options& options) {
   network.check();
   WallTimer timer;
 
+  const int jobs = base::resolve_jobs(options.jobs);
+  OBS_GAUGE_SET("chortle.map.jobs", jobs);
+  std::unique_ptr<base::ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<base::ThreadPool>(jobs);
+
   Forest forest = build_forest(network);
   DuplicationStats duplication;
   if (options.duplicate_fanout_logic)
     forest = duplicate_fanout_logic(network, std::move(forest), options,
-                                    &duplication);
+                                    &duplication, pool.get());
 
   MapResult result{net::LutCircuit(options.k), MapStats{}};
   net::LutCircuit& circuit = result.circuit;
@@ -49,10 +57,40 @@ MapResult map_network(const net::Network& network, const Options& options) {
   std::vector<bool> emitted_complemented(
       static_cast<std::size_t>(network.num_nodes()), false);
 
+  // Phase 1 — solve (parallel): every tree's DP is independent of every
+  // other tree's, so the WorkTree builds and TreeMapper constructions
+  // fan out across the pool. Trees are dispatched largest-first so a
+  // giant tree starts immediately instead of serializing the tail of
+  // the schedule. Results land in per-tree slots; nothing here touches
+  // the circuit, signal ids, or any other shared mutable state.
+  const std::size_t num_trees = forest.trees.size();
+  std::vector<std::unique_ptr<TreeMapper>> mappers(num_trees);
+  {
+    OBS_SPAN_ARG("chortle.solve_trees", static_cast<std::int64_t>(num_trees));
+    std::vector<std::uint64_t> cost(num_trees);
+    for (std::size_t t = 0; t < num_trees; ++t)
+      cost[t] = estimated_solve_cost(network, forest.trees[t], options);
+    std::vector<std::size_t> order(num_trees);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return cost[a] > cost[b];
+                     });
+    base::parallel_for(pool.get(), num_trees, [&](std::size_t i) {
+      const std::size_t t = order[i];
+      mappers[t] = std::make_unique<TreeMapper>(
+          build_work_tree(network, forest, forest.trees[t], options), options);
+    });
+  }
+
+  // Phase 2 — emit (sequential, original forest order): later trees read
+  // earlier trees' root signals through signal_of, and LUT/Signal ids
+  // must come out byte-identical to the single-threaded mapping, so the
+  // commit order is fixed regardless of the solve schedule.
   int predicted_luts = 0;
-  for (const Tree& tree : forest.trees) {
-    const WorkTree work = build_work_tree(network, forest, tree, options);
-    TreeMapper mapper(work, options);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    const Tree& tree = forest.trees[t];
+    const TreeMapper& mapper = *mappers[t];
     predicted_luts += mapper.best_cost();
     const std::size_t root = static_cast<std::size_t>(tree.root);
     const bool fold_inversion =
@@ -62,6 +100,7 @@ MapResult map_network(const net::Network& network, const Options& options) {
     emitted_complemented[root] = fold_inversion;
     result.stats.largest_tree = std::max(
         result.stats.largest_tree, static_cast<int>(tree.gates.size()));
+    mappers[t].reset();  // drop the DP tables as soon as they are spent
   }
   CHORTLE_CHECK_MSG(circuit.num_luts() == predicted_luts,
                     "emitted LUT count disagrees with the DP cost");

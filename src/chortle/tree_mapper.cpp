@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <unordered_map>
 #include <utility>
-#include <functional>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -36,9 +36,10 @@ std::int32_t TreeMapper::direct_contribution(const WorkChild& child,
   const std::uint32_t full = (std::uint32_t{1} << t.fanin) - 1;
   if (u == 1) return t.node_cost[full];  // best complete mapping
   // Root-LUT merge: the root table of minmap(child, u) is contained in
-  // the constructed root table and is eliminated (§3.1.2, Figure 6c).
-  const std::int32_t cost = t.h[full * (k_ + 1) + static_cast<unsigned>(u)];
-  return cost >= kInfCost ? kInfCost : cost + 1 - 1;  // (1 + h) - 1
+  // the constructed root table and is eliminated (§3.1.2, Figure 6c),
+  // so the +1 for the child's root LUT and the -1 for the merge cancel
+  // and the contribution is h itself.
+  return t.h[full * (k_ + 1) + static_cast<unsigned>(u)];
 }
 
 void TreeMapper::solve_node(int node) {
@@ -54,10 +55,11 @@ void TreeMapper::solve_node(int node) {
   t.node_cost.assign(num_subsets, kInfCost);
   t.node_cost_u.assign(num_subsets, 0);
   t.h[0 * stride + 0] = 0;
-  counters_.dp_cells +=
+  // This node visit's tallies; merged into the instance totals at the
+  // end of the visit so every counter is attributed identically.
+  DpCounters visit;
+  visit.dp_cells =
       static_cast<std::uint64_t>(num_subsets) * static_cast<unsigned>(stride);
-  std::uint64_t util_divisions = 0;
-  std::uint64_t decomp_candidates = 0;
 
   for (std::uint32_t subset = 1; subset < num_subsets; ++subset) {
     const int e = lowest_bit(subset);
@@ -77,7 +79,7 @@ void TreeMapper::solve_node(int node) {
       Choice best_choice;
       // Option A: child e taken directly with u_e of the root's inputs.
       const int max_ue = std::min(u_total, k_);
-      util_divisions += static_cast<unsigned>(std::max(max_ue, 0));
+      visit.util_divisions += static_cast<unsigned>(std::max(max_ue, 0));
       for (int ue = 1; ue <= max_ue; ue++) {
         const std::int32_t ce = direct_contribution(wn.children[e], ue);
         if (ce >= kInfCost) continue;
@@ -93,7 +95,7 @@ void TreeMapper::solve_node(int node) {
       // would need U = 1 and are handled in pass 2.
       if (u_total >= 1) {
         for (std::uint32_t d = rest; d != 0; d = (d - 1) & rest) {
-          ++decomp_candidates;
+          ++visit.decomp_candidates;
           const std::uint32_t group = d | (std::uint32_t{1} << e);
           if (group == subset) continue;  // leaves S \ d empty; needs U = 1
           const std::int32_t gc = t.node_cost[group];
@@ -139,8 +141,7 @@ void TreeMapper::solve_node(int node) {
       choice_at(subset, 1) = Choice{subset, 0, 'B'};
     }
   }
-  counters_.util_divisions += util_divisions;
-  counters_.decomp_candidates += decomp_candidates;
+  counters_.merge(visit);
 }
 
 int TreeMapper::minmap_cost(int node, int utilization) const {
@@ -165,20 +166,17 @@ int TreeMapper::best_cost() const { return best_cost_of(tree_.root); }
 net::SignalId TreeMapper::emit(net::LutCircuit& circuit,
                                const std::vector<net::SignalId>& signal_of,
                                bool complement_root,
-                               const std::string& root_name) {
-  circuit_ = &circuit;
-  signal_of_ = &signal_of;
+                               const std::string& root_name) const {
+  EmitContext ctx{circuit, signal_of};
   const NodeTables& t = tables_[static_cast<std::size_t>(tree_.root)];
   const std::uint32_t full = (std::uint32_t{1} << t.fanin) - 1;
   CHORTLE_CHECK_MSG(t.node_cost[full] < kInfCost, "tree has no mapping");
-  const net::SignalId out = emit_node_lut(
-      tree_.root, t.node_cost_u[full], complement_root, root_name);
-  circuit_ = nullptr;
-  signal_of_ = nullptr;
-  return out;
+  return emit_node_lut(ctx, tree_.root, t.node_cost_u[full], complement_root,
+                       root_name);
 }
 
-void TreeMapper::walk_cone(int node, std::uint32_t mask, int u, Expr& parent) {
+void TreeMapper::walk_cone(EmitContext& ctx, int node, std::uint32_t mask,
+                           int u, Expr& parent) const {
   const WorkNode& wn = tree_.node(node);
   const NodeTables& t = tables_[static_cast<std::size_t>(node)];
   const int stride = k_ + 1;
@@ -194,12 +192,12 @@ void TreeMapper::walk_cone(int node, std::uint32_t mask, int u, Expr& parent) {
       if (c.direct_u == 1) {
         net::SignalId sig;
         if (child.is_leaf) {
-          sig = (*signal_of_)[static_cast<std::size_t>(child.leaf_signal)];
+          sig = ctx.signal_of[static_cast<std::size_t>(child.leaf_signal)];
           CHORTLE_CHECK_MSG(sig >= 0, "tree leaf has no circuit signal");
         } else {
           const NodeTables& ct = tables_[static_cast<std::size_t>(child.node)];
           const std::uint32_t cfull = (std::uint32_t{1} << ct.fanin) - 1;
-          sig = emit_node_lut(child.node, ct.node_cost_u[cfull],
+          sig = emit_node_lut(ctx, child.node, ct.node_cost_u[cfull],
                               /*complemented=*/false, "");
         }
         Expr leaf;
@@ -216,7 +214,7 @@ void TreeMapper::walk_cone(int node, std::uint32_t mask, int u, Expr& parent) {
         Expr sub;
         sub.op = cn.op;
         sub.negated = child.negated;
-        walk_cone(child.node, cfull, c.direct_u, sub);
+        walk_cone(ctx, child.node, cfull, c.direct_u, sub);
         parent.kids.push_back(std::move(sub));
       }
       mask &= mask - 1;
@@ -225,7 +223,7 @@ void TreeMapper::walk_cone(int node, std::uint32_t mask, int u, Expr& parent) {
       CHORTLE_CHECK(c.kind == 'B');
       CHORTLE_CHECK((c.group_mask & mask) == c.group_mask &&
                     std::popcount(c.group_mask) >= 2);
-      const net::SignalId sig = emit_group_lut(node, c.group_mask);
+      const net::SignalId sig = emit_group_lut(ctx, node, c.group_mask);
       Expr leaf;
       leaf.is_leaf = true;
       leaf.signal = sig;
@@ -238,39 +236,46 @@ void TreeMapper::walk_cone(int node, std::uint32_t mask, int u, Expr& parent) {
   CHORTLE_CHECK_MSG(u == 0, "utilization accounting mismatch");
 }
 
-net::SignalId TreeMapper::emit_node_lut(int node, int u, bool complemented,
-                                        const std::string& name) {
+net::SignalId TreeMapper::emit_node_lut(EmitContext& ctx, int node, int u,
+                                        bool complemented,
+                                        const std::string& name) const {
   const WorkNode& wn = tree_.node(node);
   const NodeTables& t = tables_[static_cast<std::size_t>(node)];
   const std::uint32_t full = (std::uint32_t{1} << t.fanin) - 1;
   Expr root;
   root.op = wn.op;
-  walk_cone(node, full, u, root);
-  return emit_expr(std::move(root), complemented, name);
+  walk_cone(ctx, node, full, u, root);
+  return emit_expr(ctx, std::move(root), complemented, name);
 }
 
-net::SignalId TreeMapper::emit_group_lut(int node, std::uint32_t mask) {
+net::SignalId TreeMapper::emit_group_lut(EmitContext& ctx, int node,
+                                         std::uint32_t mask) const {
   const WorkNode& wn = tree_.node(node);
   const NodeTables& t = tables_[static_cast<std::size_t>(node)];
   Expr root;
   root.op = wn.op;
-  walk_cone(node, mask, t.node_cost_u[mask], root);
-  return emit_expr(std::move(root), /*complemented=*/false, "");
+  walk_cone(ctx, node, mask, t.node_cost_u[mask], root);
+  return emit_expr(ctx, std::move(root), /*complemented=*/false, "");
 }
 
-net::SignalId TreeMapper::emit_expr(Expr expr, bool complemented,
-                                    const std::string& name) {
-  // Gather the distinct input signals in first-appearance order. The DP
-  // counts repeated leaves separately (they are distinct leaf nodes of
-  // the tree, paper Figure 3), but one physical LUT pin suffices when
-  // the same signal appears twice, so the emitted LUT deduplicates.
+net::SignalId TreeMapper::emit_expr(EmitContext& ctx, Expr expr,
+                                    bool complemented,
+                                    const std::string& name) const {
+  // Gather the distinct input signals in first-appearance order, and a
+  // signal -> pin-index map alongside (the DP counts repeated leaves
+  // separately — they are distinct leaf nodes of the tree, paper
+  // Figure 3 — but one physical LUT pin suffices when the same signal
+  // appears twice, so the emitted LUT deduplicates). The map replaces
+  // the per-leaf linear rescan of `inputs` that made wide cones
+  // quadratic in their leaf count.
   std::vector<net::SignalId> inputs;
+  std::unordered_map<net::SignalId, int> pin_of;
   std::vector<const Expr*> stack{&expr};
   while (!stack.empty()) {
     const Expr* e = stack.back();
     stack.pop_back();
     if (e->is_leaf) {
-      if (std::find(inputs.begin(), inputs.end(), e->signal) == inputs.end())
+      if (pin_of.emplace(e->signal, static_cast<int>(inputs.size())).second)
         inputs.push_back(e->signal);
     } else {
       for (auto it = e->kids.rbegin(); it != e->kids.rend(); ++it)
@@ -280,38 +285,65 @@ net::SignalId TreeMapper::emit_expr(Expr expr, bool complemented,
   const int arity = static_cast<int>(inputs.size());
   CHORTLE_CHECK_MSG(arity <= k_, "cone exceeds K distinct inputs");
 
-  // Evaluate the expression over the gathered inputs.
-  auto var_index = [&](net::SignalId s) {
-    return static_cast<int>(
-        std::find(inputs.begin(), inputs.end(), s) - inputs.begin());
+  // Evaluate the expression bottom-up with an explicit frame stack (the
+  // recursive evaluator's std::function indirection and depth both cost
+  // on deep merge chains).
+  const auto leaf_value = [&](const Expr& e) {
+    truth::TruthTable value =
+        truth::TruthTable::var(pin_of.at(e.signal), arity);
+    return e.negated ? ~value : value;
   };
-  const std::function<truth::TruthTable(const Expr&)> eval =
-      [&](const Expr& e) -> truth::TruthTable {
-    truth::TruthTable result(arity);
-    if (e.is_leaf) {
-      result = truth::TruthTable::var(var_index(e.signal), arity);
-    } else {
-      const bool is_and = e.op == net::GateOp::kAnd;
-      result = is_and ? truth::TruthTable::ones(arity)
-                      : truth::TruthTable::zeros(arity);
-      for (const Expr& kid : e.kids) {
-        const truth::TruthTable kt = eval(kid);
-        if (is_and)
-          result &= kt;
-        else
-          result |= kt;
+  const auto identity = [&](const Expr& e) {
+    return e.op == net::GateOp::kAnd ? truth::TruthTable::ones(arity)
+                                     : truth::TruthTable::zeros(arity);
+  };
+  const auto combine = [](const Expr& op_node, truth::TruthTable& acc,
+                          const truth::TruthTable& value) {
+    if (op_node.op == net::GateOp::kAnd)
+      acc &= value;
+    else
+      acc |= value;
+  };
+
+  truth::TruthTable fn(arity);
+  if (expr.is_leaf) {
+    fn = leaf_value(expr);
+  } else {
+    struct Frame {
+      const Expr* e;
+      std::size_t next_kid;
+      truth::TruthTable acc;
+    };
+    std::vector<Frame> frames;
+    frames.push_back(Frame{&expr, 0, identity(expr)});
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      if (top.next_kid < top.e->kids.size()) {
+        const Expr& kid = top.e->kids[top.next_kid++];
+        if (kid.is_leaf) {
+          combine(*top.e, top.acc, leaf_value(kid));
+        } else {
+          // Note: invalidates `top`; re-fetched next iteration.
+          frames.push_back(Frame{&kid, 0, identity(kid)});
+        }
+        continue;
       }
+      truth::TruthTable value =
+          top.e->negated ? ~top.acc : std::move(top.acc);
+      frames.pop_back();
+      if (frames.empty())
+        fn = std::move(value);
+      else
+        combine(*frames.back().e, frames.back().acc, value);
     }
-    return e.negated ? ~result : result;
-  };
-  truth::TruthTable fn = eval(expr);
+  }
   if (complemented) fn = ~fn;
 
   net::Lut lut;
   lut.inputs = std::move(inputs);
   lut.function = std::move(fn);
   lut.name = name;
-  return circuit_->add_lut(std::move(lut));
+  return ctx.circuit.add_lut(std::move(lut));
 }
 
 }  // namespace chortle::core

@@ -47,7 +47,12 @@ constexpr std::int32_t kInfCost = std::numeric_limits<std::int32_t>::max() / 4;
 class TreeMapper {
  public:
   /// Runs the DP over the whole tree on construction. The tree is
-  /// copied so that callers may pass temporaries.
+  /// copied so that callers may pass temporaries. Construction is the
+  /// only mutating operation: a fully constructed TreeMapper is
+  /// immutable, so distinct instances may be constructed and queried
+  /// concurrently from pool workers (the parallel solve phase relies
+  /// on this; observability counters flush through the thread-safe
+  /// registry).
   TreeMapper(WorkTree tree, const Options& options);
 
   /// Cost (number of K-input LUTs) of the best mapping of the tree.
@@ -64,9 +69,15 @@ class TreeMapper {
   /// circuit signal carrying network node v for every leaf signal of the
   /// tree. If `complement_root` is set the root LUT implements the
   /// complement of the tree root. Returns the root LUT's output signal.
+  ///
+  /// const: all emission state lives in a per-call context passed down
+  /// the reconstruction, so a throwing CHORTLE_CHECK mid-emit cannot
+  /// poison the mapper, and the same instance may emit into several
+  /// circuits (emission into one circuit must itself be serialized by
+  /// the caller — LutCircuit is not thread-safe).
   net::SignalId emit(net::LutCircuit& circuit,
                      const std::vector<net::SignalId>& signal_of,
-                     bool complement_root, const std::string& root_name);
+                     bool complement_root, const std::string& root_name) const;
 
  private:
   struct Choice {
@@ -90,13 +101,23 @@ class TreeMapper {
   void solve_node(int node);
   std::int32_t direct_contribution(const WorkChild& child, int u) const;
 
-  /// Search-effort tallies, accumulated locally per node and flushed to
-  /// the observability registry once per tree (the inner loops are far
-  /// too hot for per-event registry updates).
+  /// Search-effort tallies. Every counter is accumulated the same way:
+  /// into a per-node-visit local inside solve_node, merged into the
+  /// instance totals at the end of the visit, and flushed to the
+  /// observability registry exactly once after the whole tree is solved
+  /// (the inner loops are far too hot for per-event registry updates).
+  /// The registry merge is commutative, so serial and parallel runs
+  /// produce identical counter snapshots.
   struct DpCounters {
     std::uint64_t dp_cells = 0;          // h(S, U) cells computed
     std::uint64_t util_divisions = 0;    // direct u_e assignments tried
     std::uint64_t decomp_candidates = 0; // intermediate groups tried
+
+    void merge(const DpCounters& other) {
+      dp_cells += other.dp_cells;
+      util_divisions += other.util_divisions;
+      decomp_candidates += other.decomp_candidates;
+    }
   };
 
   // --- reconstruction ---
@@ -108,27 +129,35 @@ class TreeMapper {
     std::vector<Expr> kids;
   };
 
+  /// Everything one emit() call needs, passed by parameter through the
+  /// reconstruction instead of living in long-lived members: an
+  /// exception thrown mid-emit unwinds the context with the call and
+  /// cannot leave the mapper pointing at a dead circuit.
+  struct EmitContext {
+    net::LutCircuit& circuit;
+    const std::vector<net::SignalId>& signal_of;
+  };
+
   /// Appends the operands of node `node`'s root LUT restricted to child
   /// subset `mask` at utilization `u` onto `parent.kids`.
-  void walk_cone(int node, std::uint32_t mask, int u, Expr& parent);
+  void walk_cone(EmitContext& ctx, int node, std::uint32_t mask, int u,
+                 Expr& parent) const;
   /// Builds and emits the LUT of `node` mapped at utilization `u`.
-  net::SignalId emit_node_lut(int node, int u, bool complemented,
-                              const std::string& name);
+  net::SignalId emit_node_lut(EmitContext& ctx, int node, int u,
+                              bool complemented,
+                              const std::string& name) const;
   /// Builds and emits the LUT of the intermediate node of `node` over
   /// child subset `mask`.
-  net::SignalId emit_group_lut(int node, std::uint32_t mask);
-  net::SignalId emit_expr(Expr expr, bool complemented,
-                          const std::string& name);
+  net::SignalId emit_group_lut(EmitContext& ctx, int node,
+                               std::uint32_t mask) const;
+  net::SignalId emit_expr(EmitContext& ctx, Expr expr, bool complemented,
+                          const std::string& name) const;
 
   WorkTree tree_;
   Options options_;
   int k_;
   std::vector<NodeTables> tables_;
   DpCounters counters_;
-
-  // Valid only during emit():
-  net::LutCircuit* circuit_ = nullptr;
-  const std::vector<net::SignalId>* signal_of_ = nullptr;
 };
 
 }  // namespace chortle::core

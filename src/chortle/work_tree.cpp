@@ -119,4 +119,31 @@ WorkTree build_work_tree(const net::Network& network,
   return Builder(network, is_root, options).build(root);
 }
 
+namespace {
+
+/// DP cells of one gate of fanin `f` after splitting: a node above the
+/// bound becomes two halves (recursively), mirroring Builder::attach
+/// plus the fanin-2 node the halves feed.
+std::uint64_t gate_cells(int f, int bound, int k) {
+  if (f <= bound)
+    return (std::uint64_t{1} << f) * static_cast<unsigned>(k + 1);
+  return gate_cells(f - f / 2, bound, k) + gate_cells(f / 2, bound, k) +
+         gate_cells(2, bound, k);
+}
+
+}  // namespace
+
+std::uint64_t estimated_solve_cost(const net::Network& network,
+                                   const Tree& tree, const Options& options) {
+  const int bound =
+      options.search_decompositions ? options.split_threshold : 2;
+  std::uint64_t cells = 0;
+  for (net::NodeId gate : tree.gates) {
+    const int f = std::max(
+        static_cast<int>(network.node(gate).fanins.size()), 2);
+    cells += gate_cells(f, bound, options.k);
+  }
+  return cells;
+}
+
 }  // namespace chortle::core

@@ -11,6 +11,7 @@
 //    disabled every node is split all the way down to fanin 2.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "chortle/forest.hpp"
@@ -59,5 +60,14 @@ WorkTree build_work_tree(const net::Network& network, const Forest& forest,
 WorkTree build_work_tree(const net::Network& network,
                          const std::vector<bool>& is_root, net::NodeId root,
                          const Options& options);
+
+/// Rough DP cost of solving `tree`: the number of h(S, U) cells its
+/// gates produce after node splitting (2^fanin x (K+1) per resulting
+/// WorkNode). The tree DP is exponential in fanin, so gate count alone
+/// misranks trees badly; the parallel solve phase dispatches
+/// largest-estimate-first to balance pool load. Scheduling only —
+/// never affects the mapping.
+std::uint64_t estimated_solve_cost(const net::Network& network,
+                                   const Tree& tree, const Options& options);
 
 }  // namespace chortle::core

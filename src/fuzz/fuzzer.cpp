@@ -21,7 +21,8 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     // so run N is reproducible in isolation.
     obs::TraceSpan case_span("fuzz.case", run);
     Rng rng(options.seed + static_cast<std::uint64_t>(run));
-    const FuzzCase fuzz_case = sample_case(rng, options.generator);
+    FuzzCase fuzz_case = sample_case(rng, options.generator);
+    fuzz_case.options.jobs = options.jobs;
     OBS_COUNT("fuzz.cases_generated", 1);
     const Verdict verdict = check_case(fuzz_case, options.oracle);
     ++report.runs_completed;

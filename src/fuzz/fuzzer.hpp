@@ -22,6 +22,12 @@ struct FuzzOptions {
   std::uint64_t seed = 1;
   /// Stop starting new runs after this many seconds (0 = no budget).
   double time_budget_seconds = 0.0;
+  /// Mapper worker threads forced onto every sampled case (see
+  /// Options::jobs; 0 = auto). Verdicts are jobs-invariant — the
+  /// mapping is byte-identical for any value — so this exists to drive
+  /// the parallel solve path under the differential oracle, not to
+  /// change what is tested.
+  int jobs = 0;
   /// Generator sizing (smoke runs use small cases).
   GeneratorOptions generator;
   /// Forwarded to every oracle call (carries the fault injection).

@@ -101,3 +101,15 @@ class Registry {
           obs_count_id, static_cast<std::uint64_t>(delta));          \
     }                                                                \
   } while (0)
+
+// Sets the named process-wide gauge (last write wins; gauges live in
+// the registry itself, not in per-thread cells).
+#define OBS_GAUGE_SET(name, value)                                   \
+  do {                                                               \
+    if constexpr (::chortle::obs::kObsEnabled) {                     \
+      static const ::chortle::obs::MetricId obs_gauge_id =           \
+          ::chortle::obs::Registry::global().gauge(name);            \
+      ::chortle::obs::Registry::global().set_gauge(                  \
+          obs_gauge_id, static_cast<std::int64_t>(value));           \
+    }                                                                \
+  } while (0)

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "base/check.hpp"
 #include "base/logging.hpp"
 #include "base/rng.hpp"
+#include "base/thread_pool.hpp"
 #include "base/timer.hpp"
 
 namespace {
@@ -116,6 +121,68 @@ TEST(Logging, LevelsGateEmission) {
   LOG_DEBUG << count();
   EXPECT_EQ(evaluations, 1);
   set_log_level(original);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  base::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  base::parallel_for(&pool, kN,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWithoutPoolRunsSequentially) {
+  std::vector<std::size_t> order;
+  base::parallel_for(nullptr, 5,
+                     [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  base::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  try {
+    base::parallel_for(&pool, 64, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      if (i == 7 || i == 40) throw std::runtime_error("boom " +
+                                                      std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 7");
+  }
+  // Every index still ran despite the failures.
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, TasksMaySubmitFurtherTasks) {
+  base::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  base::parallel_for(&pool, 8, [&](std::size_t) {
+    pool.submit([&] { done.fetch_add(1); });
+  });
+  // The nested tasks have no latch; drain them from this thread (the
+  // workers race us, which is the point).
+  while (done.load() < 8) pool.try_run_one();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ResolveJobsHonorsRequestThenEnvThenDefault) {
+  EXPECT_EQ(base::resolve_jobs(3), 3);
+  EXPECT_EQ(base::resolve_jobs(1), 1);
+  EXPECT_EQ(base::resolve_jobs(100000), 512);  // clamped
+
+  ASSERT_EQ(setenv("CHORTLE_JOBS", "5", 1), 0);
+  EXPECT_EQ(base::resolve_jobs(0), 5);
+  EXPECT_EQ(base::resolve_jobs(2), 2);  // explicit request wins
+  ASSERT_EQ(setenv("CHORTLE_JOBS", "not-a-number", 1), 0);
+  EXPECT_EQ(base::resolve_jobs(0), 1);
+  ASSERT_EQ(setenv("CHORTLE_JOBS", "0", 1), 0);
+  EXPECT_EQ(base::resolve_jobs(0), 1);
+  ASSERT_EQ(unsetenv("CHORTLE_JOBS"), 0);
+  EXPECT_EQ(base::resolve_jobs(0), 1);
 }
 
 }  // namespace

@@ -8,9 +8,13 @@
 //
 //   fuzz_mapper [--runs N] [--seed S] [--smoke] [--corpus DIR]
 //               [--inject-miscompile [LUT,BIT]] [--no-shrink] [--quiet]
-//               [--stats-out FILE] [--trace-out FILE]
+//               [--jobs N] [--stats-out FILE] [--trace-out FILE]
 //
 //   --smoke               ~30-second CI mode: small cases, time budget
+//   --jobs N              mapper worker threads forced onto every case
+//                         (0 = auto via CHORTLE_JOBS; verdicts are
+//                         jobs-invariant — this drives the parallel
+//                         solve path under the oracle)
 //   --inject-miscompile   flip one LUT truth-table bit in every Chortle
 //                         result (self-test: the oracle must catch it)
 //   --stats-out FILE      write a chortle-run-report/1 JSON document
@@ -33,7 +37,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: fuzz_mapper [--runs N] [--seed S] [--smoke] "
                "[--corpus DIR] [--inject-miscompile [LUT,BIT]] "
-               "[--no-shrink] [--quiet] "
+               "[--no-shrink] [--quiet] [--jobs N] "
                "[--stats-out FILE] [--trace-out FILE]\n");
 }
 
@@ -78,6 +82,12 @@ int main(int argc, char** argv) {
       options.runs = 10000;  // the budget, not the count, ends the run
       options.time_budget_seconds = 30.0;
       options.generator.max_gates = 60;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = static_cast<int>(parse_number("--jobs", argv[++i]));
+      if (options.jobs > 512) {
+        std::fprintf(stderr, "fuzz_mapper: --jobs must be <= 512\n");
+        return 2;
+      }
     } else if (arg == "--stats-out" && i + 1 < argc) {
       stats_out = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
@@ -115,6 +125,7 @@ int main(int argc, char** argv) {
   run_report.set_option("runs", options.runs);
   run_report.set_option("seed", options.seed);
   run_report.set_option("smoke", smoke);
+  run_report.set_option("jobs", options.jobs);
   run_report.set_option("shrink", options.shrink_failures);
   run_report.set_option("inject_miscompile",
                         options.oracle.injection.enabled);
