@@ -1,0 +1,79 @@
+// Cooperative cancellation for long-running mapping work. A CancelToken
+// combines an explicit cancel flag with an optional wall-clock deadline;
+// code deep inside the mapper (the tree DP loops, the parallel solve
+// phase) polls check() at coarse intervals and unwinds with Cancelled
+// when the token has fired. Polling sites are chosen so that the clock
+// read amortizes to noise against the work between polls (DESIGN.md
+// "Service architecture", cancellation points).
+//
+// Thread-safety: cancel() may race freely with any number of concurrent
+// expired()/check() readers — the flag is a relaxed atomic and the
+// deadline is immutable after construction. A token must outlive every
+// mapping call it is passed to; the mapper never retains the pointer
+// beyond the call (TreeMapper clears it from its stored Options).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace chortle::base {
+
+/// Thrown by CancelToken::check() when the token has fired. Deliberately
+/// not derived from InternalError/InvalidInput: cancellation is neither
+/// a bug nor bad input, and callers (the serve request loop) catch it
+/// separately to report a deadline error.
+class Cancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A token that only fires on an explicit cancel().
+  CancelToken() = default;
+  /// A token that additionally fires once `deadline` has passed.
+  explicit CancelToken(Clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  /// Token firing `budget` from now (non-positive: already expired).
+  static CancelToken after(Clock::duration budget) {
+    return CancelToken(Clock::now() + budget);
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True once cancelled or past the deadline. Reads the clock, so hot
+  /// loops should call this every N iterations, not every one.
+  bool expired() const {
+    if (cancel_requested()) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Throws Cancelled (mentioning `where`) once the token has fired.
+  void check(const char* where) const {
+    if (expired())
+      throw Cancelled(std::string("cancelled: ") + where +
+                      (cancel_requested() ? " (cancel requested)"
+                                          : " (deadline exceeded)"));
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace chortle::base

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <thread>
 
 #include "base/check.hpp"
+#include "base/logging.hpp"
 
 namespace chortle::base {
 
@@ -134,10 +136,21 @@ int resolve_jobs(int requested) {
   if (jobs <= 0) {
     jobs = 1;
     if (const char* env = std::getenv("CHORTLE_JOBS")) {
+      errno = 0;
       char* end = nullptr;
       const long parsed = std::strtol(env, &end, 10);
-      if (end != env && *end == '\0' && parsed > 0)
-        jobs = static_cast<int>(std::min<long>(parsed, 512));
+      if (end == env || *end != '\0' || errno == ERANGE || parsed <= 0) {
+        // Silent fallback here cost real debugging time: a typo like
+        // "4x" ran everything single-threaded with no hint why.
+        LOG_WARN << "CHORTLE_JOBS=\"" << env
+                 << "\" is not a positive integer; ignoring it and "
+                    "using 1 job";
+      } else if (parsed > 512) {
+        LOG_WARN << "CHORTLE_JOBS=\"" << env << "\" clamped to 512";
+        jobs = 512;
+      } else {
+        jobs = static_cast<int>(parsed);
+      }
     }
   }
   return std::clamp(jobs, 1, 512);

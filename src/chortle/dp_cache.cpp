@@ -1,0 +1,99 @@
+#include "chortle/dp_cache.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace chortle::core {
+
+DpCache::DpCache(std::size_t max_bytes, std::size_t num_shards) {
+  const std::size_t shards = std::max<std::size_t>(num_shards, 1);
+  max_bytes_per_shard_ = std::max<std::size_t>(max_bytes / shards, 1);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+DpCache::Shard& DpCache::shard_of(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const TreeMapper> DpCache::find(const std::string& key) {
+  Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    OBS_COUNT("chortle.dp_cache.misses", 1);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  OBS_COUNT("chortle.dp_cache.hits", 1);
+  return it->second->mapper;
+}
+
+std::shared_ptr<const TreeMapper> DpCache::insert(
+    const std::string& key, std::shared_ptr<const TreeMapper> mapper) {
+  CHORTLE_CHECK(mapper != nullptr);
+  Shard& shard = shard_of(key);
+  std::uint64_t evicted = 0;
+  std::shared_ptr<const TreeMapper> resident;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Lost a race: another request solved the same tree first. The
+      // resident entry is interchangeable with ours; keep it (it may
+      // already be shared) and drop the newcomer.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->mapper;
+    }
+    Entry entry{key, std::move(mapper), 0};
+    entry.bytes = entry.mapper->memory_bytes() + key.size();
+    shard.lru.push_front(std::move(entry));
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += shard.lru.front().bytes;
+    ++shard.insertions;
+    resident = shard.lru.front().mapper;
+    // Evict from the cold end, but never the entry just inserted.
+    while (shard.bytes > max_bytes_per_shard_ && shard.lru.size() > 1) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+      ++evicted;
+    }
+  }
+  OBS_COUNT("chortle.dp_cache.insertions", 1);
+  if (evicted > 0) OBS_COUNT("chortle.dp_cache.evictions", evicted);
+  return resident;
+}
+
+DpCache::Stats DpCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+    total.entries += shard->lru.size();
+    total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+void DpCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace chortle::core

@@ -1,0 +1,93 @@
+// Cross-request cache of solved tree DPs, the heart of the mapping
+// service (src/serve): repeated traffic over similar netlists re-uses
+// the exponential decomposition search instead of re-running it.
+//
+// Keyed by the canonical structural signature of a fanout-free tree
+// plus (K, split_threshold, search_decompositions) — see
+// tree_signature.hpp. Values are shared_ptr<const TreeMapper>: a fully
+// constructed TreeMapper is immutable and may emit into any number of
+// circuits, so concurrent requests share one instance freely.
+//
+// Concurrency: the key space is sharded by hash; each shard is an
+// independent mutex + LRU list, so requests mapping different trees
+// rarely contend. Lookups compare full keys (the signature is a
+// complete encoding, not a digest), so a hash collision can never
+// alias two different trees. Memory is bounded per shard by
+// TreeMapper::memory_bytes(); eviction is least-recently-used.
+//
+// Observability: hit/miss/insert/evict counters both in the instance
+// (stats(), for per-server reporting) and in the global metrics
+// registry under chortle.dp_cache.* (DESIGN.md §8).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chortle/tree_mapper.hpp"
+
+namespace chortle::core {
+
+class DpCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// `max_bytes` bounds the total cached DP-table footprint (split
+  /// evenly across shards); `num_shards` is rounded up to at least 1.
+  /// A single entry larger than a whole shard is still admitted alone —
+  /// the bound is then exceeded transiently until it is evicted.
+  explicit DpCache(std::size_t max_bytes = std::size_t{256} << 20,
+                   std::size_t num_shards = 16);
+
+  DpCache(const DpCache&) = delete;
+  DpCache& operator=(const DpCache&) = delete;
+
+  /// Returns the cached mapper for `key` (marking it most recently
+  /// used), or nullptr on a miss.
+  std::shared_ptr<const TreeMapper> find(const std::string& key);
+
+  /// Inserts `mapper` under `key` and returns the resident entry: the
+  /// given mapper, or — when another thread raced the same key in —
+  /// the one already cached (the two are interchangeable by the key's
+  /// guarantee). May evict least-recently-used entries.
+  std::shared_ptr<const TreeMapper> insert(
+      const std::string& key, std::shared_ptr<const TreeMapper> mapper);
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const TreeMapper> mapper;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_of(const std::string& key);
+
+  std::size_t max_bytes_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace chortle::core

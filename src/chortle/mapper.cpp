@@ -4,11 +4,14 @@
 #include <memory>
 #include <numeric>
 
+#include "base/cancel.hpp"
 #include "base/thread_pool.hpp"
 #include "base/timer.hpp"
+#include "chortle/dp_cache.hpp"
 #include "chortle/duplicate.hpp"
 #include "chortle/forest.hpp"
 #include "chortle/tree_mapper.hpp"
+#include "chortle/tree_signature.hpp"
 #include "chortle/work_tree.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -16,6 +19,11 @@
 namespace chortle::core {
 
 MapResult map_network(const net::Network& network, const Options& options) {
+  return map_network(network, options, nullptr);
+}
+
+MapResult map_network(const net::Network& network, const Options& options,
+                      DpCache* cache) {
   OBS_SPAN_ARG("chortle.map_network", network.num_nodes());
   options.validate();
   network.check();
@@ -63,8 +71,17 @@ MapResult map_network(const net::Network& network, const Options& options) {
   // giant tree starts immediately instead of serializing the tail of
   // the schedule. Results land in per-tree slots; nothing here touches
   // the circuit, signal ids, or any other shared mutable state.
+  // With a DP cache each tree is first canonicalized and looked up by
+  // structural signature; only misses run the DP, and fresh solutions
+  // are published for later requests. Per-tree results land in
+  // disjoint slots, so the phase stays data-race free.
   const std::size_t num_trees = forest.trees.size();
-  std::vector<std::unique_ptr<TreeMapper>> mappers(num_trees);
+  struct SolvedTree {
+    std::shared_ptr<const TreeMapper> mapper;
+    std::vector<net::NodeId> leaf_ids;  // cache path: canonical leaf -> node
+    bool cache_hit = false;
+  };
+  std::vector<SolvedTree> solved(num_trees);
   {
     OBS_SPAN_ARG("chortle.solve_trees", static_cast<std::int64_t>(num_trees));
     std::vector<std::uint64_t> cost(num_trees);
@@ -78,9 +95,29 @@ MapResult map_network(const net::Network& network, const Options& options) {
                      });
     base::parallel_for(pool.get(), num_trees, [&](std::size_t i) {
       const std::size_t t = order[i];
-      mappers[t] = std::make_unique<TreeMapper>(
-          build_work_tree(network, forest, forest.trees[t], options), options);
+      if (options.cancel != nullptr) options.cancel->check("map_network");
+      WorkTree work = build_work_tree(network, forest, forest.trees[t],
+                                      options);
+      if (cache == nullptr) {
+        solved[t].mapper =
+            std::make_shared<const TreeMapper>(std::move(work), options);
+        return;
+      }
+      CanonicalTree canon = canonicalize_tree(work, options);
+      solved[t].leaf_ids = std::move(canon.leaf_ids);
+      if (std::shared_ptr<const TreeMapper> hit = cache->find(canon.key)) {
+        solved[t].mapper = std::move(hit);
+        solved[t].cache_hit = true;
+        return;
+      }
+      solved[t].mapper = cache->insert(
+          canon.key,
+          std::make_shared<const TreeMapper>(std::move(canon.tree), options));
     });
+  }
+  for (const SolvedTree& s : solved) {
+    if (cache == nullptr) break;
+    ++(s.cache_hit ? result.stats.cache_hits : result.stats.cache_misses);
   }
 
   // Phase 2 — emit (sequential, original forest order): later trees read
@@ -90,17 +127,31 @@ MapResult map_network(const net::Network& network, const Options& options) {
   int predicted_luts = 0;
   for (std::size_t t = 0; t < num_trees; ++t) {
     const Tree& tree = forest.trees[t];
-    const TreeMapper& mapper = *mappers[t];
+    const TreeMapper& mapper = *solved[t].mapper;
     predicted_luts += mapper.best_cost();
     const std::size_t root = static_cast<std::size_t>(tree.root);
     const bool fold_inversion =
         readers[root] == 1 && negated_output_readers[root] == 1;
-    signal_of[root] = mapper.emit(circuit, signal_of, fold_inversion,
-                                  network.node(tree.root).name);
+    if (cache == nullptr) {
+      signal_of[root] = mapper.emit(circuit, signal_of, fold_inversion,
+                                    network.node(tree.root).name);
+    } else {
+      // Cached mappers index leaves canonically; translate to this
+      // network's signals (canonical order is first-occurrence order,
+      // so the emitted pin order matches the uncached mapping exactly).
+      const std::vector<net::NodeId>& leaf_ids = solved[t].leaf_ids;
+      std::vector<net::SignalId> leaf_signals(leaf_ids.size());
+      for (std::size_t i = 0; i < leaf_ids.size(); ++i)
+        leaf_signals[i] = signal_of[static_cast<std::size_t>(leaf_ids[i])];
+      signal_of[root] = mapper.emit(circuit, leaf_signals, fold_inversion,
+                                    network.node(tree.root).name);
+    }
     emitted_complemented[root] = fold_inversion;
     result.stats.largest_tree = std::max(
         result.stats.largest_tree, static_cast<int>(tree.gates.size()));
-    mappers[t].reset();  // drop the DP tables as soon as they are spent
+    // Drop this call's reference as soon as the tables are spent (a
+    // cached mapper stays alive in the cache, an uncached one dies).
+    solved[t].mapper.reset();
   }
   CHORTLE_CHECK_MSG(circuit.num_luts() == predicted_luts,
                     "emitted LUT count disagrees with the DP cost");

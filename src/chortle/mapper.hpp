@@ -11,12 +11,16 @@
 
 namespace chortle::core {
 
+class DpCache;
+
 struct MapStats {
   int num_luts = 0;       // cost function the paper minimizes
   int num_trees = 0;
   int largest_tree = 0;   // gates in the biggest fanout-free tree
   int depth = 0;          // LUT levels (reported for the FlowMap bench)
   int duplicated_roots = 0;  // fanout cones inlined (§5 extension)
+  int cache_hits = 0;     // trees whose DP came from the shared cache
+  int cache_misses = 0;   // trees solved fresh (0/0 without a cache)
   double seconds = 0.0;   // wall-clock mapping time
 };
 
@@ -29,6 +33,16 @@ struct MapResult {
 /// optimal in LUT count for every fanout-free tree of the network
 /// (globally optimal when the network is a tree), provided no node
 /// exceeded Options::split_threshold.
+///
+/// With a non-null `cache` (see dp_cache.hpp) each tree's DP is looked
+/// up by canonical structural signature before being solved, and fresh
+/// solutions are published for later calls — including concurrent ones:
+/// the cache is safe to share across threads. The mapping is
+/// byte-identical with or without a cache (tests/dp_cache_test.cpp):
+/// the DP and the emission walk depend only on what the signature
+/// captures. Options::cancel aborts mid-solve with base::Cancelled.
+MapResult map_network(const net::Network& network, const Options& options,
+                      DpCache* cache);
 MapResult map_network(const net::Network& network, const Options& options);
 
 }  // namespace chortle::core

@@ -3,7 +3,20 @@
 
 #include "base/check.hpp"
 
+namespace chortle::base {
+class CancelToken;
+}  // namespace chortle::base
+
 namespace chortle::core {
+
+/// Upper bounds on the duplication limits (Options::validate). The
+/// duplication pass re-runs the exponential tree DP once per candidate
+/// cone and trial partition, so an unbounded limit lets a single option
+/// value turn one mapping into thousands of full DP solves. The bounds
+/// are far above anything useful: the paper's §5 experiments use cones
+/// of at most ~12 gates and fanouts of 2-4.
+inline constexpr int kMaxDuplicationGates = 64;
+inline constexpr int kMaxDuplicationReaders = 32;
 
 struct Options {
   /// LUT input count K (the paper evaluates K = 2..5).
@@ -32,15 +45,30 @@ struct Options {
   /// drops (see chortle/duplicate.hpp). Off by default to keep the
   /// base algorithm exactly the paper's.
   bool duplicate_fanout_logic = false;
-  /// Only cones of at most this many gates are duplication candidates.
+  /// Only cones of at most this many gates are duplication candidates
+  /// (in [1, kMaxDuplicationGates]).
   int duplication_max_gates = 12;
-  /// ... read by at most this many trees.
+  /// ... read by at most this many trees (in [1, kMaxDuplicationReaders]).
   int duplication_max_readers = 4;
+
+  /// Optional cooperative cancellation (deadline or explicit cancel)
+  /// polled by the tree DP loops; see base/cancel.hpp. Not a tunable:
+  /// never affects the mapping, only whether it completes. The token
+  /// must outlive the mapping call; nullptr disables cancellation.
+  const base::CancelToken* cancel = nullptr;
 
   void validate() const {
     CHORTLE_REQUIRE(duplication_max_gates >= 1 &&
                         duplication_max_readers >= 1,
                     "duplication limits must be positive");
+    CHORTLE_REQUIRE(duplication_max_gates <= kMaxDuplicationGates,
+                    "duplication_max_gates above the documented bound "
+                    "(kMaxDuplicationGates): the duplication trial DP cost "
+                    "grows with every candidate cone gate");
+    CHORTLE_REQUIRE(duplication_max_readers <= kMaxDuplicationReaders,
+                    "duplication_max_readers above the documented bound "
+                    "(kMaxDuplicationReaders): each reader multiplies the "
+                    "number of trial mappings");
     CHORTLE_REQUIRE(k >= 2 && k <= 6, "LUT size K must be in [2, 6]");
     CHORTLE_REQUIRE(split_threshold >= 2 && split_threshold <= 16,
                     "split threshold must be in [2, 16]");

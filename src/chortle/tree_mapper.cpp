@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "base/cancel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -22,6 +23,10 @@ TreeMapper::TreeMapper(WorkTree tree, const Options& options)
   tables_.resize(static_cast<std::size_t>(tree_.size()));
   // Postorder traversal: leaf nodes to the root (paper Figure 4).
   for (int node : tree_.postorder()) solve_node(node);
+  // A fully constructed mapper is immutable and may be cached across
+  // requests; the token only governs this construction, so drop it
+  // before it can dangle.
+  options_.cancel = nullptr;
   OBS_COUNT("chortle.trees_mapped", 1);
   OBS_COUNT("chortle.tree.nodes", tree_.size());
   OBS_COUNT("chortle.tree.dp_cells", counters_.dp_cells);
@@ -43,6 +48,10 @@ std::int32_t TreeMapper::direct_contribution(const WorkChild& child,
 }
 
 void TreeMapper::solve_node(int node) {
+  // Cancellation point: once per node visit, and (below) every 1024
+  // subsets of a wide node's 2^fanin subset sweep, so even a single
+  // fanin-20 node notices an expired deadline within ~milliseconds.
+  if (options_.cancel != nullptr) options_.cancel->check("tree_map.solve");
   const WorkNode& wn = tree_.node(node);
   const int f = static_cast<int>(wn.children.size());
   CHORTLE_CHECK(f >= 2 && f <= 20);
@@ -62,6 +71,8 @@ void TreeMapper::solve_node(int node) {
       static_cast<std::uint64_t>(num_subsets) * static_cast<unsigned>(stride);
 
   for (std::uint32_t subset = 1; subset < num_subsets; ++subset) {
+    if (options_.cancel != nullptr && (subset & 0x3FF) == 0)
+      options_.cancel->check("tree_map.solve_node");
     const int e = lowest_bit(subset);
     const std::uint32_t rest = subset & (subset - 1);
     auto h_at = [&](std::uint32_t s, int u) -> std::int32_t& {
@@ -162,6 +173,19 @@ int TreeMapper::best_cost_of(int node) const {
 }
 
 int TreeMapper::best_cost() const { return best_cost_of(tree_.root); }
+
+std::size_t TreeMapper::memory_bytes() const {
+  std::size_t bytes = sizeof(TreeMapper);
+  for (const NodeTables& t : tables_) {
+    bytes += t.h.capacity() * sizeof(std::int32_t);
+    bytes += t.choice.capacity() * sizeof(Choice);
+    bytes += t.node_cost.capacity() * sizeof(std::int32_t);
+    bytes += t.node_cost_u.capacity() * sizeof(std::uint8_t);
+  }
+  for (const WorkNode& n : tree_.nodes)
+    bytes += sizeof(WorkNode) + n.children.capacity() * sizeof(WorkChild);
+  return bytes;
+}
 
 net::SignalId TreeMapper::emit(net::LutCircuit& circuit,
                                const std::vector<net::SignalId>& signal_of,

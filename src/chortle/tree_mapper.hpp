@@ -62,6 +62,11 @@ class TreeMapper {
   /// Node indices refer to WorkTree nodes; utilization in [2, K].
   int minmap_cost(int node, int utilization) const;
 
+  /// Approximate heap footprint of the DP tables plus the tree, used by
+  /// the cross-request DP cache to bound its memory. Stable after
+  /// construction (the tables are never resized).
+  std::size_t memory_bytes() const;
+
   /// min over U of cost(minmap(node, U)).
   int best_cost_of(int node) const;
 

@@ -1,0 +1,61 @@
+#include "chortle/tree_signature.hpp"
+
+#include <unordered_map>
+
+#include "base/check.hpp"
+
+namespace chortle::core {
+namespace {
+
+void append_int(std::string& out, long long value) {
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+CanonicalTree canonicalize_tree(const WorkTree& tree, const Options& options) {
+  CanonicalTree canon;
+  canon.tree = tree;
+
+  // Renumber leaves by first occurrence in node-index order. Node
+  // indices are deterministic for a given structure (build_work_tree is
+  // deterministic), so structurally identical trees renumber
+  // identically even when their network NodeIds differ.
+  std::unordered_map<net::NodeId, int> canonical_of;
+  canonical_of.reserve(static_cast<std::size_t>(tree.num_leaves));
+  for (WorkNode& node : canon.tree.nodes) {
+    for (WorkChild& child : node.children) {
+      if (!child.is_leaf) continue;
+      const auto [it, inserted] = canonical_of.emplace(
+          child.leaf_signal, static_cast<int>(canon.leaf_ids.size()));
+      if (inserted) canon.leaf_ids.push_back(child.leaf_signal);
+      child.leaf_signal = it->second;
+    }
+  }
+
+  // Full-fidelity text encoding: options prefix, then one record per
+  // node in index order. The root is always node 0 and child node
+  // indices are part of the records, so the encoding determines the
+  // tree up to leaf-signal identity — exactly the equivalence the DP
+  // and emission walk depend on.
+  std::string& key = canon.key;
+  key.reserve(16 + canon.tree.nodes.size() * 24);
+  key += "v1 k";
+  append_int(key, options.k);
+  key += " s";
+  append_int(key, options.split_threshold);
+  key += options.search_decompositions ? " d1" : " d0";
+  for (const WorkNode& node : canon.tree.nodes) {
+    key += node.op == net::GateOp::kAnd ? ";&" : ";|";
+    for (const WorkChild& child : node.children) {
+      key += child.is_leaf ? 'l' : 'n';
+      append_int(key, child.is_leaf ? child.leaf_signal : child.node);
+      if (child.negated) key += '!';
+      key += ',';
+    }
+  }
+  CHORTLE_CHECK(static_cast<int>(canon.leaf_ids.size()) <= tree.num_leaves);
+  return canon;
+}
+
+}  // namespace chortle::core

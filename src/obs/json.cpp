@@ -39,6 +39,12 @@ void write_escaped(std::ostream& out, const std::string& s) {
   out << '"';
 }
 
+// Containers deeper than this are rejected. The parser recurses once
+// per nesting level, so without a bound a few kilobytes of "[[[[..."
+// from an untrusted peer (the serve request path parses headers off
+// the wire) would overflow the stack instead of failing cleanly.
+constexpr int kMaxParseDepth = 128;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -100,7 +106,23 @@ class Parser {
     }
   }
 
+  /// RAII nesting-depth accounting for parse_object/parse_array.
+  class Nesting {
+   public:
+    explicit Nesting(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxParseDepth)
+        parser_.fail("nesting deeper than 128 levels");
+    }
+    ~Nesting() { --parser_.depth_; }
+    Nesting(const Nesting&) = delete;
+    Nesting& operator=(const Nesting&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+
   Json parse_object() {
+    const Nesting nesting(*this);
     expect('{');
     Json::Object object;
     skip_ws();
@@ -125,6 +147,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const Nesting nesting(*this);
     expect('[');
     Json::Array array;
     skip_ws();
@@ -152,7 +175,10 @@ class Parser {
       const char c = text_[pos_++];
       if (c == '"') return out;
       if (c != '\\') {
-        out += c;
+        if (static_cast<unsigned char>(c) < 0x80)
+          out += c;
+        else
+          copy_utf8_sequence(out, static_cast<unsigned char>(c));
         continue;
       }
       if (pos_ >= text_.size()) fail("unterminated escape");
@@ -170,6 +196,42 @@ class Parser {
         default: fail("bad escape character");
       }
     }
+  }
+
+  /// Validates and copies one multi-byte UTF-8 sequence whose lead byte
+  /// was already consumed. Strict: overlong encodings, surrogates,
+  /// stray continuation bytes, and code points above U+10FFFF are all
+  /// rejected — service headers come from untrusted peers, and mangled
+  /// bytes must fail cleanly rather than flow through into reports.
+  void copy_utf8_sequence(std::string& out, unsigned char lead) {
+    int extra;
+    unsigned cp;
+    if (lead < 0xC2) {  // 0x80..0xBF stray continuation, 0xC0/0xC1 overlong
+      fail("invalid UTF-8 lead byte");
+    } else if (lead < 0xE0) {
+      extra = 1;
+      cp = lead & 0x1Fu;
+    } else if (lead < 0xF0) {
+      extra = 2;
+      cp = lead & 0x0Fu;
+    } else if (lead < 0xF5) {
+      extra = 3;
+      cp = lead & 0x07u;
+    } else {
+      fail("invalid UTF-8 lead byte");
+    }
+    out += static_cast<char>(lead);
+    for (int i = 0; i < extra; ++i) {
+      if (pos_ >= text_.size() ||
+          (static_cast<unsigned char>(text_[pos_]) & 0xC0) != 0x80)
+        fail("truncated UTF-8 sequence");
+      cp = (cp << 6) | (static_cast<unsigned char>(text_[pos_]) & 0x3Fu);
+      out += text_[pos_++];
+    }
+    if ((extra == 2 && cp < 0x800) || (extra == 3 && cp < 0x10000))
+      fail("overlong UTF-8 encoding");
+    if (cp >= 0xD800 && cp <= 0xDFFF) fail("UTF-8 encoded surrogate");
+    if (cp > 0x10FFFF) fail("UTF-8 code point above U+10FFFF");
   }
 
   unsigned parse_hex4() {
@@ -249,6 +311,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

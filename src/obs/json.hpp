@@ -65,8 +65,11 @@ class Json {
   void dump(std::ostream& out, int indent = 0) const;
   std::string dump(int indent = 0) const;
 
-  /// Strict parser for the standard JSON grammar (UTF-8, \uXXXX
-  /// escapes). Throws InvalidInput with the byte offset on error.
+  /// Strict parser for the standard JSON grammar (validated UTF-8,
+  /// \uXXXX escapes). Throws InvalidInput with the byte offset on
+  /// error. Hardened for untrusted input (the serve request path):
+  /// container nesting is capped at 128 levels and malformed UTF-8 in
+  /// strings is rejected, so no input can crash the parser.
   static Json parse(std::string_view text);
 
  private:

@@ -1,0 +1,108 @@
+// Wire protocol of the mapping service (tools/chortle_serve): length-
+// prefixed frames carrying a JSON header (parsed by the existing
+// obs::Json strict parser) and an opaque payload (BLIF text).
+//
+// Frame layout (all integers big-endian):
+//
+//   offset  0  magic "CSv1"                      (4 bytes)
+//   offset  4  header length H                   (u32)
+//   offset  8  payload length P                  (u32)
+//   offset 12  header: JSON object, UTF-8        (H bytes)
+//   offset 12+H  payload                         (P bytes)
+//
+// Limits are enforced BEFORE any allocation: H <= kMaxHeaderBytes and
+// P <= kMaxPayloadBytes, so a hostile length field cannot balloon
+// memory. The header parser itself is hardened (nesting depth cap,
+// UTF-8 validation — obs/json.hpp), so arbitrary bytes fed to the
+// decode path produce clean InvalidInput errors, never crashes
+// (tests/json_adversarial_test.cpp).
+//
+// Requests and responses are JSON headers with a "type" tag
+// ("map_request/1" / "map_response/1"); the request payload is the
+// BLIF model to map, the response payload the mapped LUT netlist.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace chortle::serve {
+
+inline constexpr char kFrameMagic[4] = {'C', 'S', 'v', '1'};
+inline constexpr std::size_t kFramePreambleBytes = 12;
+inline constexpr std::size_t kMaxHeaderBytes = std::size_t{1} << 20;
+inline constexpr std::size_t kMaxPayloadBytes = std::size_t{64} << 20;
+
+inline constexpr const char* kMapRequestType = "map_request/1";
+inline constexpr const char* kMapResponseType = "map_response/1";
+
+struct Frame {
+  obs::Json header;
+  std::string payload;
+};
+
+/// Serializes one frame.
+std::string encode_frame(const obs::Json& header, std::string_view payload);
+
+/// Decodes exactly one complete frame from a buffer — the unit under
+/// test for adversarial inputs; the socket reader below goes through
+/// the same validation. Throws InvalidInput on bad magic, oversized or
+/// truncated lengths, malformed header JSON, or trailing bytes.
+Frame decode_frame(std::string_view bytes);
+
+/// Reads one frame from a (blocking) socket. Returns nullopt on clean
+/// EOF before the first byte of a frame; throws InvalidInput on a
+/// malformed frame and std::runtime_error on I/O errors or EOF
+/// mid-frame.
+std::optional<Frame> read_frame(int fd);
+
+/// Writes one frame, retrying partial writes. Throws std::runtime_error
+/// on I/O errors.
+void write_frame(int fd, const obs::Json& header, std::string_view payload);
+
+// ---------------------------------------------------------- requests
+
+struct MapRequest {
+  std::string id;                 // echoed in the response and report row
+  int k = 4;
+  int split_threshold = 10;
+  bool search_decompositions = true;
+  bool optimize = false;          // run the full optimization script first
+  bool verify = false;            // BDD-equivalence-check the served result
+  std::int64_t deadline_ms = -1;  // budget from server receipt; < 0 = none
+  std::string blif;               // payload: BLIF model to map
+};
+
+obs::Json encode_request_header(const MapRequest& request);
+
+/// Validates and extracts a request from a decoded frame. Throws
+/// InvalidInput on a missing/unknown type tag, wrong field kinds, or
+/// out-of-range option values.
+MapRequest parse_map_request(const Frame& frame);
+
+// --------------------------------------------------------- responses
+
+struct MapResponse {
+  /// "ok", "invalid", "deadline", "busy", or "internal".
+  std::string status;
+  std::string error;  // empty iff status == "ok"
+  std::string id;
+  int luts = 0;
+  int trees = 0;
+  int depth = 0;
+  int cache_hits = 0;
+  int cache_misses = 0;
+  double seconds = 0.0;
+  std::string verified;  // "", "equivalent", "different", "inconclusive"
+  std::string blif;      // payload: mapped netlist iff status == "ok"
+
+  bool ok() const { return status == "ok"; }
+};
+
+obs::Json encode_response_header(const MapResponse& response);
+MapResponse parse_map_response(const Frame& frame);
+
+}  // namespace chortle::serve

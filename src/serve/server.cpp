@@ -1,0 +1,413 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "base/cancel.hpp"
+#include "base/logging.hpp"
+#include "base/timer.hpp"
+#include "bdd/equiv.hpp"
+#include "blif/blif.hpp"
+#include "chortle/mapper.hpp"
+#include "chortle/options.hpp"
+#include "opt/decompose.hpp"
+#include "opt/script.hpp"
+
+namespace chortle::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw std::runtime_error("unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw_errno("listen(" + path + ")");
+  }
+  return fd;
+}
+
+int listen_tcp(int port, int* resolved_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw_errno("listen(tcp)");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    *resolved_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+/// Best-effort "busy" rejection written from the acceptor thread: the
+/// socket is made non-blocking first so a stalled client cannot wedge
+/// admission for everyone else.
+void reject_busy(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  MapResponse response;
+  response.status = "busy";
+  response.error = "admission queue full; retry later";
+  const std::string bytes = encode_frame(encode_response_header(response), "");
+  (void)!::write(fd, bytes.data(), bytes.size());
+  ::close(fd);
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_bytes),
+      report_("chortle_serve"),
+      latency_histogram_(obs::Registry::global().histogram(
+          "serve.request.seconds", obs::Registry::latency_bounds())) {
+  report_.set_option("workers", config_.workers);
+  report_.set_option("queue_capacity",
+                     static_cast<std::int64_t>(config_.queue_capacity));
+  report_.set_option("cache_bytes",
+                     static_cast<std::int64_t>(config_.cache_bytes));
+  report_.set_option("map_jobs", config_.map_jobs);
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::start() {
+  CHORTLE_REQUIRE(!started_.load(), "server already started");
+  CHORTLE_REQUIRE(!config_.unix_path.empty() || config_.tcp_port >= 0,
+                  "server needs a unix path or a TCP port");
+  CHORTLE_REQUIRE(config_.workers >= 1 && config_.workers <= 512,
+                  "workers must be in [1, 512]");
+  if (::pipe(wake_pipe_) != 0) throw_errno("pipe");
+  if (!config_.unix_path.empty())
+    unix_listener_ = listen_unix(config_.unix_path);
+  if (config_.tcp_port >= 0)
+    tcp_listener_ = listen_tcp(config_.tcp_port, &resolved_tcp_port_);
+  started_.store(true);
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  LOG_INFO << "chortle_serve: listening"
+           << (unix_listener_ >= 0 ? " unix:" + config_.unix_path : "")
+           << (tcp_listener_ >= 0
+                   ? " tcp:127.0.0.1:" + std::to_string(resolved_tcp_port_)
+                   : "")
+           << " (" << config_.workers << " workers, queue "
+           << config_.queue_capacity << ")";
+}
+
+void Server::shutdown() {
+  if (!started_.load() || joined_.exchange(true)) return;
+  stopping_.store(true);
+  // Wake the acceptor's poll; it closes the listeners itself.
+  (void)!::write(wake_pipe_[1], "x", 1);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  // Workers drain the queue and their in-flight requests, then exit.
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  close_if_open(wake_pipe_[0]);
+  close_if_open(wake_pipe_[1]);
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+  LOG_INFO << "chortle_serve: drained and stopped";
+}
+
+void Server::acceptor_loop() {
+  while (!stopping_.load()) {
+    pollfd fds[3];
+    nfds_t n = 0;
+    fds[n++] = {wake_pipe_[0], POLLIN, 0};
+    if (unix_listener_ >= 0) fds[n++] = {unix_listener_, POLLIN, 0};
+    if (tcp_listener_ >= 0) fds[n++] = {tcp_listener_, POLLIN, 0};
+    if (::poll(fds, n, -1) < 0) {
+      if (errno == EINTR) continue;
+      LOG_ERROR << "chortle_serve: poll failed: " << std::strerror(errno);
+      break;
+    }
+    for (nfds_t i = 1; i < n; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int client = ::accept(fds[i].fd, nullptr, nullptr);
+      if (client < 0) continue;
+      bool admitted = false;
+      {
+        const std::lock_guard<std::mutex> lock(queue_mu_);
+        if (queue_.size() < config_.queue_capacity) {
+          queue_.push_back(client);
+          admitted = true;
+        }
+      }
+      {
+        const std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.accepted;
+        if (!admitted) ++counters_.rejected_busy;
+      }
+      if (admitted) {
+        OBS_COUNT("serve.accepted", 1);
+        queue_cv_.notify_one();
+      } else {
+        OBS_COUNT("serve.rejected_busy", 1);
+        reject_busy(client);
+      }
+    }
+  }
+  close_if_open(unix_listener_);
+  close_if_open(tcp_listener_);
+}
+
+void Server::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load() || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // stopping and fully drained
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    handle_connection(fd);
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool Server::wait_readable(int fd) {
+  while (true) {
+    pollfd p{fd, POLLIN, 0};
+    const int ready = ::poll(&p, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready > 0) return (p.revents & (POLLIN | POLLHUP)) != 0;
+    // Timeout tick: during drain, give up on idle keep-alive peers.
+    if (stopping_.load()) return false;
+  }
+}
+
+void Server::handle_connection(int fd) {
+  while (true) {
+    if (!wait_readable(fd)) break;
+    std::optional<Frame> frame;
+    try {
+      frame = read_frame(fd);
+    } catch (const std::exception& error) {
+      // Malformed frame or mid-frame disconnect: answer if the peer is
+      // still there, then drop the connection (framing is lost).
+      MapResponse response;
+      response.status = "invalid";
+      response.error = error.what();
+      record_request(response);
+      try {
+        write_frame(fd, encode_response_header(response), "");
+      } catch (const std::exception&) {
+      }
+      break;
+    }
+    if (!frame.has_value()) break;  // clean EOF
+    const MapResponse response = process_request(*frame);
+    try {
+      write_frame(fd, encode_response_header(response), response.blif);
+    } catch (const std::exception& error) {
+      LOG_WARN << "chortle_serve: response write failed: " << error.what();
+      break;
+    }
+    if (stopping_.load()) break;  // drain: no new requests on this stream
+  }
+  ::close(fd);
+}
+
+MapResponse Server::process_request(const Frame& frame) {
+  WallTimer timer;
+  MapResponse response;
+  MapRequest request;
+  try {
+    request = parse_map_request(frame);
+  } catch (const std::exception& error) {
+    response.status = "invalid";
+    response.error = error.what();
+    response.seconds = timer.seconds();
+    record_request(response);
+    return response;
+  }
+  const std::string assigned_id =
+      request.id.empty()
+          ? "r" + std::to_string(
+                      next_request_id_.fetch_add(1, std::memory_order_relaxed))
+          : request.id;
+  response.id = assigned_id;
+
+  // The deadline clock starts now — queue wait is already behind us,
+  // transfer and mapping are in front. deadline_ms <= 0 is expired on
+  // arrival and must not reach any mapping work.
+  base::CancelToken token =
+      request.deadline_ms >= 0
+          ? base::CancelToken::after(
+                std::chrono::milliseconds(request.deadline_ms))
+          : base::CancelToken();
+  try {
+    token.check("serve.request");
+    blif::BlifModel model = blif::read_blif_string(request.blif);
+    net::Network network = request.optimize
+                               ? opt::optimize(model.network).network
+                               : opt::decompose_to_and_or(model.network);
+    core::Options options;
+    options.k = request.k;
+    options.split_threshold = request.split_threshold;
+    options.search_decompositions = request.search_decompositions;
+    options.jobs = config_.map_jobs;
+    if (request.deadline_ms >= 0) options.cancel = &token;
+    const core::MapResult mapped =
+        core::map_network(network, options, &cache_);
+    response.luts = mapped.stats.num_luts;
+    response.trees = mapped.stats.num_trees;
+    response.depth = mapped.stats.depth;
+    response.cache_hits = mapped.stats.cache_hits;
+    response.cache_misses = mapped.stats.cache_misses;
+    response.blif =
+        blif::write_blif_string(mapped.circuit, model.name + "_luts");
+    response.status = "ok";
+    if (request.verify) {
+      token.check("serve.verify");
+      const bdd::FormalOutcome outcome =
+          bdd::check_equivalence(model.network, mapped.circuit);
+      switch (outcome.status) {
+        case bdd::FormalOutcome::Status::kEquivalent:
+          response.verified = "equivalent";
+          break;
+        case bdd::FormalOutcome::Status::kDifferent:
+          response.verified = "different";
+          response.status = "internal";
+          response.error = "equivalence check found a counterexample at "
+                           "output " + outcome.output_name;
+          response.blif.clear();
+          break;
+        case bdd::FormalOutcome::Status::kInconclusive:
+          // Still served: the mapping is believed correct, the oracle
+          // just ran out of node budget. The caller sees which.
+          response.verified = "inconclusive";
+          break;
+      }
+    }
+  } catch (const base::Cancelled& error) {
+    response = MapResponse{};
+    response.id = assigned_id;
+    response.status = "deadline";
+    response.error = error.what();
+  } catch (const InvalidInput& error) {
+    response = MapResponse{};
+    response.id = assigned_id;
+    response.status = "invalid";
+    response.error = error.what();
+  } catch (const std::exception& error) {
+    response = MapResponse{};
+    response.id = assigned_id;
+    response.status = "internal";
+    response.error = error.what();
+  }
+  response.seconds = timer.seconds();
+  record_request(response);
+  return response;
+}
+
+void Server::record_request(const MapResponse& response) {
+  obs::Registry::global().observe(latency_histogram_, response.seconds);
+  OBS_COUNT("serve.requests", 1);
+  {
+    const std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.served;
+    if (response.status == "ok") ++counters_.ok;
+    else if (response.status == "deadline") ++counters_.deadline_errors;
+    else if (response.status == "invalid") ++counters_.invalid_requests;
+    else ++counters_.internal_errors;
+  }
+  if (response.status == "deadline") OBS_COUNT("serve.deadline_errors", 1);
+
+  obs::Json row = obs::Json::object();
+  row.set("id", response.id);
+  row.set("status", response.status);
+  if (!response.error.empty()) row.set("error", response.error);
+  row.set("luts", response.luts);
+  row.set("trees", response.trees);
+  row.set("depth", response.depth);
+  row.set("cache_hits", response.cache_hits);
+  row.set("cache_misses", response.cache_misses);
+  row.set("seconds", response.seconds);
+  if (!response.verified.empty()) row.set("verified", response.verified);
+  const std::lock_guard<std::mutex> lock(report_mu_);
+  report_.add_benchmark(std::move(row));
+  report_.add_phase("serve.request", response.seconds);
+}
+
+Server::Counters Server::counters() const {
+  const std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+bool Server::write_report(const std::string& path) {
+  const core::DpCache::Stats cache = cache_.stats();
+  const Counters counts = counters();
+  const std::lock_guard<std::mutex> lock(report_mu_);
+  obs::Json cache_json = obs::Json::object();
+  cache_json.set("hits", cache.hits);
+  cache_json.set("misses", cache.misses);
+  cache_json.set("insertions", cache.insertions);
+  cache_json.set("evictions", cache.evictions);
+  cache_json.set("entries", static_cast<std::int64_t>(cache.entries));
+  cache_json.set("bytes", static_cast<std::int64_t>(cache.bytes));
+  report_.set_field("dp_cache", std::move(cache_json));
+  obs::Json counts_json = obs::Json::object();
+  counts_json.set("accepted", counts.accepted);
+  counts_json.set("served", counts.served);
+  counts_json.set("ok", counts.ok);
+  counts_json.set("rejected_busy", counts.rejected_busy);
+  counts_json.set("deadline_errors", counts.deadline_errors);
+  counts_json.set("invalid_requests", counts.invalid_requests);
+  counts_json.set("internal_errors", counts.internal_errors);
+  report_.set_field("requests", std::move(counts_json));
+  return report_.write_file(path);
+}
+
+}  // namespace chortle::serve

@@ -1,0 +1,140 @@
+// The long-lived mapping server behind tools/chortle_serve.
+//
+// Threading model (DESIGN.md "Service architecture"):
+//
+//   acceptor ──> bounded admission queue ──> N request workers
+//
+// One acceptor thread accepts connections on a Unix socket and/or a
+// localhost TCP port and pushes them into a bounded queue. When the
+// queue is full the connection is rejected immediately with a "busy"
+// response — backpressure instead of unbounded buffering. Each worker
+// owns one connection at a time and serves its requests sequentially
+// (a connection is one request stream; concurrency comes from multiple
+// connections). All workers share one DpCache, so repeated traffic
+// over structurally similar netlists skips the decomposition search.
+//
+// Deadlines: a request's "deadline_ms" starts counting at the moment
+// the request frame has been read. An already-expired deadline returns
+// a "deadline" error without any mapping work; one expiring mid-solve
+// cancels the DP cooperatively (base::CancelToken polled inside the
+// tree_mapper loops) and returns the same error.
+//
+// Graceful drain: shutdown() stops accepting, lets every queued and
+// in-flight request finish, then joins all threads. Idle keep-alive
+// connections are closed at the next poll tick.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chortle/dp_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "serve/protocol.hpp"
+
+namespace chortle::serve {
+
+struct ServerConfig {
+  /// Unix-domain listener path (empty: no unix listener). The file is
+  /// unlinked on bind and again on shutdown.
+  std::string unix_path;
+  /// TCP listener on 127.0.0.1 (-1: none; 0: ephemeral — see
+  /// Server::tcp_port() for the resolved port).
+  int tcp_port = -1;
+  /// Request workers == maximum concurrently served connections.
+  int workers = 4;
+  /// Admission-queue bound; connections beyond it get "busy".
+  std::size_t queue_capacity = 16;
+  /// DpCache byte budget shared by all workers.
+  std::size_t cache_bytes = std::size_t{256} << 20;
+  /// Worker threads inside each map_network call (1: a request is
+  /// mapped single-threaded; parallelism across requests instead).
+  int map_jobs = 1;
+};
+
+class Server {
+ public:
+  struct Counters {
+    std::uint64_t accepted = 0;
+    std::uint64_t served = 0;          // responses written (any status)
+    std::uint64_t ok = 0;
+    std::uint64_t rejected_busy = 0;
+    std::uint64_t deadline_errors = 0;
+    std::uint64_t invalid_requests = 0;
+    std::uint64_t internal_errors = 0;
+  };
+
+  explicit Server(ServerConfig config);
+  /// Calls shutdown() if still running.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and spawns the acceptor and workers. Throws
+  /// std::runtime_error when a listener cannot be set up.
+  void start();
+
+  /// Graceful drain (idempotent): stop accepting, finish queued and
+  /// in-flight requests, join every thread.
+  void shutdown();
+
+  /// Resolved TCP port (meaningful after start() with tcp_port >= 0).
+  int tcp_port() const { return resolved_tcp_port_; }
+
+  Counters counters() const;
+  core::DpCache::Stats cache_stats() const { return cache_.stats(); }
+  /// Connections currently owned by workers (tests use this to wait
+  /// for a worker to pick a connection up).
+  std::size_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+  /// chortle-run-report/1 with one "benchmarks" row per served request;
+  /// false (with a WARN log) when the file cannot be written.
+  bool write_report(const std::string& path);
+
+ private:
+  void acceptor_loop();
+  void worker_loop();
+  void handle_connection(int fd);
+  MapResponse process_request(const Frame& frame);
+  void record_request(const MapResponse& response);
+  /// Waits until fd is readable. False when the server is draining and
+  /// no request bytes are pending, or the peer hung up.
+  bool wait_readable(int fd);
+
+  ServerConfig config_;
+  core::DpCache cache_;
+  int unix_listener_ = -1;
+  int tcp_listener_ = -1;
+  int resolved_tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> joined_{false};
+  std::atomic<std::size_t> active_connections_{0};
+  std::atomic<std::uint64_t> next_request_id_{0};
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;  // accepted fds awaiting a worker
+
+  mutable std::mutex counters_mu_;
+  Counters counters_;
+
+  std::mutex report_mu_;
+  obs::RunReport report_;
+  obs::MetricId latency_histogram_;
+};
+
+}  // namespace chortle::serve

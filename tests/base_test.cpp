@@ -185,5 +185,44 @@ TEST(ThreadPool, ResolveJobsHonorsRequestThenEnvThenDefault) {
   EXPECT_EQ(base::resolve_jobs(0), 1);
 }
 
+TEST(ThreadPool, ResolveJobsRejectsMalformedEnvWithAWarning) {
+  // Every malformed value falls back to 1 job — and warns, naming the
+  // rejected value, so a typo does not silently serialize a run.
+  // (strtol's leading-whitespace tolerance is kept: " 4" parses as 4.)
+  for (const char* bad : {"4x", "-2", "0", "+ 3", "x4", ""}) {
+    ASSERT_EQ(setenv("CHORTLE_JOBS", bad, 1), 0);
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(base::resolve_jobs(0), 1) << "CHORTLE_JOBS=" << bad;
+    const std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("CHORTLE_JOBS"), std::string::npos) << bad;
+    EXPECT_NE(log.find('"' + std::string(bad) + '"'), std::string::npos)
+        << "warning must name the rejected value: " << bad;
+  }
+  ASSERT_EQ(unsetenv("CHORTLE_JOBS"), 0);
+}
+
+TEST(ThreadPool, ResolveJobsRejectsOverflowingEnv) {
+  // Past LONG_MAX strtol saturates and sets ERANGE; both the saturated
+  // and the absurd-but-parseable cases must not produce huge pools.
+  ASSERT_EQ(setenv("CHORTLE_JOBS", "99999999999999999999", 1), 0);
+  EXPECT_EQ(base::resolve_jobs(0), 1);
+  ASSERT_EQ(setenv("CHORTLE_JOBS", "-99999999999999999999", 1), 0);
+  EXPECT_EQ(base::resolve_jobs(0), 1);
+  ASSERT_EQ(setenv("CHORTLE_JOBS", "4294967296", 1), 0);  // 2^32, in range
+  EXPECT_EQ(base::resolve_jobs(0), 512);
+  ASSERT_EQ(unsetenv("CHORTLE_JOBS"), 0);
+}
+
+TEST(ThreadPool, ResolveJobsBoundaryAtTheClamp) {
+  ASSERT_EQ(setenv("CHORTLE_JOBS", "512", 1), 0);
+  EXPECT_EQ(base::resolve_jobs(0), 512);
+  ASSERT_EQ(setenv("CHORTLE_JOBS", "513", 1), 0);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(base::resolve_jobs(0), 512);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("clamped"),
+            std::string::npos);
+  ASSERT_EQ(unsetenv("CHORTLE_JOBS"), 0);
+}
+
 }  // namespace
 }  // namespace chortle

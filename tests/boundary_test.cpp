@@ -52,6 +52,23 @@ TEST(OptionsBoundary, ValidateRejectsJustOutsideTheRange) {
   EXPECT_THROW(options.validate(), InvalidInput);
 }
 
+TEST(OptionsBoundary, DuplicationLimitsStopAtTheDocumentedCeiling) {
+  // The upper bounds exist because duplication cost is explored per
+  // subset: a runaway value turns one request into an effectively
+  // unbounded search (the service accepts these fields off the wire).
+  Options options;
+  options.duplication_max_gates = kMaxDuplicationGates;
+  EXPECT_NO_THROW(options.validate());
+  options.duplication_max_gates = kMaxDuplicationGates + 1;
+  EXPECT_THROW(options.validate(), InvalidInput);
+
+  options = Options{};
+  options.duplication_max_readers = kMaxDuplicationReaders;
+  EXPECT_NO_THROW(options.validate());
+  options.duplication_max_readers = kMaxDuplicationReaders + 1;
+  EXPECT_THROW(options.validate(), InvalidInput);
+}
+
 /// A single gate of the requested fanin, fed by primary inputs.
 net::Network single_wide_gate(int fanin) {
   net::Network network;

@@ -1,0 +1,276 @@
+// The cross-request tree-DP cache (chortle/dp_cache.hpp) and its key
+// (chortle/tree_signature.hpp). The load-bearing property throughout:
+// a cache hit must be indistinguishable from a fresh solve — same LUT
+// count and byte-identical emitted BLIF — because the signature
+// captures everything the DP and the emission walk depend on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/cancel.hpp"
+#include "blif/blif.hpp"
+#include "chortle/dp_cache.hpp"
+#include "chortle/forest.hpp"
+#include "chortle/mapper.hpp"
+#include "chortle/tree_signature.hpp"
+#include "chortle/work_tree.hpp"
+#include "helpers.hpp"
+#include "mcnc/generators.hpp"
+#include "opt/decompose.hpp"
+#include "opt/script.hpp"
+
+namespace chortle::core {
+namespace {
+
+WorkTree first_tree(const net::Network& network, const Options& options) {
+  const Forest forest = build_forest(network);
+  return build_work_tree(network, forest, forest.trees.front(), options);
+}
+
+/// AND(a, b) with chosen polarities, as a one-gate network.
+net::Network tiny_gate(net::GateOp op, bool neg_a, bool neg_b) {
+  net::Network network;
+  const net::NodeId a = network.add_input("a");
+  const net::NodeId b = network.add_input("b");
+  const net::NodeId gate = network.add_gate(
+      op, {net::Fanin{a, neg_a}, net::Fanin{b, neg_b}});
+  network.add_output("out", gate, false);
+  network.check();
+  return network;
+}
+
+/// AND(AND(a, b), AND(x, d)) where x is a (shared leaf) or c (all
+/// leaves distinct) — same shape, different leaf-coincidence pattern.
+net::Network coincidence_tree(bool share) {
+  net::Network network;
+  const net::NodeId a = network.add_input("a");
+  const net::NodeId b = network.add_input("b");
+  const net::NodeId c = network.add_input("c");
+  const net::NodeId d = network.add_input("d");
+  const net::NodeId left =
+      network.add_gate(net::GateOp::kAnd, {net::Fanin{a, false}, net::Fanin{b, false}});
+  const net::NodeId right = network.add_gate(
+      net::GateOp::kAnd, {net::Fanin{share ? a : c, false}, net::Fanin{d, false}});
+  const net::NodeId root = network.add_gate(
+      net::GateOp::kAnd, {net::Fanin{left, false}, net::Fanin{right, false}});
+  network.add_output("out", root, false);
+  network.check();
+  return network;
+}
+
+TEST(TreeSignature, StructurallyIdenticalTreesShareAKey) {
+  const Options options;
+  // Same structure built twice over unrelated networks (node ids and
+  // signal names differ; structure does not).
+  const net::Network first = testing::random_tree(6, 5, 4, /*seed=*/7);
+  const net::Network second = testing::random_tree(6, 5, 4, /*seed=*/7);
+  const CanonicalTree lhs = canonicalize_tree(first_tree(first, options), options);
+  const CanonicalTree rhs =
+      canonicalize_tree(first_tree(second, options), options);
+  EXPECT_EQ(lhs.key, rhs.key);
+  EXPECT_EQ(lhs.leaf_ids.size(), rhs.leaf_ids.size());
+}
+
+TEST(TreeSignature, KeySeparatesOpPolarityAndLeafCoincidence) {
+  const Options options;
+  const auto key = [&](const net::Network& network) {
+    return canonicalize_tree(first_tree(network, options), options).key;
+  };
+  const std::string base = key(tiny_gate(net::GateOp::kAnd, false, false));
+  EXPECT_NE(base, key(tiny_gate(net::GateOp::kOr, false, false))) << "op";
+  EXPECT_NE(base, key(tiny_gate(net::GateOp::kAnd, true, false)))
+      << "polarity";
+  // Which polarity leg carries the negation is symmetric only in name,
+  // not structure: child order is part of the key.
+  EXPECT_NE(key(tiny_gate(net::GateOp::kAnd, true, false)),
+            key(tiny_gate(net::GateOp::kAnd, false, true)));
+  // A leaf shared between two gates deduplicates onto one LUT pin at
+  // emission, so the coincidence pattern must split the key even though
+  // the tree shape is identical.
+  EXPECT_NE(key(coincidence_tree(/*share=*/true)),
+            key(coincidence_tree(/*share=*/false)))
+      << "coincidence";
+}
+
+TEST(TreeSignature, KeyFoldsInTheDpShapingOptions) {
+  const net::Network network = testing::random_tree(6, 5, 4, /*seed=*/11);
+  Options base;
+  const std::string key_k4 =
+      canonicalize_tree(first_tree(network, base), base).key;
+
+  Options k5 = base;
+  k5.k = 5;
+  EXPECT_NE(key_k4, canonicalize_tree(first_tree(network, k5), k5).key);
+
+  Options no_search = base;
+  no_search.search_decompositions = false;
+  EXPECT_NE(key_k4,
+            canonicalize_tree(first_tree(network, no_search), no_search).key);
+
+  Options split = base;
+  split.split_threshold = 8;
+  // The threshold shapes the tree before the DP; even when this tree is
+  // unchanged the key must not collide across thresholds.
+  EXPECT_NE(key_k4, canonicalize_tree(first_tree(network, split), split).key);
+}
+
+TEST(TreeSignature, CanonicalTreeSolvesToTheSameCost) {
+  const Options options;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const net::Network network = testing::random_tree(8, 9, 5, seed);
+    const WorkTree tree = first_tree(network, options);
+    const CanonicalTree canon = canonicalize_tree(tree, options);
+    const TreeMapper original(tree, options);
+    const TreeMapper renumbered(canon.tree, options);
+    EXPECT_EQ(original.best_cost(), renumbered.best_cost()) << "seed " << seed;
+  }
+}
+
+TEST(DpCache, FindMissThenInsertThenHit) {
+  const Options options;
+  DpCache cache;
+  const net::Network network = testing::random_tree(6, 5, 4, /*seed=*/3);
+  const CanonicalTree canon =
+      canonicalize_tree(first_tree(network, options), options);
+
+  EXPECT_EQ(cache.find(canon.key), nullptr);
+  const auto mapper =
+      std::make_shared<const TreeMapper>(canon.tree, options);
+  EXPECT_EQ(cache.insert(canon.key, mapper), mapper);
+  EXPECT_EQ(cache.find(canon.key), mapper);
+
+  const DpCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  // Accounted bytes cover the DP tables plus the key itself.
+  EXPECT_GE(stats.bytes, mapper->memory_bytes());
+}
+
+TEST(DpCache, InsertRaceKeepsTheResidentEntry) {
+  const Options options;
+  DpCache cache;
+  const net::Network network = testing::random_tree(6, 5, 4, /*seed=*/4);
+  const CanonicalTree canon =
+      canonicalize_tree(first_tree(network, options), options);
+  const auto winner = std::make_shared<const TreeMapper>(canon.tree, options);
+  const auto loser = std::make_shared<const TreeMapper>(canon.tree, options);
+  ASSERT_EQ(cache.insert(canon.key, winner), winner);
+  // A second thread that solved the same tree concurrently publishes
+  // late: it must be handed the resident mapper, not displace it.
+  EXPECT_EQ(cache.insert(canon.key, loser), winner);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(DpCache, EvictsLeastRecentlyUsedUnderAByteBudget) {
+  const Options options;
+  // One shard so the LRU order is global and the budget is exact.
+  DpCache cache(/*max_bytes=*/1, /*num_shards=*/1);
+  std::vector<std::string> keys;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const net::Network network = testing::random_tree(6, 5, 4, seed);
+    const CanonicalTree canon =
+        canonicalize_tree(first_tree(network, options), options);
+    if (!keys.empty() && keys.back() == canon.key) continue;
+    keys.push_back(canon.key);
+    cache.insert(canon.key,
+                 std::make_shared<const TreeMapper>(canon.tree, options));
+  }
+  ASSERT_GE(keys.size(), 2u);
+  const DpCache::Stats stats = cache.stats();
+  // Budget of one byte: every insertion evicts the previous resident
+  // (a single oversized entry is admitted alone by contract).
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, stats.insertions - 1);
+  EXPECT_EQ(cache.find(keys.front()), nullptr) << "oldest evicted";
+  EXPECT_NE(cache.find(keys.back()), nullptr) << "newest resident";
+}
+
+TEST(DpCache, ClearEmptiesEveryShard) {
+  const Options options;
+  DpCache cache;
+  const net::Network network = testing::random_tree(6, 5, 4, /*seed=*/9);
+  const CanonicalTree canon =
+      canonicalize_tree(first_tree(network, options), options);
+  cache.insert(canon.key,
+               std::make_shared<const TreeMapper>(canon.tree, options));
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.find(canon.key), nullptr);
+}
+
+// ------------------------------------------------- end-to-end mapping
+
+TEST(DpCacheMapping, CachedMappingIsByteIdenticalToUncached) {
+  for (const std::string& name : {std::string("count"), std::string("alu2")}) {
+    const opt::OptimizedDesign design = opt::optimize(mcnc::generate(name));
+    Options options;
+    options.k = 4;
+
+    const MapResult plain = map_network(design.network, options);
+    DpCache cache;
+    const MapResult cold = map_network(design.network, options, &cache);
+    const MapResult warm = map_network(design.network, options, &cache);
+
+    EXPECT_EQ(plain.stats.cache_hits, 0);
+    EXPECT_EQ(plain.stats.cache_misses, 0);
+    EXPECT_GT(warm.stats.cache_hits, 0) << name;
+    EXPECT_EQ(warm.stats.cache_misses, 0) << name;
+    EXPECT_EQ(cold.stats.cache_hits + cold.stats.cache_misses,
+              cold.stats.num_trees);
+
+    const std::string reference = blif::write_blif_string(plain.circuit, name);
+    EXPECT_EQ(blif::write_blif_string(cold.circuit, name), reference) << name;
+    EXPECT_EQ(blif::write_blif_string(warm.circuit, name), reference) << name;
+  }
+}
+
+TEST(DpCacheMapping, SharedCacheIsSafeAndExactAcrossThreads) {
+  const opt::OptimizedDesign design = opt::optimize(mcnc::generate("count"));
+  Options options;
+  options.k = 3;
+  const std::string reference =
+      blif::write_blif_string(map_network(design.network, options).circuit,
+                              "count");
+
+  DpCache cache;
+  constexpr int kThreads = 4;
+  std::vector<std::string> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const MapResult result = map_network(design.network, options, &cache);
+      results[static_cast<std::size_t>(t)] =
+          blif::write_blif_string(result.circuit, "count");
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::string& result : results) EXPECT_EQ(result, reference);
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(DpCacheMapping, PreCancelledTokenAbortsBeforeAnyWork) {
+  const opt::OptimizedDesign design = opt::optimize(mcnc::generate("count"));
+  base::CancelToken token;
+  token.cancel();
+  Options options;
+  options.cancel = &token;
+  EXPECT_THROW(map_network(design.network, options), base::Cancelled);
+}
+
+TEST(DpCacheMapping, ExpiredDeadlineTokenAbortsMidSolve) {
+  const opt::OptimizedDesign design = opt::optimize(mcnc::generate("alu2"));
+  const base::CancelToken token =
+      base::CancelToken::after(std::chrono::milliseconds(0));
+  Options options;
+  options.cancel = &token;
+  EXPECT_THROW(map_network(design.network, options), base::Cancelled);
+}
+
+}  // namespace
+}  // namespace chortle::core

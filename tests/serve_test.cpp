@@ -1,0 +1,307 @@
+// End-to-end tests of the mapping service (src/serve): a real Server on
+// a real Unix (and TCP) socket, driven through the client library. The
+// acceptance properties of the service PR live here: cache hits across
+// requests with byte-identical output, deadline errors without mapping
+// work, busy backpressure, and graceful shutdown. The whole file runs
+// under the TSan CI configuration like every other test.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blif/blif.hpp"
+#include "chortle/mapper.hpp"
+#include "mcnc/generators.hpp"
+#include "opt/decompose.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace chortle::serve {
+namespace {
+
+/// Short, per-process socket path: sun_path is only ~108 bytes, so the
+/// build-tree cwd is not a safe prefix.
+std::string test_socket_path(const char* tag) {
+  return "/tmp/chortle_test_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+std::string benchmark_blif(const std::string& name) {
+  return blif::write_blif_string(mcnc::generate(name), name);
+}
+
+/// What the offline CLI (examples/map_blif --no-optimize) produces for
+/// the same BLIF text — the byte-identity reference.
+std::string offline_mapping(const std::string& blif_text, int k) {
+  const blif::BlifModel model = blif::read_blif_string(blif_text);
+  core::Options options;
+  options.k = k;
+  const core::MapResult result =
+      core::map_network(opt::decompose_to_and_or(model.network), options);
+  return blif::write_blif_string(result.circuit, model.name + "_luts");
+}
+
+TEST(Serve, MapsTwiceWithCacheHitsAndByteIdenticalOutput) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("twice");
+  config.workers = 2;
+  Server server(config);
+  server.start();
+
+  const std::string blif_text = benchmark_blif("count");
+  const std::string reference = offline_mapping(blif_text, 3);
+
+  MapRequest request;
+  request.k = 3;
+  request.blif = blif_text;
+
+  Client client = Client::connect_unix(config.unix_path);
+  const MapResponse first = client.map(request);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_EQ(first.blif, reference);
+  EXPECT_GT(first.cache_misses, 0);
+
+  const MapResponse second = client.map(request);
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_EQ(second.blif, reference);
+  EXPECT_GT(second.cache_hits, 0) << "second identical request must hit";
+  EXPECT_EQ(second.cache_misses, 0);
+  EXPECT_EQ(second.luts, first.luts);
+
+  const core::DpCache::Stats cache = server.cache_stats();
+  EXPECT_GT(cache.hits, 0u);
+  server.shutdown();
+  const Server::Counters counters = server.counters();
+  EXPECT_EQ(counters.served, 2u);
+  EXPECT_EQ(counters.ok, 2u);
+}
+
+TEST(Serve, ServesSequentialRequestsOnOneConnectionAndManyClients) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("many");
+  config.workers = 3;
+  Server server(config);
+  server.start();
+
+  const std::string blif_text = benchmark_blif("9symml");
+  const std::string reference = offline_mapping(blif_text, 4);
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> results(3);
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      Client client = Client::connect_unix(config.unix_path);
+      for (int r = 0; r < 2; ++r) {
+        MapRequest request;
+        request.id = "t" + std::to_string(t);
+        request.blif = blif_text;
+        const MapResponse response = client.map(request);
+        ASSERT_TRUE(response.ok()) << response.error;
+        results[static_cast<std::size_t>(t)] = response.blif;
+        EXPECT_EQ(response.id, request.id);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::string& result : results) EXPECT_EQ(result, reference);
+  server.shutdown();
+  EXPECT_EQ(server.counters().served, 6u);
+}
+
+TEST(Serve, ExpiredDeadlineReturnsDeadlineErrorWithoutMappingWork) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("deadline");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  MapRequest request;
+  request.deadline_ms = 0;  // expired on arrival
+  request.blif = benchmark_blif("alu2");
+  Client client = Client::connect_unix(config.unix_path);
+  const MapResponse response = client.map(request);
+  EXPECT_EQ(response.status, "deadline");
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_TRUE(response.blif.empty());
+
+  // "Without mapping work": nothing was solved, so nothing entered the
+  // DP cache and no tree DP ran at all.
+  const core::DpCache::Stats cache = server.cache_stats();
+  EXPECT_EQ(cache.misses, 0u);
+  EXPECT_EQ(cache.insertions, 0u);
+  server.shutdown();
+  EXPECT_EQ(server.counters().deadline_errors, 1u);
+}
+
+TEST(Serve, InvalidBlifAndMalformedHeaderYieldInvalidStatus) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("invalid");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  MapRequest request;
+  request.blif = "this is not blif\n";
+  Client client = Client::connect_unix(config.unix_path);
+  const MapResponse bad_payload = client.map(request);
+  EXPECT_EQ(bad_payload.status, "invalid");
+  EXPECT_FALSE(bad_payload.error.empty());
+
+  // Out-of-range option off the wire (k = 9): rejected at request
+  // parse, still a clean response on the same connection.
+  request.blif = benchmark_blif("count");
+  request.k = 9;
+  const MapResponse bad_option = client.map(request);
+  EXPECT_EQ(bad_option.status, "invalid");
+  server.shutdown();
+  EXPECT_EQ(server.counters().invalid_requests, 2u);
+}
+
+TEST(Serve, VerifyFlagRunsTheEquivalenceOracle) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("verify");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  MapRequest request;
+  request.verify = true;
+  request.blif = benchmark_blif("count");
+  Client client = Client::connect_unix(config.unix_path);
+  const MapResponse response = client.map(request);
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.verified, "equivalent");
+  server.shutdown();
+}
+
+TEST(Serve, FullAdmissionQueueRejectsWithBusy) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("busy");
+  config.workers = 1;
+  config.queue_capacity = 1;
+  Server server(config);
+  server.start();
+
+  // Stall the single worker: a raw connection that sends only part of a
+  // frame preamble and then goes quiet. The worker blocks reading the
+  // rest of the frame.
+  const int stall_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(stall_fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, config.unix_path.c_str(),
+               sizeof addr.sun_path - 1);
+  ASSERT_EQ(::connect(stall_fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  ASSERT_EQ(::write(stall_fd, "CSv1", 4), 4);
+  // Wait until the worker owns the stalled connection, so the next two
+  // land in the queue deterministically.
+  for (int i = 0; i < 500 && server.active_connections() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(server.active_connections(), 1u);
+
+  // Fills the queue slot; never served until the stall clears.
+  Client queued = Client::connect_unix(config.unix_path);
+  // Give the acceptor a moment to enqueue it before overflowing.
+  for (int i = 0; i < 500 && server.counters().accepted < 2; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  // Overflow: must be rejected with "busy" immediately, while the
+  // worker is still stuck — no second worker exists to rescue it.
+  Client overflow = Client::connect_unix(config.unix_path);
+  MapRequest request;
+  request.blif = benchmark_blif("count");
+  const MapResponse response = overflow.map(request);
+  EXPECT_EQ(response.status, "busy");
+  EXPECT_TRUE(response.blif.empty());
+
+  // Unstick the worker; the queued connection must then be served.
+  ::close(stall_fd);
+  const MapResponse served = queued.map(request);
+  EXPECT_TRUE(served.ok()) << served.error;
+  server.shutdown();
+  EXPECT_GE(server.counters().rejected_busy, 1u);
+}
+
+TEST(Serve, TcpListenerWithEphemeralPort) {
+  ServerConfig config;
+  config.tcp_port = 0;  // ephemeral
+  config.workers = 1;
+  Server server(config);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  MapRequest request;
+  request.blif = benchmark_blif("count");
+  Client client = Client::connect_tcp("127.0.0.1", server.tcp_port());
+  const MapResponse response = client.map(request);
+  EXPECT_TRUE(response.ok()) << response.error;
+  server.shutdown();
+}
+
+TEST(Serve, ShutdownIsGracefulAndIdempotent) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("drain");
+  config.workers = 2;
+  Server server(config);
+  server.start();
+
+  // In-flight request racing shutdown: it must complete, not be cut.
+  Client client = Client::connect_unix(config.unix_path);
+  MapRequest request;
+  request.blif = benchmark_blif("count");
+  std::thread requester([&] {
+    const MapResponse response = client.map(request);
+    EXPECT_TRUE(response.ok()) << response.error;
+  });
+  // Let the request frame reach the socket; once its bytes are pending
+  // the drain contract guarantees it is served, not cut.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.shutdown();
+  requester.join();
+  server.shutdown();  // idempotent
+  EXPECT_EQ(server.counters().ok, 1u);
+
+  // The socket file is gone and new connections are refused.
+  EXPECT_THROW(Client::connect_unix(config.unix_path), std::runtime_error);
+}
+
+TEST(Serve, RunReportRecordsOneRowPerRequest) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("report");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  MapRequest request;
+  request.id = "report-row";
+  request.blif = benchmark_blif("count");
+  Client client = Client::connect_unix(config.unix_path);
+  ASSERT_TRUE(client.map(request).ok());
+  server.shutdown();
+
+  const std::string path =
+      "/tmp/chortle_test_report_" + std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(server.write_report(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string report = buffer.str();
+  EXPECT_NE(report.find("chortle-run-report/1"), std::string::npos);
+  EXPECT_NE(report.find("report-row"), std::string::npos);
+  EXPECT_NE(report.find("cache_hits"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace chortle::serve

@@ -1,0 +1,149 @@
+// chortle_client: one-shot CLI client for the mapping service.
+//
+//   chortle_client (--unix PATH | --host H --port N)
+//                  [-k N] [--split N] [--no-search] [--optimize]
+//                  [--verify] [--deadline-ms N] [--id STR]
+//                  [-o OUT] input.blif
+//   chortle_client --dump-benchmark NAME [-o OUT]
+//
+// The first form sends input.blif to a running chortle_serve and writes
+// the mapped netlist to OUT (default stdout). Request stats go to
+// stderr. The second form runs no server at all: it emits the named
+// built-in MCNC benchmark substitute as BLIF, which gives CI scripts a
+// benchmark file to feed both the offline mapper and the service.
+//
+// Exit codes: 0 ok, 2 usage, 3 server busy, 4 deadline exceeded,
+// 1 any other failure.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "blif/blif.hpp"
+#include "mcnc/generators.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: chortle_client (--unix PATH | --host H --port N) "
+               "[-k N] [--split N] [--no-search] [--optimize] [--verify] "
+               "[--deadline-ms N] [--id STR] [-o OUT] input.blif\n"
+               "       chortle_client --dump-benchmark NAME [-o OUT]\n");
+}
+
+bool write_output(const std::string& path, const std::string& text) {
+  if (path.empty() || path == "-") {
+    std::cout << text;
+    return static_cast<bool>(std::cout);
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "chortle_client: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace chortle;
+
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string input_path;
+  std::string output_path;
+  std::string dump_benchmark;
+  serve::MapRequest request;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--unix" && has_value) {
+      unix_path = argv[++i];
+    } else if (arg == "--host" && has_value) {
+      host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "-k" && has_value) {
+      request.k = std::atoi(argv[++i]);
+    } else if (arg == "--split" && has_value) {
+      request.split_threshold = std::atoi(argv[++i]);
+    } else if (arg == "--no-search") {
+      request.search_decompositions = false;
+    } else if (arg == "--optimize") {
+      request.optimize = true;
+    } else if (arg == "--verify") {
+      request.verify = true;
+    } else if (arg == "--deadline-ms" && has_value) {
+      request.deadline_ms = std::atoll(argv[++i]);
+    } else if (arg == "--id" && has_value) {
+      request.id = argv[++i];
+    } else if (arg == "-o" && has_value) {
+      output_path = argv[++i];
+    } else if (arg == "--dump-benchmark" && has_value) {
+      dump_benchmark = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-' && input_path.empty()) {
+      input_path = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    if (!dump_benchmark.empty()) {
+      const std::string text = blif::write_blif_string(
+          mcnc::generate(dump_benchmark), dump_benchmark);
+      return write_output(output_path, text) ? 0 : 1;
+    }
+
+    if (input_path.empty() || (unix_path.empty() && port < 0)) {
+      usage();
+      return 2;
+    }
+    std::ifstream in(input_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "chortle_client: cannot read %s\n",
+                   input_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    request.blif = buffer.str();
+
+    serve::Client client = unix_path.empty()
+                               ? serve::Client::connect_tcp(host, port)
+                               : serve::Client::connect_unix(unix_path);
+    const serve::MapResponse response = client.map(request);
+
+    if (!response.ok()) {
+      std::fprintf(stderr, "chortle_client: %s: %s\n",
+                   response.status.c_str(), response.error.c_str());
+      if (response.status == "busy") return 3;
+      if (response.status == "deadline") return 4;
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "chortle_client: id=%s luts=%d trees=%d depth=%d "
+                 "cache_hits=%d cache_misses=%d seconds=%.3f%s%s\n",
+                 response.id.c_str(), response.luts, response.trees,
+                 response.depth, response.cache_hits, response.cache_misses,
+                 response.seconds,
+                 response.verified.empty() ? "" : " verified=",
+                 response.verified.c_str());
+    return write_output(output_path, response.blif) ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "chortle_client: %s\n", error.what());
+    return 1;
+  }
+}

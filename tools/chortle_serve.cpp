@@ -1,0 +1,133 @@
+// chortle_serve: the long-lived mapping daemon. Speaks the frame
+// protocol of src/serve/protocol.hpp over a Unix socket and/or a
+// localhost TCP port, shares one tree-DP cache across all requests,
+// and drains gracefully on SIGTERM/SIGINT.
+//
+//   chortle_serve (--unix PATH | --port N) [--workers N] [--queue N]
+//                 [--cache-mb N] [--map-jobs N] [--stats-out PATH]
+//
+//   --unix PATH      listen on a Unix-domain socket at PATH
+//   --port N         listen on 127.0.0.1:N (0 = ephemeral; the chosen
+//                    port is printed on the READY line)
+//   --workers N      concurrently served connections (default 4)
+//   --queue N        admission queue bound; beyond it requests are
+//                    rejected with "busy" (default 16)
+//   --cache-mb N     DP-cache budget in MiB (default 256)
+//   --map-jobs N     threads per map_network call (default 1)
+//   --stats-out P    write a chortle-run-report/1 with one row per
+//                    served request on shutdown
+//
+// Prints "READY ..." on stdout once listening (scripts wait for it or
+// for the socket file), then serves until SIGTERM/SIGINT.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "base/logging.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+// Self-pipe: the handler only writes one byte; the main thread blocks
+// on the read end and runs the actual drain outside signal context.
+int signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 's';
+  (void)!::write(signal_pipe[1], &byte, 1);
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: chortle_serve (--unix PATH | --port N) [--workers N] "
+               "[--queue N] [--cache-mb N] [--map-jobs N] [--stats-out "
+               "PATH]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace chortle;
+  serve::ServerConfig config;
+  std::string stats_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--unix" && has_value) {
+      config.unix_path = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      config.tcp_port = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && has_value) {
+      config.workers = std::atoi(argv[++i]);
+    } else if (arg == "--queue" && has_value) {
+      config.queue_capacity =
+          static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--cache-mb" && has_value) {
+      config.cache_bytes =
+          static_cast<std::size_t>(std::atol(argv[++i])) << 20;
+    } else if (arg == "--map-jobs" && has_value) {
+      config.map_jobs = std::atoi(argv[++i]);
+    } else if (arg == "--stats-out" && has_value) {
+      stats_out = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (config.unix_path.empty() && config.tcp_port < 0) {
+    usage();
+    return 2;
+  }
+
+  try {
+    if (::pipe(signal_pipe) != 0) {
+      std::perror("chortle_serve: pipe");
+      return 1;
+    }
+    struct sigaction action {};
+    action.sa_handler = on_signal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+
+    serve::Server server(config);
+    server.start();
+    std::printf("READY%s%s\n",
+                config.unix_path.empty()
+                    ? ""
+                    : (" unix:" + config.unix_path).c_str(),
+                config.tcp_port < 0
+                    ? ""
+                    : (" tcp:127.0.0.1:" + std::to_string(server.tcp_port()))
+                          .c_str());
+    std::fflush(stdout);
+
+    char byte;
+    while (::read(signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::fprintf(stderr, "chortle_serve: draining...\n");
+    server.shutdown();
+
+    const serve::Server::Counters counts = server.counters();
+    std::fprintf(stderr,
+                 "chortle_serve: served %llu requests (%llu ok, %llu "
+                 "deadline, %llu invalid, %llu busy-rejected)\n",
+                 static_cast<unsigned long long>(counts.served),
+                 static_cast<unsigned long long>(counts.ok),
+                 static_cast<unsigned long long>(counts.deadline_errors),
+                 static_cast<unsigned long long>(counts.invalid_requests),
+                 static_cast<unsigned long long>(counts.rejected_busy));
+    if (!stats_out.empty() && !server.write_report(stats_out)) return 1;
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "chortle_serve: %s\n", error.what());
+    return 1;
+  }
+}
