@@ -1,0 +1,34 @@
+// FNV-1a 64-bit hashing for stable cross-run fingerprints (golden BLIF
+// hashes in tests/golden/ and BENCH_*.json). Not for hash tables —
+// std::hash and TruthTable::hash stay as they are; this one is pinned
+// to a published algorithm so committed digests never move with the
+// standard library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace chortle::base {
+
+constexpr std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+inline std::string fnv1a64_hex(std::string_view bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::uint64_t hash = fnv1a64(bytes);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+}  // namespace chortle::base
