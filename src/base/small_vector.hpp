@@ -1,0 +1,101 @@
+// A vector with inline storage for the first N elements, for hot paths
+// whose element counts are almost always tiny (LUT cone inputs are
+// bounded by K <= 6, emission walk stacks by tree depth). Restricted to
+// trivially copyable element types so growth and destruction stay
+// memcpy-simple — that covers every current user and keeps this ~100
+// lines instead of a general-purpose container.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+#include "base/check.hpp"
+
+namespace chortle::base {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  SmallVector() = default;
+  ~SmallVector() { release(); }
+
+  SmallVector(const SmallVector&) = delete;
+  SmallVector& operator=(const SmallVector&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+  bool spilled() const { return data_ != inline_data(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) {
+    CHORTLE_CHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    CHORTLE_CHECK(i < size_);
+    return data_[i];
+  }
+
+  T& back() {
+    CHORTLE_CHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow();
+    // memcpy rather than assignment: the slot holds raw storage, not a
+    // constructed T (fine for the trivially copyable types allowed here).
+    std::memcpy(static_cast<void*>(data_ + size_),
+                static_cast<const void*>(&value), sizeof(T));
+    ++size_;
+  }
+
+  void pop_back() {
+    CHORTLE_CHECK(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+ private:
+  T* inline_data() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* inline_data() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void grow() {
+    const std::size_t new_capacity = capacity_ * 2;
+    T* heap = static_cast<T*>(
+        ::operator new(new_capacity * sizeof(T), std::align_val_t{alignof(T)}));
+    std::memcpy(static_cast<void*>(heap), static_cast<const void*>(data_),
+                size_ * sizeof(T));
+    release();
+    data_ = heap;
+    capacity_ = new_capacity;
+  }
+
+  void release() {
+    if (spilled())
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace chortle::base

@@ -13,7 +13,15 @@
 // rarely contend. Lookups compare full keys (the signature is a
 // complete encoding, not a digest), so a hash collision can never
 // alias two different trees. Memory is bounded per shard by
-// TreeMapper::memory_bytes(); eviction is least-recently-used.
+// TreeMapper::memory_bytes(), which accounts the mapper's arena-backed
+// DP state (h rows, choices, per-subset costs); eviction is
+// least-recently-used.
+//
+// Kernel independence: the bit-parallel and scalar
+// (-DCHORTLE_SCALAR_KERNELS=ON) builds emit byte-identical mappings,
+// so keys carry no kernel discriminant — a cached entry is valid
+// under either build and the key format is stable across the kernel
+// rewrite (DESIGN.md §11).
 //
 // Observability: hit/miss/insert/evict counters both in the instance
 // (stats(), for per-server reporting) and in the global metrics

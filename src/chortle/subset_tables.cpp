@@ -1,0 +1,58 @@
+#include "chortle/subset_tables.hpp"
+
+#include <bit>
+#include <memory>
+#include <mutex>
+
+#include "base/check.hpp"
+
+namespace chortle::core {
+namespace {
+
+std::unique_ptr<SubsetTables> build_tables(int fanin) {
+  auto tables = std::make_unique<SubsetTables>();
+  tables->fanin = fanin;
+  const std::uint32_t num_subsets = std::uint32_t{1} << fanin;
+
+  // Exact total: every subset contributes 2^(popcount(rest)) - 2 groups
+  // (all nonempty d except d = rest), clamped at 0 for singletons.
+  std::size_t total = 0;
+  for (std::uint32_t s = 1; s < num_subsets; ++s) {
+    const int rest_bits = std::popcount(s & (s - 1));
+    if (rest_bits > 0)
+      total += (std::size_t{1} << rest_bits) - 2;
+  }
+  tables->groups.reserve(total);
+  tables->group_begin.assign(static_cast<std::size_t>(num_subsets) + 1, 0);
+
+  for (std::uint32_t s = 1; s < num_subsets; ++s) {
+    tables->group_begin[s] =
+        static_cast<std::uint32_t>(tables->groups.size());
+    const std::uint32_t low = s & ~(s - 1);  // 1 << lowest_bit(s)
+    const std::uint32_t rest = s & (s - 1);
+    for (std::uint32_t d = rest; d != 0; d = (d - 1) & rest) {
+      const std::uint32_t group = d | low;
+      if (group == s) continue;  // the full subset; handled by U = 1
+      tables->groups.push_back(group);
+    }
+  }
+  tables->group_begin[num_subsets] =
+      static_cast<std::uint32_t>(tables->groups.size());
+  CHORTLE_CHECK(tables->groups.size() == total);
+  return tables;
+}
+
+}  // namespace
+
+const SubsetTables* subset_tables(int fanin) {
+  CHORTLE_REQUIRE(fanin >= 2, "subset tables need fanin >= 2");
+  if (fanin > kMaxTabulatedFanin) return nullptr;
+  // One slot per fanin, each built at most once per process; the
+  // once_flag makes concurrent first uses from pool workers safe.
+  static std::once_flag flags[kMaxTabulatedFanin + 1];
+  static std::unique_ptr<SubsetTables> slots[kMaxTabulatedFanin + 1];
+  std::call_once(flags[fanin], [fanin] { slots[fanin] = build_tables(fanin); });
+  return slots[fanin].get();
+}
+
+}  // namespace chortle::core

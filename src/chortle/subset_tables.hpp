@@ -1,0 +1,44 @@
+// Precomputed subset-enumeration tables for the tree DP, built once per
+// run per fanin and shared by every tree (thread-safe: trees are solved
+// concurrently by the pool).
+//
+// The decomposition search of solve_node visits, for every child subset
+// S with lowest element e and rest = S \ {e}, every group d ∪ {e} where
+// d ranges over the nonempty sub-subsets of rest (excluding d = rest,
+// whose group is S itself and is handled by the U = 1 pass). The
+// classic `d = (d - 1) & rest` walk re-derives this set for every
+// subset of every node of every tree; since the enumeration depends
+// only on the node's fanin, it is tabulated here once as a flat array
+// of group masks per subset — the DP inner loop becomes a linear scan
+// over contiguous memory.
+//
+// The total group count over all subsets of a fanin-f node is
+// (3^f - 1) / 2 - (2^f - 1) entries, so tables are built only up to
+// kMaxTabulatedFanin (1 MiB of masks at fanin 12); wider nodes — which
+// exist only when split_threshold is raised past its default 10 — fall
+// back to the on-the-fly walk.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace chortle::core {
+
+struct SubsetTables {
+  int fanin = 0;
+  /// Group masks of subset s: groups[group_begin[s] .. group_begin[s+1]).
+  /// Order matches the `d = (d - 1) & rest` walk (descending d), which
+  /// the DP's tie-breaking depends on.
+  std::vector<std::uint32_t> groups;
+  /// 2^fanin + 1 offsets into `groups`.
+  std::vector<std::uint32_t> group_begin;
+};
+
+/// Largest fanin with a tabulated enumeration.
+inline constexpr int kMaxTabulatedFanin = 12;
+
+/// The shared table for `fanin`, built on first use (any thread), or
+/// nullptr when fanin > kMaxTabulatedFanin.
+const SubsetTables* subset_tables(int fanin);
+
+}  // namespace chortle::core

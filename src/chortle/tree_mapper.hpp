@@ -32,9 +32,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "base/small_vector.hpp"
 #include "chortle/work_tree.hpp"
 #include "network/lut_circuit.hpp"
 
@@ -85,26 +87,49 @@ class TreeMapper {
                      bool complement_root, const std::string& root_name) const;
 
  private:
+  /// Trivial (no default initializers) so the choice arena can be
+  /// allocated uninitialized: the solve kernel writes every cell the
+  /// reconstruction can reach before any read.
   struct Choice {
-    std::uint32_t group_mask = 0;  // kind B: the intermediate group
-    std::uint8_t direct_u = 0;     // kind A: inputs given to the child
-    std::uint8_t kind = 0;         // 0 = unset, 'A' = direct, 'B' = group
+    std::uint32_t group_mask;  // kind B: the intermediate group
+    std::uint8_t direct_u;     // kind A: inputs given to the child
+    std::uint8_t kind;         // 'A' = direct, 'B' = group
   };
 
+  /// Per-node views into the DP arenas. All nodes' tables live in four
+  /// instance-wide arrays sized once up front (one allocation each for
+  /// the whole tree instead of four per node); a NodeTables is just the
+  /// fanin plus the node's base offsets.
   struct NodeTables {
     int fanin = 0;
-    // h and choices indexed by [subset * (K+1) + U].
-    std::vector<std::int32_t> h;
-    std::vector<Choice> choice;
-    // Per subset: cost of the best complete intermediate node over the
-    // subset (1 + min_U h) and the minimizing U.
-    std::vector<std::int32_t> node_cost;
-    std::vector<std::uint8_t> node_cost_u;
+    // h / choice rows at arena_h_/arena_choice_[h_off + subset*(K+1)+U].
+    std::size_t h_off = 0;
+    // node_cost at arena_h_[h_words_ + cost_off + subset] (the cost rows
+    // live after every h row in the same arena); node_cost_u at
+    // arena_cost_u_[cost_off + subset].
+    std::size_t cost_off = 0;
   };
 
   // --- DP ---
   void solve_node(int node);
+  /// The solve kernel, instantiated per K in [2, 6] so the utilization
+  /// sweeps are compile-time-bounded loops the compiler fully unrolls.
+  template <int K>
+  void solve_node_impl(int node);
   std::int32_t direct_contribution(const WorkChild& child, int u) const;
+
+  const std::int32_t* h_of(const NodeTables& t) const {
+    return arena_h_.get() + t.h_off;
+  }
+  const Choice* choice_of(const NodeTables& t) const {
+    return arena_choice_.get() + t.h_off;
+  }
+  const std::int32_t* cost_of(const NodeTables& t) const {
+    return arena_h_.get() + h_words_ + t.cost_off;
+  }
+  const std::uint8_t* cost_u_of(const NodeTables& t) const {
+    return arena_cost_u_.get() + t.cost_off;
+  }
 
   /// Search-effort tallies. Every counter is accumulated the same way:
   /// into a per-node-visit local inside solve_node, merged into the
@@ -116,23 +141,36 @@ class TreeMapper {
   struct DpCounters {
     std::uint64_t dp_cells = 0;          // h(S, U) cells computed
     std::uint64_t util_divisions = 0;    // direct u_e assignments tried
-    std::uint64_t decomp_candidates = 0; // intermediate groups tried
+    std::uint64_t decomp_candidates = 0; // intermediate groups evaluated
+    // Group evaluations saved by hoisting the decomposition scan out of
+    // the utilization sweep: each group is evaluated once and serves all
+    // K - 1 utilizations, where the pre-memoization loop re-derived it
+    // per utilization (k - 2 avoided evaluations per group).
+    std::uint64_t decomp_memo_hits = 0;
 
     void merge(const DpCounters& other) {
       dp_cells += other.dp_cells;
       util_divisions += other.util_divisions;
       decomp_candidates += other.decomp_candidates;
+      decomp_memo_hits += other.decomp_memo_hits;
     }
   };
 
   // --- reconstruction ---
-  struct Expr {
-    bool is_leaf = false;
-    net::SignalId signal = -1;  // leaf
-    bool negated = false;       // edge polarity into the parent op
-    net::GateOp op = net::GateOp::kAnd;
-    std::vector<Expr> kids;
+  /// One token of a cone program: the operand structure of a LUT cone
+  /// flattened into a postfix stream (leaves and Open/Close brackets
+  /// around merged child tables) instead of a pointer-linked expression
+  /// tree. A cone is at most a handful of tokens, so the whole program
+  /// lives in a SmallVector and reconstruction allocates nothing per
+  /// cone.
+  struct ConeTok {
+    enum Kind : std::uint8_t { kLeaf, kOpen, kClose };
+    std::uint8_t kind = kLeaf;
+    bool negated = false;               // edge polarity into the parent op
+    net::GateOp op = net::GateOp::kAnd; // kOpen: the nested combining op
+    net::SignalId signal = -1;          // kLeaf: the circuit input signal
   };
+  using ConeProgram = base::SmallVector<ConeTok, 48>;
 
   /// Everything one emit() call needs, passed by parameter through the
   /// reconstruction instead of living in long-lived members: an
@@ -141,12 +179,16 @@ class TreeMapper {
   struct EmitContext {
     net::LutCircuit& circuit;
     const std::vector<net::SignalId>& signal_of;
+    // Word-parallel truth-table operations performed while building LUT
+    // masks; flushed once per emit() call.
+    std::uint64_t kernel_ops = 0;
   };
 
   /// Appends the operands of node `node`'s root LUT restricted to child
-  /// subset `mask` at utilization `u` onto `parent.kids`.
+  /// subset `mask` at utilization `u` onto `prog` (in the cone's
+  /// left-to-right operand order).
   void walk_cone(EmitContext& ctx, int node, std::uint32_t mask, int u,
-                 Expr& parent) const;
+                 ConeProgram& prog) const;
   /// Builds and emits the LUT of `node` mapped at utilization `u`.
   net::SignalId emit_node_lut(EmitContext& ctx, int node, int u,
                               bool complemented,
@@ -155,13 +197,40 @@ class TreeMapper {
   /// child subset `mask`.
   net::SignalId emit_group_lut(EmitContext& ctx, int node,
                                std::uint32_t mask) const;
-  net::SignalId emit_expr(EmitContext& ctx, Expr expr, bool complemented,
+  /// Evaluates a cone program (top-level tokens combined under
+  /// `root_op`) into a LUT mask and adds the LUT to the circuit.
+  net::SignalId emit_cone(EmitContext& ctx, const ConeProgram& prog,
+                          net::GateOp root_op, bool complemented,
                           const std::string& name) const;
 
   WorkTree tree_;
   Options options_;
   int k_;
   std::vector<NodeTables> tables_;
+
+  // DP arenas: the h and node_cost tables (both int32) share one
+  // allocation — h rows first, then all cost rows — so a whole tree
+  // costs three allocations of tables total. Sized exactly in the
+  // constructor from the per-node fanins and never resized afterwards,
+  // so the h_of/... pointers stay valid for the mapper's lifetime and
+  // memory_bytes() is stable. Allocated *uninitialized*
+  // (make_unique_for_overwrite): the solve kernel writes every cell of
+  // each nonempty subset's rows unconditionally when that subset is
+  // visited, and no reader touches an empty-subset row (beyond the
+  // h(empty, 0) anchor), so the constructor never pays a fill pass over
+  // the tables.
+  std::unique_ptr<std::int32_t[]> arena_h_;  // [h rows][node_cost rows]
+  std::size_t h_words_ = 0;     // where the node_cost section starts
+  std::size_t cost_words_ = 0;  // node_cost / node_cost_u cell count
+  std::unique_ptr<Choice[]> arena_choice_;
+  std::unique_ptr<std::uint8_t[]> arena_cost_u_;
+
+  // Construction-only scratch: contrib[e * (K+1) + u] caches
+  // direct_contribution(child e, u) for the node being solved, so the
+  // subset loop reads a flat array instead of chasing child tables.
+  // Inline (fanin <= 20, K <= 6) so solving allocates nothing per node.
+  std::int32_t scratch_contrib_[20 * 7];
+
   DpCounters counters_;
 };
 

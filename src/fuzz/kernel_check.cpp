@@ -1,0 +1,149 @@
+#include "fuzz/kernel_check.hpp"
+
+#include <array>
+#include <cstddef>
+#include <ostream>
+#include <utility>
+
+#include "base/rng.hpp"
+#include "base/timer.hpp"
+#include "truth/packed.hpp"
+#include "truth/truth_table.hpp"
+
+namespace chortle::fuzz {
+namespace {
+
+using truth::PackedTable;
+using truth::TruthTable;
+
+/// A random (packed, scalar) pair holding identical bits, built from
+/// independent random words so every arity exercises full-width tables.
+struct Pair {
+  PackedTable packed;
+  TruthTable scalar;
+};
+
+Pair random_pair(Rng& rng, int num_vars) {
+  std::array<std::uint64_t, PackedTable::kMaxWords> words{};
+  const std::uint64_t minterms = std::uint64_t{1} << num_vars;
+  const std::size_t count = static_cast<std::size_t>((minterms + 63) / 64);
+  for (std::size_t w = 0; w < count; ++w) words[w] = rng.next_u64();
+  if (minterms < 64) words[0] &= (std::uint64_t{1} << minterms) - 1;
+  const TruthTable scalar =
+      TruthTable::from_words(words.data(), count, num_vars);
+  return Pair{PackedTable::from_truth(scalar), scalar};
+}
+
+class Checker {
+ public:
+  Checker(KernelCheckReport& report, std::ostream* log, int round)
+      : report_(report), log_(log), round_(round) {}
+
+  /// Compares a packed result against the scalar reference bit for bit
+  /// (through to_truth, which the golden-anchored emitters also use).
+  void same(const char* op, const PackedTable& got, const TruthTable& want) {
+    if (got.num_vars() == want.num_vars() && got.to_truth() == want) return;
+    fail(std::string(op) + ": packed " + got.to_truth().to_binary() +
+         " != scalar " + want.to_binary());
+  }
+
+  void equal_u64(const char* op, std::uint64_t got, std::uint64_t want) {
+    if (got == want) return;
+    fail(std::string(op) + ": packed " + std::to_string(got) +
+         " != scalar " + std::to_string(want));
+  }
+
+  void fail(std::string message) {
+    message = "round " + std::to_string(round_) + ": " + std::move(message);
+    if (log_) *log_ << "kernel_check: " << message << '\n';
+    report_.mismatches.push_back(std::move(message));
+  }
+
+ private:
+  KernelCheckReport& report_;
+  std::ostream* log_;
+  int round_;
+};
+
+void check_round(Rng& rng, Checker& check) {
+  const int num_vars =
+      static_cast<int>(rng.next_below(PackedTable::kMaxVars + 1));
+  const Pair a = random_pair(rng, num_vars);
+  const Pair b = random_pair(rng, num_vars);
+
+  // Conversions must round-trip exactly: from_truth . to_truth = id.
+  check.same("from_truth/to_truth", a.packed, a.scalar);
+  check.same("from_truth/to_truth", b.packed, b.scalar);
+
+  // Constant and projection constructors.
+  check.same("zeros", PackedTable::zeros(num_vars),
+             TruthTable::zeros(num_vars));
+  check.same("ones", PackedTable::ones(num_vars), TruthTable::ones(num_vars));
+  for (int v = 0; v < num_vars; ++v)
+    check.same("var", PackedTable::var(v, num_vars),
+               TruthTable::var(v, num_vars));
+
+  // Word-parallel logic ops against the scalar reference ops.
+  check.same("not", ~a.packed, ~a.scalar);
+  check.same("and", a.packed & b.packed, a.scalar & b.scalar);
+  check.same("or", a.packed | b.packed, a.scalar | b.scalar);
+  check.same("xor", a.packed ^ b.packed, a.scalar ^ b.scalar);
+  {
+    // Compound assignment chains the way the emitter accumulates.
+    PackedTable acc = a.packed;
+    acc &= b.packed;
+    acc |= a.packed;
+    acc ^= b.packed;
+    TruthTable ref = a.scalar;
+    ref &= b.scalar;
+    ref |= a.scalar;
+    ref ^= b.scalar;
+    check.same("compound-assign", acc, ref);
+  }
+
+  // Shannon cofactors on every input (covers both the in-word shift
+  // path, var < 6, and the whole-word swap path above).
+  for (int v = 0; v < num_vars; ++v) {
+    check.same("cofactor0", a.packed.cofactor0(v), a.scalar.cofactor0(v));
+    check.same("cofactor1", a.packed.cofactor1(v), a.scalar.cofactor1(v));
+  }
+
+  // Scalar queries and single-bit writes.
+  check.equal_u64("count_ones", a.packed.count_ones(), a.scalar.count_ones());
+  check.equal_u64("is_zero", a.packed.is_zero() ? 1 : 0,
+                  a.scalar.is_zero() ? 1 : 0);
+  {
+    PackedTable p = a.packed;
+    TruthTable s = a.scalar;
+    for (int i = 0; i < 8; ++i) {
+      const std::uint64_t minterm = rng.next_below(p.num_minterms());
+      const bool value = rng.next_bool();
+      p.set_bit(minterm, value);
+      s.set_bit(minterm, value);
+      check.equal_u64("bit", p.bit(minterm) ? 1 : 0, s.bit(minterm) ? 1 : 0);
+    }
+    check.same("set_bit", p, s);
+  }
+
+  // Equality must agree with the reference comparison.
+  check.equal_u64("equals", a.packed == b.packed ? 1 : 0,
+                  a.scalar == b.scalar ? 1 : 0);
+}
+
+}  // namespace
+
+KernelCheckReport check_kernels(int rounds, std::uint64_t seed,
+                                std::ostream* log) {
+  KernelCheckReport report;
+  WallTimer timer;
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    Checker check(report, log, round);
+    check_round(rng, check);
+    ++report.rounds_completed;
+  }
+  report.seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace chortle::fuzz

@@ -1,7 +1,6 @@
 #include "network/lut_circuit.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace chortle::net {
 
@@ -19,10 +18,13 @@ SignalId LutCircuit::add_lut(Lut lut) {
                       static_cast<int>(lut.inputs.size()),
                   "LUT truth table arity mismatch");
   const SignalId id = num_signals();
-  std::unordered_set<SignalId> seen;
-  for (SignalId s : lut.inputs) {
+  // Distinctness by pairwise scan: inputs are bounded by K, so this
+  // beats building a hash set per LUT (which dominated add_lut).
+  for (std::size_t i = 0; i < lut.inputs.size(); ++i) {
+    const SignalId s = lut.inputs[i];
     CHORTLE_REQUIRE(s >= 0 && s < id, "LUT input references unknown signal");
-    CHORTLE_REQUIRE(seen.insert(s).second, "LUT inputs must be distinct");
+    for (std::size_t j = 0; j < i; ++j)
+      CHORTLE_REQUIRE(lut.inputs[j] != s, "LUT inputs must be distinct");
   }
   if (lut.name.empty()) lut.name = "lut" + std::to_string(id);
   luts_.push_back(std::move(lut));

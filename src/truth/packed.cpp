@@ -1,0 +1,178 @@
+#include "truth/packed.hpp"
+
+#include <bit>
+
+namespace chortle::truth {
+namespace {
+
+// Magic masks: bit m of kVarMask[i] is 1 iff bit i of m is 1, for i < 6
+// (the same constants as truth_table.cpp; duplicated so the kernel unit
+// stays self-contained and header-inlinable).
+constexpr std::uint64_t kVarMask[6] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+
+}  // namespace
+
+PackedTable PackedTable::ones(int num_vars) {
+  PackedTable t(num_vars);
+  const int n = t.num_words();
+  for (int i = 0; i < n; ++i)
+    t.words_[static_cast<std::size_t>(i)] = ~std::uint64_t{0};
+  t.mask_tail();
+  return t;
+}
+
+PackedTable PackedTable::var(int var, int num_vars) {
+  CHORTLE_REQUIRE(var >= 0 && var < num_vars, "projection variable index");
+  PackedTable t(num_vars);
+  const int n = t.num_words();
+  if (var < 6) {
+    for (int i = 0; i < n; ++i)
+      t.words_[static_cast<std::size_t>(i)] = kVarMask[var];
+  } else {
+    // Whole words alternate in runs of 2^(var-6).
+    const int run = 1 << (var - 6);
+    for (int i = 0; i < n; ++i)
+      if ((i / run) & 1)
+        t.words_[static_cast<std::size_t>(i)] = ~std::uint64_t{0};
+  }
+  t.mask_tail();
+  return t;
+}
+
+PackedTable PackedTable::from_truth(const TruthTable& table) {
+  CHORTLE_REQUIRE(table.num_vars() <= kMaxVars,
+                  "truth table too wide for PackedTable");
+  PackedTable t(table.num_vars());
+  const auto& words = table.words();
+  for (std::size_t i = 0; i < words.size(); ++i) t.words_[i] = words[i];
+  return t;
+}
+
+TruthTable PackedTable::to_truth() const {
+  return TruthTable::from_words(words_.data(),
+                                static_cast<std::size_t>(num_words()),
+                                num_vars_);
+}
+
+void PackedTable::set_bit(std::uint64_t minterm, bool value) {
+  CHORTLE_CHECK(minterm < num_minterms());
+  const std::uint64_t mask = std::uint64_t{1} << (minterm & 63);
+  if (value)
+    words_[static_cast<std::size_t>(minterm >> 6)] |= mask;
+  else
+    words_[static_cast<std::size_t>(minterm >> 6)] &= ~mask;
+}
+
+bool PackedTable::is_zero() const {
+  const int n = num_words();
+  std::uint64_t acc = 0;
+  for (int i = 0; i < n; ++i) acc |= words_[static_cast<std::size_t>(i)];
+  return acc == 0;
+}
+
+std::uint64_t PackedTable::count_ones() const {
+  const int n = num_words();
+  std::uint64_t total = 0;
+  for (int i = 0; i < n; ++i)
+    total += static_cast<std::uint64_t>(
+        std::popcount(words_[static_cast<std::size_t>(i)]));
+  return total;
+}
+
+PackedTable PackedTable::cofactor0(int var) const {
+  CHORTLE_REQUIRE(var >= 0 && var < num_vars_, "variable index");
+  PackedTable t(*this);
+  const int n = num_words();
+  if (var < 6) {
+    const int shift = 1 << var;
+    for (int i = 0; i < n; ++i) {
+      auto& w = t.words_[static_cast<std::size_t>(i)];
+      const std::uint64_t lo = w & ~kVarMask[var];
+      w = lo | (lo << shift);
+    }
+  } else {
+    const int run = 1 << (var - 6);
+    for (int i = 0; i < n; ++i)
+      if ((i / run) & 1)
+        t.words_[static_cast<std::size_t>(i)] =
+            t.words_[static_cast<std::size_t>(i ^ run)];
+  }
+  return t;
+}
+
+PackedTable PackedTable::cofactor1(int var) const {
+  CHORTLE_REQUIRE(var >= 0 && var < num_vars_, "variable index");
+  PackedTable t(*this);
+  const int n = num_words();
+  if (var < 6) {
+    const int shift = 1 << var;
+    for (int i = 0; i < n; ++i) {
+      auto& w = t.words_[static_cast<std::size_t>(i)];
+      const std::uint64_t hi = w & kVarMask[var];
+      w = hi | (hi >> shift);
+    }
+  } else {
+    const int run = 1 << (var - 6);
+    for (int i = 0; i < n; ++i)
+      if (!((i / run) & 1))
+        t.words_[static_cast<std::size_t>(i)] =
+            t.words_[static_cast<std::size_t>(i ^ run)];
+  }
+  return t;
+}
+
+PackedTable PackedTable::operator~() const {
+  PackedTable t(*this);
+  const int n = num_words();
+  for (int i = 0; i < n; ++i)
+    t.words_[static_cast<std::size_t>(i)] =
+        ~t.words_[static_cast<std::size_t>(i)];
+  t.mask_tail();
+  return t;
+}
+
+PackedTable& PackedTable::operator&=(const PackedTable& other) {
+  check_same_arity(other);
+  const int n = num_words();
+  for (int i = 0; i < n; ++i)
+    words_[static_cast<std::size_t>(i)] &=
+        other.words_[static_cast<std::size_t>(i)];
+  return *this;
+}
+
+PackedTable& PackedTable::operator|=(const PackedTable& other) {
+  check_same_arity(other);
+  const int n = num_words();
+  for (int i = 0; i < n; ++i)
+    words_[static_cast<std::size_t>(i)] |=
+        other.words_[static_cast<std::size_t>(i)];
+  return *this;
+}
+
+PackedTable& PackedTable::operator^=(const PackedTable& other) {
+  check_same_arity(other);
+  const int n = num_words();
+  for (int i = 0; i < n; ++i)
+    words_[static_cast<std::size_t>(i)] ^=
+        other.words_[static_cast<std::size_t>(i)];
+  return *this;
+}
+
+bool PackedTable::operator==(const PackedTable& other) const {
+  if (num_vars_ != other.num_vars_) return false;
+  const int n = num_words();
+  for (int i = 0; i < n; ++i)
+    if (words_[static_cast<std::size_t>(i)] !=
+        other.words_[static_cast<std::size_t>(i)])
+      return false;
+  return true;
+}
+
+void PackedTable::mask_tail() {
+  if (num_vars_ < 6)
+    words_[0] &= (std::uint64_t{1} << (1 << num_vars_)) - 1;
+}
+
+}  // namespace chortle::truth

@@ -69,6 +69,16 @@ TruthTable TruthTable::from_bits(std::uint64_t bits, int num_vars) {
   return t;
 }
 
+TruthTable TruthTable::from_words(const std::uint64_t* words,
+                                  std::size_t count, int num_vars) {
+  TruthTable t(num_vars);
+  CHORTLE_REQUIRE(count >= t.words_.size(),
+                  "from_words needs a full table's worth of words");
+  for (std::size_t i = 0; i < t.words_.size(); ++i) t.words_[i] = words[i];
+  t.mask_tail();
+  return t;
+}
+
 void TruthTable::set_bit(std::uint64_t minterm, bool value) {
   CHORTLE_CHECK(minterm < num_minterms());
   const std::uint64_t mask = std::uint64_t{1} << (minterm & 63);

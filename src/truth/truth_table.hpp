@@ -30,6 +30,11 @@ class TruthTable {
   static TruthTable from_binary(const std::string& bits);
   /// Build from the low 2^num_vars bits of a word (num_vars <= 6).
   static TruthTable from_bits(std::uint64_t bits, int num_vars);
+  /// Build from raw words in the native layout (minterm 0 in the LSB of
+  /// words[0]); `count` must cover the table and high tail bits must be
+  /// zero. Word-parallel bridge from the packed kernels (packed.hpp).
+  static TruthTable from_words(const std::uint64_t* words, std::size_t count,
+                               int num_vars);
 
   int num_vars() const { return num_vars_; }
   std::uint64_t num_minterms() const { return std::uint64_t{1} << num_vars_; }

@@ -261,7 +261,11 @@ TEST(Integration, MappingABenchmarkBumpsTheDpCounters) {
   obs::Registry& registry = obs::Registry::global();
   registry.reset();
 
-  const sop::SopNetwork source = mcnc::generate("count");
+  // 9symml (rather than, say, count) because its forest has nodes of
+  // fanin > 2: decomp_candidates counts evaluated intermediate groups,
+  // and fanin-2 nodes have none (their only group is the full subset,
+  // handled by the U = 1 pass).
+  const sop::SopNetwork source = mcnc::generate("9symml");
   const opt::OptimizedDesign design = opt::optimize(source);
   core::Options options;
   options.k = 3;
@@ -272,6 +276,11 @@ TEST(Integration, MappingABenchmarkBumpsTheDpCounters) {
   EXPECT_GT(snap.counter("chortle.tree.dp_cells"), 0u);
   EXPECT_GT(snap.counter("chortle.tree.util_divisions"), 0u);
   EXPECT_GT(snap.counter("chortle.tree.decomp_candidates"), 0u);
+  // k = 3: each group evaluation serves the two utilizations of the
+  // sweep, so exactly one re-derivation per group is memoized away.
+  EXPECT_EQ(snap.counter("chortle.tree.decomp_memo_hits"),
+            snap.counter("chortle.tree.decomp_candidates"));
+  EXPECT_GT(snap.counter("chortle.emit.kernel_ops"), 0u);
   EXPECT_GT(snap.counter("chortle.trees_mapped"), 0u);
   EXPECT_GT(snap.counter("chortle.forest.trees"), 0u);
   EXPECT_EQ(snap.counter("chortle.map.networks"), 1u);

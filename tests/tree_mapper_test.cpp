@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <tuple>
+#include <utility>
 
+#include "base/cancel.hpp"
 #include "chortle/forest.hpp"
 #include "chortle/mapper.hpp"
 #include "chortle/reference.hpp"
@@ -252,6 +255,56 @@ TEST(TreeMapper, DecompositionSearchNeverHurts) {
           << "seed=" << seed << " k=" << k;
     }
   }
+}
+
+// --- cancellation inside the subset sweep ---
+
+TEST(TreeMapperCancel, ExpiredDeadlineAbortsTheSolve) {
+  const net::Network n = wide_and(16);
+  Options options;
+  options.k = 4;
+  options.split_threshold = 16;  // keep the fanin-16 node unsplit
+  WorkTree work = work_tree_of(n, options);
+  const base::CancelToken token =
+      base::CancelToken::after(std::chrono::milliseconds(0));
+  options.cancel = &token;
+  EXPECT_THROW(TreeMapper(std::move(work), options), base::Cancelled);
+}
+
+TEST(TreeMapperCancel, DeadlineExpiryIsPolledInsideTheSubsetSweep) {
+  // A fanin-16 node sweeps 2^16 subsets (evaluating ~3^16/2 groups), so
+  // a deadline a few milliseconds out is live at the node-entry check
+  // and expires mid-sweep — only the poll every 1024 subsets inside the
+  // enumeration loop can catch it. The kernel rewrite must keep that
+  // poll cadence: this test hangs-then-fails (solve runs to completion,
+  // no throw) if the in-loop poll disappears.
+  const net::Network n = wide_and(16);
+  Options options;
+  options.k = 4;
+  options.split_threshold = 16;
+  WorkTree work = work_tree_of(n, options);
+  const base::CancelToken token =
+      base::CancelToken::after(std::chrono::milliseconds(3));
+  options.cancel = &token;
+  EXPECT_THROW(TreeMapper(std::move(work), options), base::Cancelled);
+}
+
+TEST(TreeMapperCancel, UnexpiredTokenLeavesTheMappingIdentical) {
+  const net::Network n = wide_and(12);
+  Options plain;
+  plain.k = 4;
+  plain.split_threshold = 12;
+  const TreeMapper reference(work_tree_of(n, plain), plain);
+
+  Options with_token = plain;
+  const base::CancelToken token =
+      base::CancelToken::after(std::chrono::minutes(10));
+  with_token.cancel = &token;
+  const TreeMapper mapped(work_tree_of(n, with_token), with_token);
+
+  EXPECT_EQ(mapped.best_cost(), reference.best_cost());
+  for (int u = 2; u <= plain.k; ++u)
+    EXPECT_EQ(mapped.minmap_cost(0, u), reference.minmap_cost(0, u));
 }
 
 }  // namespace

@@ -6,11 +6,16 @@
 // failure is shrunk to a minimal counterexample and written into the
 // corpus directory as a replayable BLIF reproducer.
 //
-//   fuzz_mapper [--runs N] [--seed S] [--smoke] [--corpus DIR]
+//   fuzz_mapper [--runs N] [--seed S] [--smoke] [--kernels] [--corpus DIR]
 //               [--inject-miscompile [LUT,BIT]] [--no-shrink] [--quiet]
 //               [--jobs N] [--stats-out FILE] [--trace-out FILE]
 //
 //   --smoke               ~30-second CI mode: small cases, time budget
+//   --kernels             kernel-equivalence mode: cross-check the
+//                         bit-parallel truth::PackedTable ops against
+//                         the scalar truth::TruthTable reference on
+//                         randomized tables up to 10 inputs (uses
+//                         --runs/--seed; skips the network fuzz loop)
 //   --jobs N              mapper worker threads forced onto every case
 //                         (0 = auto via CHORTLE_JOBS; verdicts are
 //                         jobs-invariant — this drives the parallel
@@ -28,6 +33,7 @@
 #include <string>
 
 #include "fuzz/fuzzer.hpp"
+#include "fuzz/kernel_check.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 
@@ -36,7 +42,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: fuzz_mapper [--runs N] [--seed S] [--smoke] "
-               "[--corpus DIR] [--inject-miscompile [LUT,BIT]] "
+               "[--kernels] [--corpus DIR] "
+               "[--inject-miscompile [LUT,BIT]] "
                "[--no-shrink] [--quiet] [--jobs N] "
                "[--stats-out FILE] [--trace-out FILE]\n");
 }
@@ -70,6 +77,7 @@ int main(int argc, char** argv) {
   std::string stats_out;
   std::string trace_out;
   bool smoke = false;
+  bool kernels = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -82,6 +90,8 @@ int main(int argc, char** argv) {
       options.runs = 10000;  // the budget, not the count, ends the run
       options.time_budget_seconds = 30.0;
       options.generator.max_gates = 60;
+    } else if (arg == "--kernels") {
+      kernels = true;
     } else if (arg == "--jobs" && i + 1 < argc) {
       options.jobs = static_cast<int>(parse_number("--jobs", argv[++i]));
       if (options.jobs > 512) {
@@ -120,6 +130,28 @@ int main(int argc, char** argv) {
 
   if (trace_out.empty()) trace_out = obs::trace_path_from_env();
   if (!trace_out.empty()) obs::set_trace_enabled(true);
+
+  if (kernels) {
+    obs::RunReport run_report("fuzz_mapper_kernels");
+    run_report.set_option("runs", options.runs);
+    run_report.set_option("seed", options.seed);
+    const fuzz::KernelCheckReport report =
+        fuzz::check_kernels(options.runs, options.seed, options.log);
+    std::fprintf(stderr,
+                 "fuzz_mapper: kernels: %d rounds, %zu mismatches, %.1fs "
+                 "(seed %llu)\n",
+                 report.rounds_completed, report.mismatches.size(),
+                 report.seconds,
+                 static_cast<unsigned long long>(options.seed));
+    run_report.add_phase("kernel_check", report.seconds);
+    run_report.set_field("rounds_completed", report.rounds_completed);
+    run_report.set_field(
+        "mismatches", static_cast<std::uint64_t>(report.mismatches.size()));
+    if (!stats_out.empty() && !run_report.write_file(stats_out)) return 1;
+    if (!trace_out.empty() && !obs::write_chrome_trace_file(trace_out))
+      return 1;
+    return report.ok() ? 0 : 1;
+  }
 
   obs::RunReport run_report("fuzz_mapper");
   run_report.set_option("runs", options.runs);
