@@ -2,17 +2,26 @@
 // — the paper's Chortle is a one-shot batch tool). Starts an in-process
 // Server on a Unix socket, then drives it with C concurrent client
 // threads, each issuing R sequential requests cycling through the MCNC
-// benchmark substitutes. Reports throughput, latency percentiles, and
-// the shared DP-cache hit rate — the quantity of interest: after the
-// first pass over the benchmark set, nearly every tree DP should be a
-// cache hit, so steady-state service cost is emission only.
+// benchmark substitutes. Reports throughput, client-observed latency
+// quantiles next to the server's own STATS-reported ones (the gap
+// between the two columns is transport + framing), and the shared
+// DP-cache hit rate — the quantity of interest: after the first pass
+// over the benchmark set, nearly every tree DP should be a cache hit,
+// so steady-state service cost is emission only.
 //
 //   ext_serve [clients] [requests-per-client] [workers] [k]
+//             [--stats-out PATH] [--server-stats-out PATH]
 //
-// Defaults: 4 clients x 8 requests, 4 workers, k = 4. Run under TSan
-// (the tsan CI configuration builds bench/ too) this doubles as the
-// concurrency acceptance check: >= 4 in-flight requests, no reports.
-#include <algorithm>
+// Defaults: 4 clients x 8 requests, 4 workers, k = 4. --stats-out
+// writes a chortle-run-report/1 with the client-side histogram;
+// --server-stats-out writes the raw chortle-serve-stats/1 snapshot
+// pulled over the wire. Set CHORTLE_TRACE=PATH for a Chrome trace —
+// client and server run in one process here, so the single file
+// already holds both sides of every request, joined by trace id.
+//
+// Run under TSan (the tsan CI configuration builds bench/ too) this
+// doubles as the concurrency acceptance check: >= 4 in-flight
+// requests, no reports.
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -25,17 +34,79 @@
 
 #include "blif/blif.hpp"
 #include "mcnc/generators.hpp"
+#include "obs/histogram.hpp"
+#include "obs/report.hpp"
+#include "obs/serve_stats.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 
 using namespace chortle;
 using Clock = std::chrono::steady_clock;
 
+namespace {
+
+/// stages.request quantiles out of a chortle-serve-stats/1 document;
+/// zeros when the server reported no completed requests.
+struct ServerQuantiles {
+  double p50 = 0.0, p99 = 0.0, p999 = 0.0, max = 0.0;
+  bool present = false;
+};
+
+ServerQuantiles server_quantiles(const obs::Json& stats) {
+  ServerQuantiles q;
+  const obs::Json* stages = stats.find("stages");
+  const obs::Json* request =
+      stages != nullptr ? stages->find("request") : nullptr;
+  if (request == nullptr) return q;
+  const auto number = [&](const char* name) {
+    const obs::Json* value = request->find(name);
+    return value != nullptr && value->is_number() ? value->as_number() : 0.0;
+  };
+  q.p50 = number("p50");
+  q.p99 = number("p99");
+  q.p999 = number("p999");
+  q.max = number("max");
+  q.present = true;
+  return q;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int clients = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int requests = argc > 2 ? std::atoi(argv[2]) : 8;
-  const int workers = argc > 3 ? std::atoi(argv[3]) : 4;
-  const int k = argc > 4 ? std::atoi(argv[4]) : 4;
+  int positional[4] = {4, 8, 4, 4};  // clients, requests, workers, k
+  int npos = 0;
+  std::string stats_out;
+  std::string server_stats_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stats-out" && i + 1 < argc) {
+      stats_out = argv[++i];
+    } else if (arg == "--server-stats-out" && i + 1 < argc) {
+      server_stats_out = argv[++i];
+    } else if (npos < 4) {
+      positional[npos++] = std::atoi(arg.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "usage: ext_serve [clients] [requests-per-client] "
+                   "[workers] [k] [--stats-out PATH] "
+                   "[--server-stats-out PATH]\n");
+      return 2;
+    }
+  }
+  const int clients = positional[0];
+  const int requests = positional[1];
+  const int workers = positional[2];
+  const int k = positional[3];
+
+  const std::string trace_out = obs::trace_path_from_env();
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
+
+  obs::RunReport report("ext_serve");
+  report.set_option("clients", clients);
+  report.set_option("requests_per_client", requests);
+  report.set_option("workers", workers);
+  report.set_option("k", k);
 
   // Pre-render the benchmark BLIF once; the bench measures the service,
   // not the generators.
@@ -58,8 +129,10 @@ int main(int argc, char** argv) {
               "benchmarks\n",
               clients, requests, workers, k, blifs.size());
 
+  // Client-observed latency, recorded lock-free from every client
+  // thread; its snapshot gives the left column of the table below.
+  obs::Histogram client_latency;
   std::mutex mutex;
-  std::vector<double> latencies;  // seconds, all requests
   std::map<std::string, int> failures;
   int total_hits = 0;
   int total_misses = 0;
@@ -83,8 +156,8 @@ int main(int argc, char** argv) {
         const serve::MapResponse response = client.map(request);
         const double seconds =
             std::chrono::duration<double>(Clock::now() - t0).count();
+        client_latency.record(seconds);
         std::lock_guard<std::mutex> lock(mutex);
-        latencies.push_back(seconds);
         if (response.ok()) {
           total_hits += response.cache_hits;
           total_misses += response.cache_misses;
@@ -97,22 +170,31 @@ int main(int argc, char** argv) {
   for (std::thread& thread : threads) thread.join();
   const double wall = std::chrono::duration<double>(Clock::now() - start).count();
 
-  std::sort(latencies.begin(), latencies.end());
-  const auto percentile = [&](double p) {
-    if (latencies.empty()) return 0.0;
-    const std::size_t index = std::min(
-        latencies.size() - 1,
-        static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
-    return latencies[index];
-  };
+  // Pull the server's own view over the wire before draining — the same
+  // STATS frame chortle_client --stats uses, validated on receipt.
+  obs::Json server_stats;
+  {
+    serve::Client client = serve::Client::connect_unix(config.unix_path);
+    server_stats = client.stats();
+  }
   const core::DpCache::Stats cache = server.cache_stats();
   server.shutdown();
 
-  std::printf("requests  %zu in %.3f s  (%.1f req/s)\n", latencies.size(),
-              wall, static_cast<double>(latencies.size()) / wall);
-  std::printf("latency   p50 %.1f ms  p95 %.1f ms  max %.1f ms\n",
-              percentile(0.50) * 1e3, percentile(0.95) * 1e3,
-              (latencies.empty() ? 0.0 : latencies.back()) * 1e3);
+  const obs::Histogram::Snapshot observed = client_latency.snapshot();
+  const ServerQuantiles reported = server_quantiles(server_stats);
+
+  std::printf("requests  %llu in %.3f s  (%.1f req/s)\n",
+              static_cast<unsigned long long>(observed.count), wall,
+              static_cast<double>(observed.count) / wall);
+  std::printf("latency (ms)       p50      p99      p999     max\n");
+  std::printf("  client-observed  %-8.2f %-8.2f %-8.2f %-8.2f\n",
+              observed.p50() * 1e3, observed.p99() * 1e3,
+              observed.p999() * 1e3,
+              (observed.count > 0 ? observed.max : 0.0) * 1e3);
+  if (reported.present)
+    std::printf("  server-reported  %-8.2f %-8.2f %-8.2f %-8.2f\n",
+                reported.p50 * 1e3, reported.p99 * 1e3, reported.p999 * 1e3,
+                reported.max * 1e3);
   std::printf("dp cache  %llu hits  %llu misses  %llu evictions  "
               "%zu bytes resident  (request-side: %d hits, %d misses)\n",
               static_cast<unsigned long long>(cache.hits),
@@ -123,6 +205,31 @@ int main(int argc, char** argv) {
     std::printf("FAILURE   %s x %d\n", status.c_str(), count);
   std::printf("Expected shape: after the first pass over the benchmark set "
               "the hit rate approaches 100%% and p50 latency drops to "
-              "emission cost only.\n");
-  return failures.empty() ? 0 : 1;
+              "emission cost only; the client column exceeds the server "
+              "column by transport + framing cost.\n");
+
+  int exit_code = failures.empty() ? 0 : 1;
+  if (!stats_out.empty()) {
+    report.set_field("client_latency", obs::hdr_snapshot_to_json(observed));
+    report.set_field("throughput_rps",
+                     static_cast<double>(observed.count) / wall);
+    for (const auto& [status, count] : failures)
+      report.set_field("failures_" + status, count);
+    if (!report.write_file(stats_out)) exit_code = 1;
+  }
+  if (!server_stats_out.empty()) {
+    std::FILE* out = std::fopen(server_stats_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "ext_serve: cannot write %s\n",
+                   server_stats_out.c_str());
+      exit_code = 1;
+    } else {
+      const std::string text = server_stats.dump(2) + "\n";
+      std::fwrite(text.data(), 1, text.size(), out);
+      std::fclose(out);
+    }
+  }
+  if (!trace_out.empty() && !obs::write_chrome_trace_file(trace_out))
+    exit_code = 1;
+  return exit_code;
 }

@@ -103,16 +103,24 @@ MapResult map_network(const net::Network& network, const Options& options,
             std::make_shared<const TreeMapper>(std::move(work), options);
         return;
       }
+      // Lookup-outcome latency split (cached path only, so the uncached
+      // benchmark tables pay nothing): a hit costs canonicalize+find, a
+      // miss additionally pays the fresh DP solve. The two histograms
+      // surface in the serve-stats "stages" section as cache_hit /
+      // cache_miss.
+      WallTimer lookup_timer;
       CanonicalTree canon = canonicalize_tree(work, options);
       solved[t].leaf_ids = std::move(canon.leaf_ids);
       if (std::shared_ptr<const TreeMapper> hit = cache->find(canon.key)) {
         solved[t].mapper = std::move(hit);
         solved[t].cache_hit = true;
+        OBS_HDR_OBSERVE("map.cache_hit.seconds", lookup_timer.seconds());
         return;
       }
       solved[t].mapper = cache->insert(
           canon.key,
           std::make_shared<const TreeMapper>(std::move(canon.tree), options));
+      OBS_HDR_OBSERVE("map.cache_miss.seconds", lookup_timer.seconds());
     });
   }
   for (const SolvedTree& s : solved) {

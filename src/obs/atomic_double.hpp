@@ -1,0 +1,51 @@
+// Atomic accumulation of doubles via compare-exchange on the bit
+// pattern (std::atomic<double>::fetch_add is C++20 but not universally
+// lowered well). Shared by the metrics registry's fixed-bucket
+// histogram cells and the HDR histogram (obs/histogram.hpp); updates
+// are per-observation, not per-increment, so the CAS loop is cheap.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace chortle::obs::detail {
+
+class AtomicDouble {
+ public:
+  explicit AtomicDouble(double init)
+      : bits_(std::bit_cast<std::uint64_t>(init)) {}
+
+  double load() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void store(double value) {
+    bits_.store(std::bit_cast<std::uint64_t>(value),
+                std::memory_order_relaxed);
+  }
+  void add(double delta) { update([delta](double v) { return v + delta; }); }
+  void min_with(double value) {
+    update([value](double v) { return value < v ? value : v; });
+  }
+  void max_with(double value) {
+    update([value](double v) { return value > v ? value : v; });
+  }
+
+ private:
+  template <typename Fn>
+  void update(Fn fn) {
+    std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+    while (true) {
+      const std::uint64_t desired =
+          std::bit_cast<std::uint64_t>(fn(std::bit_cast<double>(expected)));
+      if (desired == expected) return;
+      if (bits_.compare_exchange_weak(expected, desired,
+                                      std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  std::atomic<std::uint64_t> bits_;
+};
+
+}  // namespace chortle::obs::detail

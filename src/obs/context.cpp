@@ -1,0 +1,69 @@
+#include "obs/context.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include <unistd.h>
+
+namespace chortle::obs {
+namespace {
+
+/// SplitMix64 step: decorrelates the (clock, pid, counter) seed so two
+/// processes started in the same tick still draw unrelated ids.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t next_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^
+      counter.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t id = mix(mix(seed));
+  // 0 is reserved for "no context".
+  return id == 0 ? 1 : id;
+}
+
+}  // namespace
+
+RequestContext RequestContext::generate() {
+  return RequestContext{next_id(), next_id()};
+}
+
+RequestContext RequestContext::child() const {
+  return RequestContext{trace_id, next_id()};
+}
+
+std::string RequestContext::trace_hex() const { return hex_id(trace_id); }
+std::string RequestContext::span_hex() const { return hex_id(span_id); }
+
+std::string hex_id(std::uint64_t id) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_hex_id(std::string_view text) {
+  if (text.size() != 16) return std::nullopt;
+  std::uint64_t id = 0;
+  for (const char c : text) {
+    id <<= 4;
+    if (c >= '0' && c <= '9') id |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      id |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else
+      return std::nullopt;
+  }
+  return id;
+}
+
+}  // namespace chortle::obs

@@ -1,0 +1,39 @@
+// Request-scoped trace context: a 64-bit trace id naming one
+// end-to-end request, plus a span id naming the sender's hop. The
+// client generates (or the caller supplies) the pair, sends it in the
+// CSv1 request header, and the server stamps every stage span with it —
+// so the client's and server's Chrome traces line up on the shared
+// trace id even when the two sides wrote separate files.
+//
+// Ids are random 64-bit values (never 0; 0 means "no context"), hex
+// encoded on the wire ("0011223344556677") to stay exact in JSON.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace chortle::obs {
+
+struct RequestContext {
+  std::uint64_t trace_id = 0;  // 0 = no context attached
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+
+  /// Fresh random context: process-unique, thread-safe.
+  static RequestContext generate();
+  /// A child hop of this context: same trace id, fresh span id.
+  RequestContext child() const;
+
+  std::string trace_hex() const;
+  std::string span_hex() const;
+};
+
+/// 16 lowercase hex digits; anything else is nullopt (the protocol
+/// layer turns that into an InvalidInput with the field name).
+std::optional<std::uint64_t> parse_hex_id(std::string_view text);
+std::string hex_id(std::uint64_t id);
+
+}  // namespace chortle::obs

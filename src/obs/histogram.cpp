@@ -1,0 +1,124 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.hpp"
+
+namespace chortle::obs {
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;  // zero, negative, NaN: underflow bucket
+  // +infinity: frexp's result is unspecified, so route it to the
+  // open-ended top bucket explicitly instead of computing an index
+  // from garbage.
+  if (std::isinf(value)) return kNumBuckets - 1;
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = m * 2^exp
+  const int octave = exp - 1;                       // floor(log2(value))
+  if (octave < kMinExp) return 0;
+  if (octave > kMaxExp) return kNumBuckets - 1;
+  // mantissa in [0.5, 1): 2m - 1 is exact (both operations are exact in
+  // binary floating point), so boundary values index exactly.
+  const int sub = static_cast<int>((2.0 * mantissa - 1.0) * kSubBuckets);
+  return 1 +
+         static_cast<std::size_t>(octave - kMinExp) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double Histogram::bucket_lower(std::size_t index) {
+  CHORTLE_CHECK(index < kNumBuckets);
+  if (index == 0) return 0.0;
+  const std::size_t linear = index - 1;
+  const int octave = kMinExp + static_cast<int>(linear / kSubBuckets);
+  const int sub = static_cast<int>(linear % kSubBuckets);
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, octave);
+}
+
+double Histogram::bucket_upper(std::size_t index) {
+  CHORTLE_CHECK(index < kNumBuckets);
+  if (index == kNumBuckets - 1)
+    return std::numeric_limits<double>::infinity();
+  return bucket_lower(index + 1);
+}
+
+void Histogram::record(double value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.add(value);
+  min_.min_with(value);
+  max_.max_with(value);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  if (out.count == 0) return out;
+  out.buckets.resize(kNumBuckets);
+  for (std::size_t i = 0; i < kNumBuckets; ++i)
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  out.sum = sum_.load();
+  out.min = min_.load();
+  out.max = max_.load();
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0);
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  CHORTLE_CHECK(buckets.size() == kNumBuckets &&
+                other.buckets.size() == kNumBuckets);
+  for (std::size_t i = 0; i < kNumBuckets; ++i)
+    buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+Histogram::Snapshot Histogram::Snapshot::since(const Snapshot& earlier) const {
+  Snapshot delta = *this;
+  if (delta.count == 0 || earlier.count == 0) return delta;
+  for (std::size_t i = 0; i < kNumBuckets; ++i)
+    delta.buckets[i] -= std::min(delta.buckets[i], earlier.buckets[i]);
+  delta.count -= std::min(delta.count, earlier.count);
+  delta.sum -= earlier.sum;
+  if (delta.count == 0) delta = Snapshot{};
+  return delta;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based: the smallest recorded value is
+  // quantile 0, the largest quantile 1.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Midpoint of the bucket, clamped to the observed range so a
+      // single-value histogram answers that exact value and the top
+      // (unbounded) bucket answers max.
+      const double lower = bucket_lower(i);
+      const double upper = bucket_upper(i);
+      const double mid = std::isinf(upper) ? max : 0.5 * (lower + upper);
+      return std::clamp(mid, min, max);
+    }
+  }
+  return max;
+}
+
+}  // namespace chortle::obs

@@ -1,0 +1,101 @@
+// HDR-style latency histogram: log-linear buckets (32 linear
+// sub-buckets per power-of-two octave, <= ~3.1% relative bucket width)
+// covering roughly 1 ns .. 128 s, so one fixed layout serves every
+// latency the mapping service can produce — a cache-hit emission in
+// microseconds and a deadline-bounded solve in seconds land in buckets
+// of equal *relative* resolution.
+//
+// record() is lock-free: one exponent extraction plus relaxed atomic
+// adds, safe on any thread and cheap enough to sit on the request path.
+// snapshot() copies the bucket array into a Snapshot, and Snapshots
+// merge associatively (same fixed layout everywhere), so per-worker,
+// per-server, or client-vs-server data can be combined and then asked
+// for p50/p90/p99/p999 — the numbers the async-serving roadmap item is
+// judged against.
+//
+// The registry (obs/metrics.hpp) can own one of these per name via
+// Registry::hdr(); the run report and the chortle-serve-stats/1
+// snapshot serialize them with precomputed quantiles.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/atomic_double.hpp"
+
+namespace chortle::obs {
+
+class Histogram {
+ public:
+  /// 2^kSubBucketBits linear sub-buckets per octave: relative bucket
+  /// width 1/32, so any quantile read off the histogram is within
+  /// ~3.1% of the exact sample quantile.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  /// Octave range: values below 2^kMinExp (~0.93 ns) fall into the
+  /// underflow bucket 0; values at or above 2^(kMaxExp+1) (128 s) fall
+  /// into the top bucket.
+  static constexpr int kMinExp = -30;
+  static constexpr int kMaxExp = 6;
+  static constexpr std::size_t kNumBuckets =
+      std::size_t{kMaxExp - kMinExp + 1} * kSubBuckets + 1;
+
+  /// Mergeable point-in-time copy of a histogram. Plain data: tests
+  /// build them directly, MetricsSnapshot stores them by name.
+  struct Snapshot {
+    std::vector<std::uint64_t> buckets;  // empty (== all-zero) or kNumBuckets
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // meaningful when count > 0
+    double max = 0.0;
+
+    /// Element-wise sum; associative and commutative.
+    void merge(const Snapshot& other);
+    /// Bucket-wise clamped difference (counts since `earlier`); min/max
+    /// cannot be diffed and keep this snapshot's values.
+    Snapshot since(const Snapshot& earlier) const;
+
+    /// Quantile estimate for q in [0, 1]: the midpoint of the bucket
+    /// holding the ceil(q * count)-th smallest recorded value, clamped
+    /// to the recorded [min, max]. 0 when empty.
+    double quantile(double q) const;
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
+    double p999() const { return quantile(0.999); }
+  };
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one value (seconds). Negative and NaN values clamp into
+  /// the underflow bucket. Lock-free.
+  void record(double value);
+
+  Snapshot snapshot() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Zeroes all buckets (test isolation; not atomic w.r.t. recorders).
+  void reset();
+
+  /// Bucket index for a value — exact bucket boundaries are dyadic
+  /// rationals, so boundary values land in the bucket they open
+  /// (tests/histogram_test.cpp pins this down).
+  static std::size_t bucket_index(double value);
+  /// Inclusive lower bound of bucket i (0 for the underflow bucket).
+  static double bucket_lower(std::size_t index);
+  /// Exclusive upper bound of bucket i (+inf for the top bucket).
+  static double bucket_upper(std::size_t index);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  detail::AtomicDouble sum_{0.0};
+  detail::AtomicDouble min_{std::numeric_limits<double>::infinity()};
+  detail::AtomicDouble max_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace chortle::obs

@@ -2,63 +2,29 @@
 
 #include <algorithm>
 #include <atomic>
-#include <bit>
 #include <deque>
 #include <limits>
 #include <memory>
 #include <mutex>
 
 #include "base/check.hpp"
+#include "obs/atomic_double.hpp"
 
 namespace chortle::obs {
 namespace {
 
-enum class Kind { kCounter, kGauge, kHistogram };
+using detail::AtomicDouble;
+
+enum class Kind { kCounter, kGauge, kHistogram, kHdr };
 
 struct Descriptor {
   std::string name;
   Kind kind = Kind::kCounter;
-  std::vector<double> bounds;  // histograms only
+  std::vector<double> bounds;  // fixed-bucket histograms only
   std::atomic<std::int64_t> gauge{0};
-};
-
-/// Atomic accumulation of doubles via compare-exchange on the bit
-/// pattern (std::atomic<double>::fetch_add is C++20 but not universally
-/// lowered well; updates here are per-observation, not per-increment).
-class AtomicDouble {
- public:
-  explicit AtomicDouble(double init) : bits_(std::bit_cast<std::uint64_t>(init)) {}
-
-  double load() const {
-    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
-  }
-  void store(double value) {
-    bits_.store(std::bit_cast<std::uint64_t>(value),
-                std::memory_order_relaxed);
-  }
-  void add(double delta) { update([delta](double v) { return v + delta; }); }
-  void min_with(double value) {
-    update([value](double v) { return value < v ? value : v; });
-  }
-  void max_with(double value) {
-    update([value](double v) { return value > v ? value : v; });
-  }
-
- private:
-  template <typename Fn>
-  void update(Fn fn) {
-    std::uint64_t expected = bits_.load(std::memory_order_relaxed);
-    while (true) {
-      const std::uint64_t desired =
-          std::bit_cast<std::uint64_t>(fn(std::bit_cast<double>(expected)));
-      if (desired == expected) return;
-      if (bits_.compare_exchange_weak(expected, desired,
-                                      std::memory_order_relaxed))
-        return;
-    }
-  }
-
-  std::atomic<std::uint64_t> bits_;
+  /// HDR histograms are shared (record() is already lock-free), so the
+  /// descriptor owns the single instance; thread cells cache a pointer.
+  std::unique_ptr<Histogram> hdr;
 };
 
 struct HistCell {
@@ -80,7 +46,8 @@ struct HistCell {
 
 struct Cell {
   std::atomic<std::uint64_t> count{0};
-  std::unique_ptr<HistCell> hist;  // histograms only
+  std::unique_ptr<HistCell> hist;  // fixed-bucket histograms only
+  Histogram* hdr = nullptr;        // HDR: points at the descriptor's
 };
 
 /// One thread's private cells. Owned jointly by the thread (fast,
@@ -124,6 +91,7 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.gauges) gauges[name] = value;
   for (const auto& [name, hist] : other.histograms)
     histograms[name].merge(hist);
+  for (const auto& [name, snap] : other.hdr) hdr[name].merge(snap);
 }
 
 MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot& earlier) const {
@@ -144,6 +112,11 @@ MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot& earlier) const {
       d.sum -= base.sum;
     }
     delta.histograms[name] = std::move(d);
+  }
+  for (const auto& [name, snap] : hdr) {
+    const auto it = earlier.hdr.find(name);
+    delta.hdr[name] =
+        it == earlier.hdr.end() ? snap : snap.since(it->second);
   }
   return delta;
 }
@@ -186,6 +159,8 @@ struct Registry::Impl {
       Cell& cell = tc.cells.emplace_back();
       if (d.kind == Kind::kHistogram)
         cell.hist = std::make_unique<HistCell>(d.bounds);
+      else if (d.kind == Kind::kHdr)
+        cell.hdr = d.hdr.get();
     }
     tc.size.store(tc.cells.size(), std::memory_order_release);
     return tc.cells[want];
@@ -208,6 +183,7 @@ struct Registry::Impl {
     d.name = std::string(name);
     d.kind = kind;
     d.bounds = std::move(bounds);
+    if (kind == Kind::kHdr) d.hdr = std::make_unique<Histogram>();
     by_name.emplace(d.name, id);
     return id;
   }
@@ -236,6 +212,10 @@ MetricId Registry::histogram(std::string_view name,
   return impl_->intern(name, Kind::kHistogram, std::move(bounds));
 }
 
+MetricId Registry::hdr(std::string_view name) {
+  return impl_->intern(name, Kind::kHdr, {});
+}
+
 std::vector<double> Registry::latency_bounds() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
 }
@@ -256,6 +236,10 @@ void Registry::set_gauge(MetricId id, std::int64_t value) {
 void Registry::observe(MetricId id, double value) {
   ThreadCells& tc = impl_->local();
   Cell& cell = impl_->ensure(tc, id);
+  if (cell.hdr != nullptr) {
+    cell.hdr->record(value);
+    return;
+  }
   CHORTLE_REQUIRE(cell.hist != nullptr, "observe() on a non-histogram");
   HistCell& h = *cell.hist;
   const std::size_t bucket = static_cast<std::size_t>(
@@ -284,6 +268,7 @@ MetricsSnapshot Registry::snapshot() const {
         h.buckets.assign(d.bounds.size() + 1, 0);
         break;
       }
+      case Kind::kHdr: out.hdr[d.name] = d.hdr->snapshot(); break;
     }
   }
   for (const auto& tc : impl_->threads) {
@@ -316,8 +301,10 @@ MetricsSnapshot Registry::snapshot() const {
 
 void Registry::reset() {
   const std::lock_guard<std::mutex> lock(impl_->mu);
-  for (Descriptor& d : impl_->metrics)
+  for (Descriptor& d : impl_->metrics) {
     d.gauge.store(0, std::memory_order_relaxed);
+    if (d.hdr != nullptr) d.hdr->reset();
+  }
   for (const auto& tc : impl_->threads) {
     const std::lock_guard<std::mutex> thread_lock(tc->mu);
     for (Cell& cell : tc->cells) {

@@ -17,6 +17,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace chortle::obs {
 
 #if defined(CHORTLE_OBS_DISABLED)
@@ -44,6 +46,10 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// HDR latency histograms (obs/histogram.hpp), keyed like the rest.
+  /// std::map keeps every section sorted by name, so serialized
+  /// snapshots are deterministic and diffable run-to-run.
+  std::map<std::string, Histogram::Snapshot> hdr;
 
   /// Counter value, 0 when the name was never registered.
   std::uint64_t counter(const std::string& name) const;
@@ -69,12 +75,17 @@ class Registry {
   MetricId counter(std::string_view name);
   MetricId gauge(std::string_view name);
   MetricId histogram(std::string_view name, std::vector<double> bounds);
+  /// HDR log-linear latency histogram (obs/histogram.hpp): fixed
+  /// layout, percentile extraction, one shared lock-free instance per
+  /// name (no per-thread cells; record() is already uncontended enough).
+  MetricId hdr(std::string_view name);
 
   /// Power-of-ten latency bounds in seconds, 1us .. 100s.
   static std::vector<double> latency_bounds();
 
   void add(MetricId id, std::uint64_t delta = 1);
   void set_gauge(MetricId id, std::int64_t value);
+  /// Records into a fixed-bucket or HDR histogram id.
   void observe(MetricId id, double value);
 
   MetricsSnapshot snapshot() const;
@@ -99,6 +110,18 @@ class Registry {
           ::chortle::obs::Registry::global().counter(name);          \
       ::chortle::obs::Registry::global().add(                        \
           obs_count_id, static_cast<std::uint64_t>(delta));          \
+    }                                                                \
+  } while (0)
+
+// Records `seconds` into the named process-wide HDR latency histogram.
+// The id is resolved once per call site; the record is lock-free.
+#define OBS_HDR_OBSERVE(name, seconds)                               \
+  do {                                                               \
+    if constexpr (::chortle::obs::kObsEnabled) {                     \
+      static const ::chortle::obs::MetricId obs_hdr_id =             \
+          ::chortle::obs::Registry::global().hdr(name);              \
+      ::chortle::obs::Registry::global().observe(                    \
+          obs_hdr_id, static_cast<double>(seconds));                 \
     }                                                                \
   } while (0)
 

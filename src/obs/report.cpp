@@ -1,7 +1,9 @@
 #include "obs/report.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
+#include <vector>
 
 #include "base/logging.hpp"
 
@@ -56,8 +58,14 @@ Json RunReport::to_json() const {
   doc.set("schema", kRunReportSchema);
   doc.set("tool", tool_);
   doc.set("options", options_);
+  // Phases are accumulated in first-touch order, which under the thread
+  // pool (or concurrent server workers) is nondeterministic; sort by
+  // name so report diffs and CI artifact comparisons are stable.
+  std::vector<std::pair<std::string, double>> sorted_phases = phases_;
+  std::sort(sorted_phases.begin(), sorted_phases.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   Json phases = Json::object();
-  for (const auto& [name, seconds] : phases_) phases.set(name, seconds);
+  for (const auto& [name, seconds] : sorted_phases) phases.set(name, seconds);
   doc.set("phases", std::move(phases));
   const MetricsSnapshot snapshot =
       metrics_captured_ ? metrics_ : Registry::global().snapshot();
@@ -65,6 +73,7 @@ Json RunReport::to_json() const {
   doc.set("counters", *metrics.find("counters"));
   doc.set("gauges", *metrics.find("gauges"));
   doc.set("histograms", *metrics.find("histograms"));
+  doc.set("hdr", *metrics.find("hdr"));
   if (!benchmarks_.as_array().empty()) doc.set("benchmarks", benchmarks_);
   for (const auto& [name, value] : extras_.as_object())
     doc.set(name, value);
@@ -114,11 +123,41 @@ Json snapshot_to_json(const MetricsSnapshot& snapshot) {
     h.set("buckets", std::move(buckets));
     histograms.set(name, std::move(h));
   }
+  Json hdr = Json::object();
+  for (const auto& [name, snap] : snapshot.hdr)
+    hdr.set(name, hdr_snapshot_to_json(snap));
   Json out = Json::object();
   out.set("counters", std::move(counters));
   out.set("gauges", std::move(gauges));
   out.set("histograms", std::move(histograms));
+  out.set("hdr", std::move(hdr));
   return out;
+}
+
+Json hdr_snapshot_to_json(const Histogram::Snapshot& snap) {
+  Json h = Json::object();
+  h.set("count", snap.count);
+  h.set("sum", snap.sum);
+  if (snap.count > 0) {
+    h.set("min", snap.min);
+    h.set("max", snap.max);
+    h.set("p50", snap.p50());
+    h.set("p90", snap.p90());
+    h.set("p99", snap.p99());
+    h.set("p999", snap.p999());
+  }
+  // Only occupied buckets: the fixed layout has ~1200 of them and a
+  // latency distribution touches a handful.
+  Json buckets = Json::array();
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (snap.buckets[i] == 0) continue;
+    Json bucket = Json::object();
+    bucket.set("lo", Histogram::bucket_lower(i));
+    bucket.set("count", snap.buckets[i]);
+    buckets.push_back(std::move(bucket));
+  }
+  h.set("buckets", std::move(buckets));
+  return h;
 }
 
 long peak_rss_kb() {

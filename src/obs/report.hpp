@@ -57,9 +57,16 @@ class RunReport {
   bool metrics_captured_ = false;
 };
 
-/// {"counters":{...},"gauges":{...},"histograms":{...}} with histogram
-/// buckets as [{"le":bound,"count":n},...] (last bucket "le":null).
+/// {"counters":{...},"gauges":{...},"histograms":{...},"hdr":{...}}
+/// with fixed histogram buckets as [{"le":bound,"count":n},...] (last
+/// bucket "le":null). Every section is sorted by metric name.
 Json snapshot_to_json(const MetricsSnapshot& snapshot);
+
+/// One HDR histogram as {"count","sum","min","max","p50","p90","p99",
+/// "p999","buckets":[{"lo":bound,"count":n},...]} — only occupied
+/// buckets are listed; quantiles are precomputed so consumers (the
+/// stats endpoint, bench harnesses) need no bucket math.
+Json hdr_snapshot_to_json(const Histogram::Snapshot& snap);
 
 /// Process peak resident set size in kilobytes (0 when unavailable).
 long peak_rss_kb();

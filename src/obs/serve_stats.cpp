@@ -1,0 +1,123 @@
+#include "obs/serve_stats.hpp"
+
+namespace chortle::obs {
+namespace {
+
+class Checker {
+ public:
+  std::vector<std::string> problems;
+
+  void problem(const std::string& what) { problems.push_back(what); }
+
+  /// Returns the named field when present and an object, else reports.
+  const Json* require_object(const Json& doc, const char* name) {
+    const Json* field = doc.find(name);
+    if (field == nullptr) {
+      problem(std::string("missing '") + name + "'");
+      return nullptr;
+    }
+    if (!field->is_object()) {
+      problem(std::string("'") + name + "' is not an object");
+      return nullptr;
+    }
+    return field;
+  }
+
+  void require_non_negative(const Json& object, const char* field,
+                            const std::string& at) {
+    const Json* value = object.find(field);
+    if (value == nullptr || !value->is_number() || value->as_number() < 0.0)
+      problem(at + "." + field + " is not a non-negative number");
+  }
+
+  /// Quantiles must exist, be non-negative, and be monotone
+  /// (p50 <= p90 <= p99 <= p999) whenever the stage saw any samples.
+  void check_stage(const std::string& name, const Json& stage) {
+    const std::string at = "stages." + name;
+    if (!stage.is_object()) {
+      problem(at + " is not an object");
+      return;
+    }
+    require_non_negative(stage, "count", at);
+    require_non_negative(stage, "sum", at);
+    const Json* count = stage.find("count");
+    if (count == nullptr || !count->is_number() || count->as_number() <= 0.0)
+      return;  // empty stage: quantiles are legitimately absent
+    double previous = 0.0;
+    for (const char* q : {"p50", "p90", "p99", "p999"}) {
+      const Json* value = stage.find(q);
+      if (value == nullptr || !value->is_number() ||
+          value->as_number() < 0.0) {
+        problem(at + "." + q + " is not a non-negative number");
+        return;
+      }
+      if (value->as_number() + 1e-12 < previous) {
+        problem(at + " quantiles are not monotone at " + q);
+        return;
+      }
+      previous = value->as_number();
+    }
+    const Json* buckets = stage.find("buckets");
+    if (buckets == nullptr || !buckets->is_array()) {
+      problem(at + ".buckets is not an array");
+      return;
+    }
+    for (const Json& bucket : buckets->as_array()) {
+      if (!bucket.is_object()) {
+        problem(at + ".buckets has a non-object entry");
+        return;
+      }
+      require_non_negative(bucket, "lo", at + ".buckets[]");
+      require_non_negative(bucket, "count", at + ".buckets[]");
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> validate_serve_stats(const Json& doc) {
+  Checker check;
+  if (!doc.is_object()) {
+    check.problem("document is not a JSON object");
+    return check.problems;
+  }
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kServeStatsSchema)
+    check.problem(std::string("schema is not \"") + kServeStatsSchema + "\"");
+
+  const Json* uptime = doc.find("uptime_seconds");
+  if (uptime == nullptr || !uptime->is_number() || uptime->as_number() < 0.0)
+    check.problem("missing/negative 'uptime_seconds'");
+  for (const char* field : {"in_flight", "queue_depth", "queue_high_water"})
+    check.require_non_negative(doc, field, "top-level");
+
+  if (const Json* config = check.require_object(doc, "config"))
+    for (const char* field :
+         {"workers", "queue_capacity", "map_jobs", "cache_bytes"})
+      check.require_non_negative(*config, field, "config");
+
+  if (const Json* requests = check.require_object(doc, "requests"))
+    for (const char* field :
+         {"accepted", "served", "ok", "rejected_busy", "deadline_errors",
+          "invalid_requests", "internal_errors", "stats_requests"})
+      check.require_non_negative(*requests, field, "requests");
+
+  if (const Json* cache = check.require_object(doc, "dp_cache")) {
+    for (const char* field : {"hits", "misses", "insertions", "evictions",
+                              "entries", "bytes"})
+      check.require_non_negative(*cache, field, "dp_cache");
+    const Json* rate = cache->find("hit_rate");
+    if (rate == nullptr || !rate->is_number() || rate->as_number() < 0.0 ||
+        rate->as_number() > 1.0)
+      check.problem("dp_cache.hit_rate is not in [0, 1]");
+  }
+
+  if (const Json* stages = check.require_object(doc, "stages"))
+    for (const auto& [name, stage] : stages->as_object())
+      check.check_stage(name, stage);
+
+  return check.problems;
+}
+
+}  // namespace chortle::obs

@@ -20,6 +20,7 @@ struct TraceEvent {
   std::uint64_t ts_micros = 0;
   std::uint64_t dur_micros = 0;
   std::int64_t arg = detail::kNoArg;
+  RequestContext context;  // trace_id == 0: no context stamped
 };
 
 /// One thread's event buffer. `mu` serializes the owner's appends with
@@ -110,7 +111,8 @@ void clear_trace() {
 namespace detail {
 
 void record_complete_event(std::string name, std::uint64_t begin_micros,
-                           std::uint64_t end_micros, std::int64_t arg) {
+                           std::uint64_t end_micros, std::int64_t arg,
+                           RequestContext context) {
   ThreadBuffer& buffer = collector().local();
   const std::lock_guard<std::mutex> lock(buffer.mu);
   if (buffer.events.size() >= kMaxEventsPerThread) {
@@ -119,10 +121,19 @@ void record_complete_event(std::string name, std::uint64_t begin_micros,
   }
   buffer.events.push_back(TraceEvent{
       std::move(name), begin_micros,
-      end_micros >= begin_micros ? end_micros - begin_micros : 0, arg});
+      end_micros >= begin_micros ? end_micros - begin_micros : 0, arg,
+      context});
 }
 
 }  // namespace detail
+
+void record_span(std::string name, std::uint64_t begin_micros,
+                 std::uint64_t end_micros, RequestContext context,
+                 std::int64_t arg) {
+  if (!kObsEnabled || !trace_enabled()) return;
+  detail::record_complete_event(std::move(name), begin_micros, end_micros,
+                                arg, context);
+}
 
 void write_chrome_trace(std::ostream& out) {
   (void)g_timebase_initialized;
@@ -146,8 +157,18 @@ void write_chrome_trace(std::ostream& out) {
       out << ",\"cat\":\"chortle\",\"ph\":\"X\",\"pid\":1,\"tid\":"
           << buffer->tid << ",\"ts\":" << event.ts_micros
           << ",\"dur\":" << event.dur_micros;
-      if (event.arg != detail::kNoArg)
-        out << ",\"args\":{\"v\":" << event.arg << "}";
+      const bool has_arg = event.arg != detail::kNoArg;
+      const bool has_context = event.context.valid();
+      if (has_arg || has_context) {
+        out << ",\"args\":{";
+        if (has_arg) out << "\"v\":" << event.arg;
+        if (has_context) {
+          if (has_arg) out << ",";
+          out << "\"trace\":\"" << event.context.trace_hex()
+              << "\",\"span\":\"" << event.context.span_hex() << "\"";
+        }
+        out << "}";
+      }
       out << "}";
     }
   }

@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"  // kObsEnabled
 
 namespace chortle::obs {
@@ -42,12 +43,24 @@ std::string trace_path_from_env();
 namespace detail {
 constexpr std::int64_t kNoArg = INT64_MIN;
 void record_complete_event(std::string name, std::uint64_t begin_micros,
-                           std::uint64_t end_micros, std::int64_t arg);
+                           std::uint64_t end_micros, std::int64_t arg,
+                           RequestContext context = {});
 }  // namespace detail
+
+/// Records one complete event with explicit begin/end timestamps,
+/// stamped with `context`. For stages whose boundaries are not a C++
+/// scope — e.g. the server's queue wait, which begins at accept() and
+/// ends when a worker picks the connection up. No-op unless tracing is
+/// enabled.
+void record_span(std::string name, std::uint64_t begin_micros,
+                 std::uint64_t end_micros, RequestContext context = {},
+                 std::int64_t arg = detail::kNoArg);
 
 /// RAII span: records [construction, destruction) as one event when
 /// tracing was enabled at construction. The optional integer arg lands
-/// in the event's "args":{"v":...} (use it for sizes/counts).
+/// in the event's "args":{"v":...} (use it for sizes/counts); a
+/// RequestContext lands in "args":{"trace":...,"span":...} so events
+/// from both sides of a request join up on the trace id.
 class TraceSpan {
  public:
   explicit TraceSpan(std::string name,
@@ -59,10 +72,15 @@ class TraceSpan {
       begin_ = trace_now_micros();
     }
   }
+  TraceSpan(std::string name, RequestContext context,
+            std::int64_t arg = detail::kNoArg)
+      : TraceSpan(std::move(name), arg) {
+    context_ = context;
+  }
   ~TraceSpan() {
     if (active_)
       detail::record_complete_event(std::move(name_), begin_,
-                                    trace_now_micros(), arg_);
+                                    trace_now_micros(), arg_, context_);
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -71,12 +89,18 @@ class TraceSpan {
   void set_arg(std::int64_t arg) {
     if (active_) arg_ = arg;
   }
+  /// Attach the request context once known (a request frame's context
+  /// is only decoded partway through the read span).
+  void set_context(RequestContext context) {
+    if (active_) context_ = context;
+  }
 
  private:
   bool active_ = false;
   std::string name_;
   std::uint64_t begin_ = 0;
   std::int64_t arg_ = detail::kNoArg;
+  RequestContext context_;
 };
 
 }  // namespace chortle::obs

@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace chortle::serve {
 namespace {
 
@@ -81,9 +83,14 @@ Client& Client::operator=(Client&& other) noexcept {
 }
 
 MapResponse Client::map(const MapRequest& request) {
+  MapRequest outgoing = request;
+  outgoing.proto = kProtocolVersion;
+  if (!outgoing.context.valid())
+    outgoing.context = obs::RequestContext::generate();
+  obs::TraceSpan span("client.map", outgoing.context);
   std::optional<Frame> frame;
   try {
-    write_frame(fd_, encode_request_header(request), request.blif);
+    write_frame(fd_, encode_request_header(outgoing), outgoing.blif);
   } catch (const std::exception&) {
     // The server may reject-and-close before reading our request (busy
     // backpressure): the write fails with EPIPE, but the rejection
@@ -96,6 +103,14 @@ MapResponse Client::map(const MapRequest& request) {
   if (!frame.has_value())
     throw std::runtime_error("server closed the connection before replying");
   return parse_map_response(*frame);
+}
+
+obs::Json Client::stats() {
+  write_frame(fd_, encode_stats_request_header(), "");
+  const std::optional<Frame> frame = read_frame(fd_);
+  if (!frame.has_value())
+    throw std::runtime_error("server closed the connection before replying");
+  return parse_stats_response(*frame);
 }
 
 }  // namespace chortle::serve

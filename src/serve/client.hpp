@@ -29,8 +29,15 @@ class Client {
   /// Sends one mapping request (request.blif is the payload) and blocks
   /// for the response. A non-"ok" status is returned, not thrown;
   /// throws only on transport errors (connection lost, malformed
-  /// response frame).
+  /// response frame). Always advertises kProtocolVersion and attaches a
+  /// trace context (the request's own, or a freshly generated one), so
+  /// client-side "client.map" spans and the server's per-stage spans
+  /// share a trace id; against a v1 server the extra fields are ignored.
   MapResponse map(const MapRequest& request);
+
+  /// Fetches a live chortle-serve-stats/1 snapshot over this
+  /// connection. Throws on transport errors or an invalid document.
+  obs::Json stats();
 
  private:
   explicit Client(int fd) : fd_(fd) {}

@@ -6,8 +6,10 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "base/check.hpp"
+#include "obs/serve_stats.hpp"
 
 namespace chortle::serve {
 namespace {
@@ -96,6 +98,24 @@ void require_type(const obs::Json& header, const char* want) {
   if (type != want)
     throw InvalidInput("frame: expected type \"" + std::string(want) +
                        "\", got \"" + type + "\"");
+}
+
+/// Reads an optional 16-hex-digit trace/span id; 0 when absent. Present
+/// but malformed is a hard error so a peer cannot smuggle garbage into
+/// trace files.
+std::uint64_t get_hex_id(const obs::Json& header, const char* name) {
+  const obs::Json* field = find_field(header, name);
+  if (field == nullptr) return 0;
+  if (field->is_string())
+    if (const auto id = obs::parse_hex_id(field->as_string())) return *id;
+  throw InvalidInput(std::string("frame: field \"") + name +
+                     "\" must be 16 lowercase hex digits");
+}
+
+void set_context_fields(obs::Json& header, const obs::RequestContext& context) {
+  if (!context.valid()) return;
+  header.set("trace_id", context.trace_hex());
+  header.set("span_id", context.span_hex());
 }
 
 }  // namespace
@@ -204,6 +224,10 @@ obs::Json encode_request_header(const MapRequest& request) {
   header.set("optimize", request.optimize);
   header.set("verify", request.verify);
   if (request.deadline_ms >= 0) header.set("deadline_ms", request.deadline_ms);
+  // Revision-2 fields ride along only when used, so a v1-shaped request
+  // stays byte-identical to what pre-revision clients produced.
+  if (request.proto >= 2) header.set("proto", request.proto);
+  set_context_fields(header, request.context);
   return header;
 }
 
@@ -221,6 +245,9 @@ MapRequest parse_map_request(const Frame& frame) {
   request.optimize = get_bool(frame.header, "optimize", false);
   request.verify = get_bool(frame.header, "verify", false);
   request.deadline_ms = get_int(frame.header, "deadline_ms", -1);
+  request.proto = get_bounded_int(frame.header, "proto", 1, 1, 1000);
+  request.context.trace_id = get_hex_id(frame.header, "trace_id");
+  request.context.span_id = get_hex_id(frame.header, "span_id");
   request.blif = frame.payload;
   if (request.blif.empty())
     throw InvalidInput("map_request: empty BLIF payload");
@@ -240,6 +267,18 @@ obs::Json encode_response_header(const MapResponse& response) {
   header.set("cache_misses", response.cache_misses);
   header.set("seconds", response.seconds);
   if (!response.verified.empty()) header.set("verified", response.verified);
+  if (response.proto >= 2) {
+    header.set("proto", response.proto);
+    set_context_fields(header, response.context);
+    if (response.has_stages) {
+      obs::Json stages = obs::Json::object();
+      stages.set("queue_wait", response.stages.queue_wait);
+      stages.set("parse", response.stages.parse);
+      stages.set("solve", response.stages.solve);
+      stages.set("emit", response.stages.emit);
+      header.set("stages", std::move(stages));
+    }
+  }
   return header;
 }
 
@@ -262,8 +301,59 @@ MapResponse parse_map_response(const Frame& frame) {
   if (seconds != nullptr && seconds->is_number())
     response.seconds = seconds->as_number();
   response.verified = get_string(frame.header, "verified", "");
+  response.proto = get_bounded_int(frame.header, "proto", 1, 1, 1000);
+  response.context.trace_id = get_hex_id(frame.header, "trace_id");
+  response.context.span_id = get_hex_id(frame.header, "span_id");
+  if (const obs::Json* stages = frame.header.find("stages")) {
+    if (!stages->is_object())
+      throw InvalidInput("map_response: \"stages\" must be an object");
+    const auto stage = [&](const char* name) {
+      const obs::Json* field = stages->find(name);
+      if (field == nullptr) return 0.0;
+      if (!field->is_number() || field->as_number() < 0.0)
+        throw InvalidInput(std::string("map_response: stages.") + name +
+                           " must be a non-negative number");
+      return field->as_number();
+    };
+    response.has_stages = true;
+    response.stages.queue_wait = stage("queue_wait");
+    response.stages.parse = stage("parse");
+    response.stages.solve = stage("solve");
+    response.stages.emit = stage("emit");
+  }
   response.blif = frame.payload;
   return response;
+}
+
+bool is_stats_request(const Frame& frame) {
+  const obs::Json* type = frame.header.find("type");
+  return type != nullptr && type->is_string() &&
+         type->as_string() == kStatsRequestType;
+}
+
+obs::Json encode_stats_request_header() {
+  obs::Json header = obs::Json::object();
+  header.set("type", kStatsRequestType);
+  return header;
+}
+
+obs::Json encode_stats_response_header() {
+  obs::Json header = obs::Json::object();
+  header.set("type", kStatsResponseType);
+  return header;
+}
+
+obs::Json parse_stats_response(const Frame& frame) {
+  require_type(frame.header, kStatsResponseType);
+  obs::Json doc = obs::Json::parse(frame.payload);
+  const std::vector<std::string> problems = obs::validate_serve_stats(doc);
+  if (!problems.empty()) {
+    std::string what = "stats_response: invalid " +
+                       std::string(obs::kServeStatsSchema) + " payload:";
+    for (const std::string& problem : problems) what += "\n  - " + problem;
+    throw InvalidInput(what);
+  }
+  return doc;
 }
 
 }  // namespace chortle::serve

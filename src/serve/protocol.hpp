@@ -19,7 +19,17 @@
 //
 // Requests and responses are JSON headers with a "type" tag
 // ("map_request/1" / "map_response/1"); the request payload is the
-// BLIF model to map, the response payload the mapped LUT netlist.
+// BLIF model to map, the response payload the mapped LUT netlist. A
+// "stats_request/1" frame instead returns a live chortle-serve-stats/1
+// snapshot as the response payload (obs/serve_stats.hpp).
+//
+// Version negotiation: a client advertising "proto": 2 in its request
+// header may attach a trace context ("trace_id"/"span_id", 16 hex
+// digits) and gets per-stage timings and the echoed trace id back in
+// its response. Headers without these fields are exactly the v1 wire
+// format, and every parser ignores unknown fields — so old client ↔
+// new server and new client ↔ old server both keep working, and the
+// response bytes an old client sees are unchanged.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +37,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/context.hpp"
 #include "obs/json.hpp"
 
 namespace chortle::serve {
@@ -38,6 +49,12 @@ inline constexpr std::size_t kMaxPayloadBytes = std::size_t{64} << 20;
 
 inline constexpr const char* kMapRequestType = "map_request/1";
 inline constexpr const char* kMapResponseType = "map_response/1";
+inline constexpr const char* kStatsRequestType = "stats_request/1";
+inline constexpr const char* kStatsResponseType = "stats_response/1";
+
+/// Highest header revision this build speaks. Revision 2 adds the
+/// trace-context fields and per-stage response timings.
+inline constexpr int kProtocolVersion = 2;
 
 struct Frame {
   obs::Json header;
@@ -73,6 +90,12 @@ struct MapRequest {
   bool optimize = false;          // run the full optimization script first
   bool verify = false;            // BDD-equivalence-check the served result
   std::int64_t deadline_ms = -1;  // budget from server receipt; < 0 = none
+  /// Advertised header revision. Defaults to 1 so a hand-built request
+  /// stays byte-compatible with the v1 wire format; the bundled Client
+  /// always sends kProtocolVersion.
+  int proto = 1;
+  /// Optional trace context (proto >= 2); invalid() = none attached.
+  obs::RequestContext context;
   std::string blif;               // payload: BLIF model to map
 };
 
@@ -84,6 +107,17 @@ obs::Json encode_request_header(const MapRequest& request);
 MapRequest parse_map_request(const Frame& frame);
 
 // --------------------------------------------------------- responses
+
+/// Server-side wall time of one request's stages, seconds. Returned to
+/// proto >= 2 clients so a caller can see where its own latency went
+/// without pulling the whole STATS snapshot.
+struct StageSeconds {
+  double queue_wait = 0.0;  // accept() -> worker pickup (first request
+                            // on a connection; 0 afterwards)
+  double parse = 0.0;       // request header + BLIF parse + decompose
+  double solve = 0.0;       // map_network (DP-cache lookups inside)
+  double emit = 0.0;        // mapped-netlist serialization
+};
 
 struct MapResponse {
   /// "ok", "invalid", "deadline", "busy", or "internal".
@@ -97,6 +131,13 @@ struct MapResponse {
   int cache_misses = 0;
   double seconds = 0.0;
   std::string verified;  // "", "equivalent", "different", "inconclusive"
+  /// Header revision of the response (mirrors the request's; fields
+  /// below are only on the wire when proto >= 2).
+  int proto = 1;
+  /// Echo of the request's trace context (or the server-generated one).
+  obs::RequestContext context;
+  bool has_stages = false;
+  StageSeconds stages;
   std::string blif;      // payload: mapped netlist iff status == "ok"
 
   bool ok() const { return status == "ok"; }
@@ -104,5 +145,20 @@ struct MapResponse {
 
 obs::Json encode_response_header(const MapResponse& response);
 MapResponse parse_map_response(const Frame& frame);
+
+// ------------------------------------------------------------- stats
+
+/// True when a decoded frame is a STATS introspection request (the
+/// server dispatches on this before treating a frame as a map request).
+bool is_stats_request(const Frame& frame);
+
+obs::Json encode_stats_request_header();
+/// Header for the stats response; the chortle-serve-stats/1 document
+/// travels as the frame payload.
+obs::Json encode_stats_response_header();
+/// Validates the response type and payload against the
+/// chortle-serve-stats/1 schema; throws InvalidInput (listing the
+/// validator's findings) on any mismatch.
+obs::Json parse_stats_response(const Frame& frame);
 
 }  // namespace chortle::serve

@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -19,6 +20,8 @@
 #include "blif/blif.hpp"
 #include "chortle/mapper.hpp"
 #include "chortle/options.hpp"
+#include "obs/serve_stats.hpp"
+#include "obs/trace.hpp"
 #include "opt/decompose.hpp"
 #include "opt/script.hpp"
 
@@ -100,7 +103,14 @@ Server::Server(ServerConfig config)
       cache_(config_.cache_bytes),
       report_("chortle_serve"),
       latency_histogram_(obs::Registry::global().histogram(
-          "serve.request.seconds", obs::Registry::latency_bounds())) {
+          "serve.request.seconds", obs::Registry::latency_bounds())),
+      stage_queue_wait_(
+          obs::Registry::global().hdr("serve.stage.queue_wait")),
+      stage_parse_(obs::Registry::global().hdr("serve.stage.parse")),
+      stage_solve_(obs::Registry::global().hdr("serve.stage.solve")),
+      stage_emit_(obs::Registry::global().hdr("serve.stage.emit")),
+      stage_write_(obs::Registry::global().hdr("serve.stage.write")),
+      stage_request_(obs::Registry::global().hdr("serve.stage.request")) {
   report_.set_option("workers", config_.workers);
   report_.set_option("queue_capacity",
                      static_cast<std::int64_t>(config_.queue_capacity));
@@ -122,6 +132,10 @@ void Server::start() {
     unix_listener_ = listen_unix(config_.unix_path);
   if (config_.tcp_port >= 0)
     tcp_listener_ = listen_tcp(config_.tcp_port, &resolved_tcp_port_);
+  start_time_ = std::chrono::steady_clock::now();
+  // Metrics are process-global; remember where this server starts so
+  // stats and reports show its own deltas (tests run several servers).
+  baseline_ = obs::Registry::global().snapshot();
   started_.store(true);
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i)
@@ -150,6 +164,11 @@ void Server::shutdown() {
   close_if_open(wake_pipe_[0]);
   close_if_open(wake_pipe_[1]);
   if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+  // Freeze the final tallies into the run report now that every request
+  // has finished — a write_report() after drain (or none at all, if the
+  // harness only reads counters) sees the complete picture instead of
+  // whatever the registry holds when serialization happens to run.
+  flush_stats_to_report();
   LOG_INFO << "chortle_serve: drained and stopped";
 }
 
@@ -173,7 +192,8 @@ void Server::acceptor_loop() {
       {
         const std::lock_guard<std::mutex> lock(queue_mu_);
         if (queue_.size() < config_.queue_capacity) {
-          queue_.push_back(client);
+          queue_.push_back(QueuedConn{client, obs::trace_now_micros()});
+          queue_high_water_ = std::max(queue_high_water_, queue_.size());
           admitted = true;
         }
       }
@@ -197,18 +217,18 @@ void Server::acceptor_loop() {
 
 void Server::worker_loop() {
   while (true) {
-    int fd = -1;
+    QueuedConn conn;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] {
         return stopping_.load() || !queue_.empty();
       });
       if (queue_.empty()) return;  // stopping and fully drained
-      fd = queue_.front();
+      conn = queue_.front();
       queue_.pop_front();
     }
     active_connections_.fetch_add(1, std::memory_order_relaxed);
-    handle_connection(fd);
+    handle_connection(conn);
     active_connections_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
@@ -227,7 +247,12 @@ bool Server::wait_readable(int fd) {
   }
 }
 
-void Server::handle_connection(int fd) {
+void Server::handle_connection(const QueuedConn& conn) {
+  const int fd = conn.fd;
+  const std::uint64_t pickup_micros = obs::trace_now_micros();
+  // Only the first request of the stream waited in the admission queue;
+  // cleared after it so later requests get a zero queue_wait stage.
+  std::uint64_t accepted_micros = conn.accepted_micros;
   while (true) {
     if (!wait_readable(fd)) break;
     std::optional<Frame> frame;
@@ -247,9 +272,30 @@ void Server::handle_connection(int fd) {
       break;
     }
     if (!frame.has_value()) break;  // clean EOF
-    const MapResponse response = process_request(*frame);
+    if (is_stats_request(*frame)) {
+      {
+        const std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.stats_requests;
+      }
+      OBS_COUNT("serve.stats_requests", 1);
+      try {
+        write_frame(fd, encode_stats_response_header(),
+                    stats_json().dump());
+      } catch (const std::exception& error) {
+        LOG_WARN << "chortle_serve: stats write failed: " << error.what();
+        break;
+      }
+      accepted_micros = 0;
+      continue;
+    }
+    const MapResponse response =
+        process_request(*frame, accepted_micros, pickup_micros);
+    accepted_micros = 0;
     try {
+      obs::TraceSpan write_span("serve.write", response.context);
+      WallTimer write_timer;
       write_frame(fd, encode_response_header(response), response.blif);
+      obs::Registry::global().observe(stage_write_, write_timer.seconds());
     } catch (const std::exception& error) {
       LOG_WARN << "chortle_serve: response write failed: " << error.what();
       break;
@@ -259,10 +305,13 @@ void Server::handle_connection(int fd) {
   ::close(fd);
 }
 
-MapResponse Server::process_request(const Frame& frame) {
+MapResponse Server::process_request(const Frame& frame,
+                                    std::uint64_t accepted_micros,
+                                    std::uint64_t pickup_micros) {
   WallTimer timer;
   MapResponse response;
   MapRequest request;
+  WallTimer header_timer;
   try {
     request = parse_map_request(frame);
   } catch (const std::exception& error) {
@@ -278,6 +327,26 @@ MapResponse Server::process_request(const Frame& frame) {
                       next_request_id_.fetch_add(1, std::memory_order_relaxed))
           : request.id;
   response.id = assigned_id;
+  // Adopt the client's trace context or mint one, so server-side spans
+  // always correlate even for clients that sent none. Echoed to
+  // revision-2 peers; invisible to v1 peers.
+  const obs::RequestContext context = request.context.valid()
+                                          ? request.context
+                                          : obs::RequestContext::generate();
+  response.proto = request.proto >= 2 ? kProtocolVersion : 1;
+  response.context = context;
+  StageSeconds stages;
+  stages.parse = header_timer.seconds();
+  if (accepted_micros > 0 && pickup_micros >= accepted_micros) {
+    stages.queue_wait =
+        static_cast<double>(pickup_micros - accepted_micros) * 1e-6;
+    obs::Registry::global().observe(stage_queue_wait_, stages.queue_wait);
+    // Retroactive span: the wait ended before the request (and its
+    // context) could be read, so it is recorded after the fact.
+    obs::record_span("serve.queue_wait", accepted_micros, pickup_micros,
+                     context);
+  }
+  obs::TraceSpan request_span("serve.request", context);
 
   // The deadline clock starts now — queue wait is already behind us,
   // transfer and mapping are in front. deadline_ms <= 0 is expired on
@@ -289,25 +358,41 @@ MapResponse Server::process_request(const Frame& frame) {
           : base::CancelToken();
   try {
     token.check("serve.request");
-    blif::BlifModel model = blif::read_blif_string(request.blif);
-    net::Network network = request.optimize
-                               ? opt::optimize(model.network).network
-                               : opt::decompose_to_and_or(model.network);
+    blif::BlifModel model;
+    net::Network network;
+    {
+      obs::TraceSpan parse_span("serve.parse", context);
+      WallTimer stage_timer;
+      model = blif::read_blif_string(request.blif);
+      network = request.optimize ? opt::optimize(model.network).network
+                                 : opt::decompose_to_and_or(model.network);
+      stages.parse += stage_timer.seconds();
+    }
     core::Options options;
     options.k = request.k;
     options.split_threshold = request.split_threshold;
     options.search_decompositions = request.search_decompositions;
     options.jobs = config_.map_jobs;
     if (request.deadline_ms >= 0) options.cancel = &token;
-    const core::MapResult mapped =
-        core::map_network(network, options, &cache_);
+    const core::MapResult mapped = [&] {
+      obs::TraceSpan solve_span("serve.solve", context);
+      WallTimer stage_timer;
+      core::MapResult result = core::map_network(network, options, &cache_);
+      stages.solve = stage_timer.seconds();
+      return result;
+    }();
     response.luts = mapped.stats.num_luts;
     response.trees = mapped.stats.num_trees;
     response.depth = mapped.stats.depth;
     response.cache_hits = mapped.stats.cache_hits;
     response.cache_misses = mapped.stats.cache_misses;
-    response.blif =
-        blif::write_blif_string(mapped.circuit, model.name + "_luts");
+    {
+      obs::TraceSpan emit_span("serve.emit", context);
+      WallTimer stage_timer;
+      response.blif =
+          blif::write_blif_string(mapped.circuit, model.name + "_luts");
+      stages.emit = stage_timer.seconds();
+    }
     response.status = "ok";
     if (request.verify) {
       token.check("serve.verify");
@@ -332,21 +417,36 @@ MapResponse Server::process_request(const Frame& frame) {
       }
     }
   } catch (const base::Cancelled& error) {
+    const int proto = response.proto;
     response = MapResponse{};
     response.id = assigned_id;
+    response.proto = proto;
+    response.context = context;
     response.status = "deadline";
     response.error = error.what();
   } catch (const InvalidInput& error) {
+    const int proto = response.proto;
     response = MapResponse{};
     response.id = assigned_id;
+    response.proto = proto;
+    response.context = context;
     response.status = "invalid";
     response.error = error.what();
   } catch (const std::exception& error) {
+    const int proto = response.proto;
     response = MapResponse{};
     response.id = assigned_id;
+    response.proto = proto;
+    response.context = context;
     response.status = "internal";
     response.error = error.what();
   }
+  obs::Registry& registry = obs::Registry::global();
+  registry.observe(stage_parse_, stages.parse);
+  if (stages.solve > 0.0) registry.observe(stage_solve_, stages.solve);
+  if (stages.emit > 0.0) registry.observe(stage_emit_, stages.emit);
+  response.has_stages = true;
+  response.stages = stages;
   response.seconds = timer.seconds();
   record_request(response);
   return response;
@@ -354,6 +454,7 @@ MapResponse Server::process_request(const Frame& frame) {
 
 void Server::record_request(const MapResponse& response) {
   obs::Registry::global().observe(latency_histogram_, response.seconds);
+  obs::Registry::global().observe(stage_request_, response.seconds);
   OBS_COUNT("serve.requests", 1);
   {
     const std::lock_guard<std::mutex> lock(counters_mu_);
@@ -386,27 +487,111 @@ Server::Counters Server::counters() const {
   return counters_;
 }
 
-bool Server::write_report(const std::string& path) {
+namespace {
+
+obs::Json cache_stats_json(const core::DpCache::Stats& cache) {
+  obs::Json json = obs::Json::object();
+  json.set("hits", cache.hits);
+  json.set("misses", cache.misses);
+  json.set("insertions", cache.insertions);
+  json.set("evictions", cache.evictions);
+  json.set("entries", static_cast<std::int64_t>(cache.entries));
+  json.set("bytes", static_cast<std::int64_t>(cache.bytes));
+  return json;
+}
+
+obs::Json counters_json(const Server::Counters& counts) {
+  obs::Json json = obs::Json::object();
+  json.set("accepted", counts.accepted);
+  json.set("served", counts.served);
+  json.set("ok", counts.ok);
+  json.set("rejected_busy", counts.rejected_busy);
+  json.set("deadline_errors", counts.deadline_errors);
+  json.set("invalid_requests", counts.invalid_requests);
+  json.set("internal_errors", counts.internal_errors);
+  json.set("stats_requests", counts.stats_requests);
+  return json;
+}
+
+/// Registry metric name -> chortle-serve-stats/1 stage key. The two
+/// cache entries are per-tree DP-cache lookup outcomes recorded by the
+/// mapper, not per-request stages, but they answer the same question
+/// ("where does latency go?") so they live in the same section.
+constexpr std::pair<const char*, const char*> kStageMetrics[] = {
+    {"serve.stage.queue_wait", "queue_wait"},
+    {"serve.stage.parse", "parse"},
+    {"serve.stage.solve", "solve"},
+    {"serve.stage.emit", "emit"},
+    {"serve.stage.write", "write"},
+    {"serve.stage.request", "request"},
+    {"map.cache_hit.seconds", "cache_hit"},
+    {"map.cache_miss.seconds", "cache_miss"},
+};
+
+}  // namespace
+
+obs::Json Server::stats_json() const {
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", obs::kServeStatsSchema);
+  doc.set("uptime_seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_time_)
+              .count());
+  doc.set("in_flight", static_cast<std::int64_t>(active_connections()));
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    doc.set("queue_depth", static_cast<std::int64_t>(queue_.size()));
+    doc.set("queue_high_water",
+            static_cast<std::int64_t>(queue_high_water_));
+  }
+  obs::Json config = obs::Json::object();
+  config.set("workers", config_.workers);
+  config.set("queue_capacity",
+             static_cast<std::int64_t>(config_.queue_capacity));
+  config.set("map_jobs", config_.map_jobs);
+  config.set("cache_bytes", static_cast<std::int64_t>(config_.cache_bytes));
+  doc.set("config", std::move(config));
+  doc.set("requests", counters_json(counters()));
+
+  const core::DpCache::Stats cache = cache_.stats();
+  obs::Json cache_json = cache_stats_json(cache);
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  cache_json.set("hit_rate",
+                 lookups == 0
+                     ? 0.0
+                     : static_cast<double>(cache.hits) /
+                           static_cast<double>(lookups));
+  doc.set("dp_cache", std::move(cache_json));
+
+  const obs::MetricsSnapshot delta =
+      obs::Registry::global().snapshot().since(baseline_);
+  obs::Json stages = obs::Json::object();
+  for (const auto& [metric, stage] : kStageMetrics) {
+    const auto it = delta.hdr.find(metric);
+    // Skip stages this server never exercised — the delta keeps an
+    // empty entry for every metric another server in the process has
+    // registered, and an all-zero section would just mislead.
+    if (it == delta.hdr.end() || it->second.count == 0) continue;
+    stages.set(stage, obs::hdr_snapshot_to_json(it->second));
+  }
+  doc.set("stages", std::move(stages));
+  return doc;
+}
+
+void Server::flush_stats_to_report() {
   const core::DpCache::Stats cache = cache_.stats();
   const Counters counts = counters();
+  obs::MetricsSnapshot delta =
+      obs::Registry::global().snapshot().since(baseline_);
   const std::lock_guard<std::mutex> lock(report_mu_);
-  obs::Json cache_json = obs::Json::object();
-  cache_json.set("hits", cache.hits);
-  cache_json.set("misses", cache.misses);
-  cache_json.set("insertions", cache.insertions);
-  cache_json.set("evictions", cache.evictions);
-  cache_json.set("entries", static_cast<std::int64_t>(cache.entries));
-  cache_json.set("bytes", static_cast<std::int64_t>(cache.bytes));
-  report_.set_field("dp_cache", std::move(cache_json));
-  obs::Json counts_json = obs::Json::object();
-  counts_json.set("accepted", counts.accepted);
-  counts_json.set("served", counts.served);
-  counts_json.set("ok", counts.ok);
-  counts_json.set("rejected_busy", counts.rejected_busy);
-  counts_json.set("deadline_errors", counts.deadline_errors);
-  counts_json.set("invalid_requests", counts.invalid_requests);
-  counts_json.set("internal_errors", counts.internal_errors);
-  report_.set_field("requests", std::move(counts_json));
+  report_.set_field("dp_cache", cache_stats_json(cache));
+  report_.set_field("requests", counters_json(counts));
+  report_.capture_metrics(std::move(delta));
+}
+
+bool Server::write_report(const std::string& path) {
+  flush_stats_to_report();
+  const std::lock_guard<std::mutex> lock(report_mu_);
   return report_.write_file(path);
 }
 

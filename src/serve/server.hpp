@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -69,6 +70,7 @@ class Server {
     std::uint64_t deadline_errors = 0;
     std::uint64_t invalid_requests = 0;
     std::uint64_t internal_errors = 0;
+    std::uint64_t stats_requests = 0;  // STATS frames answered
   };
 
   explicit Server(ServerConfig config);
@@ -96,16 +98,36 @@ class Server {
     return active_connections_.load(std::memory_order_relaxed);
   }
 
+  /// Live chortle-serve-stats/1 snapshot (what a STATS frame returns
+  /// and the periodic stats log line summarizes). Metrics are scoped to
+  /// this Server instance: deltas since start(), not process totals.
+  obs::Json stats_json() const;
+
   /// chortle-run-report/1 with one "benchmarks" row per served request;
   /// false (with a WARN log) when the file cannot be written.
   bool write_report(const std::string& path);
 
  private:
+  /// One admitted connection waiting for a worker; the accept stamp
+  /// feeds the queue_wait stage (span + histogram).
+  struct QueuedConn {
+    int fd = -1;
+    std::uint64_t accepted_micros = 0;
+  };
+
   void acceptor_loop();
   void worker_loop();
-  void handle_connection(int fd);
-  MapResponse process_request(const Frame& frame);
+  void handle_connection(const QueuedConn& conn);
+  /// accepted_micros > 0 only for the first request of a connection —
+  /// later requests on the stream never waited in the admission queue.
+  MapResponse process_request(const Frame& frame,
+                              std::uint64_t accepted_micros,
+                              std::uint64_t pickup_micros);
   void record_request(const MapResponse& response);
+  /// Freezes counters, cache stats, and this server's metric deltas
+  /// into report_ so a report written (or a drain finishing) now
+  /// carries the final tallies.
+  void flush_stats_to_report();
   /// Waits until fd is readable. False when the server is draining and
   /// no request bytes are pending, or the peer hung up.
   bool wait_readable(int fd);
@@ -124,10 +146,12 @@ class Server {
   std::atomic<bool> joined_{false};
   std::atomic<std::size_t> active_connections_{0};
   std::atomic<std::uint64_t> next_request_id_{0};
+  std::chrono::steady_clock::time_point start_time_{};
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> queue_;  // accepted fds awaiting a worker
+  std::deque<QueuedConn> queue_;  // accepted fds awaiting a worker
+  std::size_t queue_high_water_ = 0;  // guarded by queue_mu_
 
   mutable std::mutex counters_mu_;
   Counters counters_;
@@ -135,6 +159,16 @@ class Server {
   std::mutex report_mu_;
   obs::RunReport report_;
   obs::MetricId latency_histogram_;
+  // Per-stage HDR latency histograms (p50/p90/p99/p999 in STATS).
+  obs::MetricId stage_queue_wait_;
+  obs::MetricId stage_parse_;
+  obs::MetricId stage_solve_;
+  obs::MetricId stage_emit_;
+  obs::MetricId stage_write_;
+  obs::MetricId stage_request_;
+  /// Registry state at start(); stats_json()/reports use since() deltas
+  /// so several Server instances in one process stay separable.
+  obs::MetricsSnapshot baseline_;
 };
 
 }  // namespace chortle::serve

@@ -1,0 +1,321 @@
+// Pins down the obs::Histogram contract: exact bucket boundaries,
+// lock-free concurrent recording (run under TSan in CI), snapshot
+// algebra (merge associativity, since), and quantile accuracy against
+// a sorted-sample oracle within the documented ~3.1% bucket width.
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+
+namespace chortle::obs {
+namespace {
+
+using Snapshot = Histogram::Snapshot;
+
+// ---------------------------------------------------------------------------
+// Bucket geometry
+
+TEST(HistogramBuckets, LowerBoundOpensItsOwnBucket) {
+  // Every bucket's lower boundary is a dyadic rational, representable
+  // exactly in a double, so bucket_index must send it to that bucket —
+  // not to the neighbour below.
+  for (std::size_t i = 1; i < Histogram::kNumBuckets; ++i)
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(i)), i)
+        << "boundary of bucket " << i;
+}
+
+TEST(HistogramBuckets, JustBelowUpperStaysInBucket) {
+  for (std::size_t i = 1; i + 1 < Histogram::kNumBuckets; ++i) {
+    const double upper = Histogram::bucket_upper(i);
+    const double inside =
+        std::nextafter(upper, -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(Histogram::bucket_index(inside), i) << "bucket " << i;
+  }
+}
+
+TEST(HistogramBuckets, NonPositiveAndNanUnderflow) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-1e300), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::quiet_NaN()),
+            0u);
+  EXPECT_EQ(
+      Histogram::bucket_index(-std::numeric_limits<double>::infinity()), 0u);
+}
+
+TEST(HistogramBuckets, TinyValuesUnderflow) {
+  // Below 2^kMinExp everything collapses into the underflow bucket.
+  const double smallest_tracked = std::ldexp(1.0, Histogram::kMinExp);
+  EXPECT_EQ(Histogram::bucket_index(smallest_tracked), 1u);
+  EXPECT_EQ(Histogram::bucket_index(
+                std::nextafter(smallest_tracked, 0.0)),
+            0u);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::min()), 0u);
+  EXPECT_EQ(Histogram::bucket_index(5e-324), 0u);  // subnormal
+}
+
+TEST(HistogramBuckets, HugeValuesLandInTopBucket) {
+  // At and above 2^(kMaxExp+1) everything lands in the open-ended top
+  // bucket, whose upper edge is infinite.
+  const std::size_t top = Histogram::kNumBuckets - 1;
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMaxExp + 1)),
+            top);
+  EXPECT_EQ(Histogram::bucket_index(1e300), top);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            top);
+  EXPECT_TRUE(std::isinf(Histogram::bucket_upper(top)));
+}
+
+TEST(HistogramBuckets, RelativeWidthWithinAdvertisedBound) {
+  // The log-linear layout advertises <= ~3.2% relative width for every
+  // finite bucket: within an octave, (upper - lower) / lower is
+  // 1 / (kSubBuckets + sub), so 1/kSubBuckets is the worst case (at the
+  // bottom of each octave) and it only tightens from there.
+  for (std::size_t i = 1; i + 1 < Histogram::kNumBuckets; ++i) {
+    const double lower = Histogram::bucket_lower(i);
+    const double upper = Histogram::bucket_upper(i);
+    const double relative = (upper - lower) / lower;
+    EXPECT_LE(relative, 1.0 / Histogram::kSubBuckets + 1e-12)
+        << "bucket " << i;
+    EXPECT_GT(relative, 1.0 / (2.0 * Histogram::kSubBuckets)) << "bucket " << i;
+  }
+}
+
+TEST(HistogramBuckets, BoundariesAreMonotone) {
+  for (std::size_t i = 1; i + 1 < Histogram::kNumBuckets; ++i)
+    EXPECT_LT(Histogram::bucket_lower(i), Histogram::bucket_lower(i + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Recording and snapshots
+
+TEST(Histogram, EmptySnapshot) {
+  Histogram hist;
+  const Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_TRUE(snap.buckets.empty());
+  EXPECT_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_EQ(snap.p999(), 0.0);
+}
+
+TEST(Histogram, SingleValueAnswersItself) {
+  Histogram hist;
+  hist.record(0.125);  // an exact bucket boundary
+  const Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.min, 0.125);
+  EXPECT_EQ(snap.max, 0.125);
+  // The quantile clamps the bucket midpoint to [min, max], so a
+  // single-value histogram answers that exact value at every q.
+  EXPECT_EQ(snap.p50(), 0.125);
+  EXPECT_EQ(snap.p999(), 0.125);
+  EXPECT_EQ(snap.quantile(0.0), 0.125);
+  EXPECT_EQ(snap.quantile(1.0), 0.125);
+}
+
+TEST(Histogram, SumMinMaxTracked) {
+  Histogram hist;
+  hist.record(1.0);
+  hist.record(2.0);
+  hist.record(4.0);
+  const Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 7.0);
+  EXPECT_EQ(snap.min, 1.0);
+  EXPECT_EQ(snap.max, 4.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram hist;
+  hist.record(3.5);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  const Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  hist.record(0.25);
+  EXPECT_EQ(hist.snapshot().min, 0.25);
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  // Lock-free recording from many threads: the count, sum, and extremes
+  // must all survive. TSan CI runs this to certify the relaxed-atomic
+  // implementation.
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        hist.record(1e-3 * static_cast<double>(t + 1));
+    });
+  for (std::thread& thread : threads) thread.join();
+
+  const Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.min, 1e-3);
+  EXPECT_DOUBLE_EQ(snap.max, 8e-3);
+  const double expected_sum =
+      kPerThread * 1e-3 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8);
+  EXPECT_NEAR(snap.sum, expected_sum, expected_sum * 1e-9);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot algebra
+
+Snapshot snapshot_of(std::initializer_list<double> values) {
+  Histogram hist;
+  for (const double v : values) hist.record(v);
+  return hist.snapshot();
+}
+
+void expect_same(const Snapshot& a, const Snapshot& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  ASSERT_EQ(a.buckets.size(), b.buckets.size());
+  for (std::size_t i = 0; i < a.buckets.size(); ++i)
+    EXPECT_EQ(a.buckets[i], b.buckets[i]) << "bucket " << i;
+}
+
+TEST(HistogramSnapshot, MergeIsAssociativeAndCommutative) {
+  const Snapshot a = snapshot_of({1e-4, 2e-3, 0.5});
+  const Snapshot b = snapshot_of({3e-2, 3e-2, 7.0});
+  const Snapshot c = snapshot_of({1e-5, 42.0});
+
+  Snapshot left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  Snapshot bc = b;     // a + (b + c)
+  bc.merge(c);
+  Snapshot right = a;
+  right.merge(bc);
+  expect_same(left, right);
+
+  Snapshot swapped = b;  // b + a == a + b
+  swapped.merge(a);
+  Snapshot ab = a;
+  ab.merge(b);
+  expect_same(swapped, ab);
+}
+
+TEST(HistogramSnapshot, MergeWithEmptyIsIdentity) {
+  const Snapshot a = snapshot_of({0.25, 0.75});
+  Snapshot left = a;
+  left.merge(Snapshot{});
+  expect_same(left, a);
+  Snapshot right;  // empty absorbs the other side wholesale
+  right.merge(a);
+  expect_same(right, a);
+}
+
+TEST(HistogramSnapshot, MergeEqualsRecordingEverythingInOne) {
+  Histogram all;
+  for (const double v : {1e-4, 2e-3, 0.5, 3e-2, 3e-2, 7.0})
+    all.record(v);
+  Snapshot merged = snapshot_of({1e-4, 2e-3, 0.5});
+  merged.merge(snapshot_of({3e-2, 3e-2, 7.0}));
+  expect_same(merged, all.snapshot());
+}
+
+TEST(HistogramSnapshot, SinceSubtractsEarlierWindow) {
+  Histogram hist;
+  hist.record(0.001);
+  hist.record(0.002);
+  const Snapshot before = hist.snapshot();
+  hist.record(4.0);
+  hist.record(8.0);
+  const Snapshot delta = hist.snapshot().since(before);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_NEAR(delta.sum, 12.0, 1e-9);
+  // The delta keeps only the new samples' buckets.
+  EXPECT_EQ(delta.buckets[Histogram::bucket_index(0.001)], 0u);
+  EXPECT_EQ(delta.buckets[Histogram::bucket_index(4.0)], 1u);
+  EXPECT_EQ(delta.buckets[Histogram::bucket_index(8.0)], 1u);
+  EXPECT_GT(delta.p50(), 1.0);  // quantiles reflect the window only
+}
+
+TEST(HistogramSnapshot, SinceSelfIsEmpty) {
+  Histogram hist;
+  hist.record(0.5);
+  const Snapshot snap = hist.snapshot();
+  const Snapshot delta = snap.since(snap);
+  EXPECT_EQ(delta.count, 0u);
+  EXPECT_TRUE(delta.buckets.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles vs. a sorted-sample oracle
+
+TEST(HistogramQuantiles, WithinBucketWidthOfSortedOracle) {
+  // Log-uniform samples over ~6 decades — the shape service latencies
+  // take. Every reported quantile must sit within one bucket's relative
+  // width (1/32, padded slightly for the midpoint rule) of the exact
+  // order-statistic answer.
+  Rng rng(20260808);
+  Histogram hist;
+  std::vector<double> samples;
+  constexpr int kSamples = 20000;
+  samples.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    const double value = std::exp2(-14.0 + 12.0 * rng.next_double());
+    samples.push_back(value);
+    hist.record(value);
+  }
+  std::sort(samples.begin(), samples.end());
+  const Snapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.count, static_cast<std::uint64_t>(kSamples));
+
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::size_t rank = static_cast<std::size_t>(std::max<double>(
+        1.0, std::ceil(q * static_cast<double>(kSamples))));
+    const double oracle = samples[rank - 1];
+    const double answer = snap.quantile(q);
+    // Midpoint-of-bucket can sit half a bucket above the true sample;
+    // 1/kSubBuckets covers a full bucket with room to spare.
+    EXPECT_NEAR(answer, oracle, oracle / Histogram::kSubBuckets)
+        << "q=" << q;
+  }
+  // q = 1 answers inside the max's bucket, never beyond the max itself.
+  EXPECT_LE(snap.quantile(1.0), snap.max);
+}
+
+TEST(HistogramQuantiles, NamedAccessorsMatchQuantile) {
+  Rng rng(7);
+  Histogram hist;
+  for (int i = 0; i < 1000; ++i) hist.record(1e-3 + rng.next_double());
+  const Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.p50(), snap.quantile(0.50));
+  EXPECT_EQ(snap.p90(), snap.quantile(0.90));
+  EXPECT_EQ(snap.p99(), snap.quantile(0.99));
+  EXPECT_EQ(snap.p999(), snap.quantile(0.999));
+}
+
+TEST(HistogramQuantiles, MonotoneInQ) {
+  Rng rng(11);
+  Histogram hist;
+  for (int i = 0; i < 5000; ++i)
+    hist.record(std::exp2(-10.0 + 8.0 * rng.next_double()));
+  const Snapshot snap = hist.snapshot();
+  double previous = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double value = snap.quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+}  // namespace
+}  // namespace chortle::obs

@@ -7,10 +7,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "base/check.hpp"
 #include "base/rng.hpp"
 #include "obs/json.hpp"
+#include "obs/serve_stats.hpp"
 #include "serve/protocol.hpp"
 
 namespace chortle::serve {
@@ -189,6 +191,176 @@ TEST(FrameDecode, RandomBytesNeverCrashTheDecoder) {
     }
     // Anything else (segfault, std::bad_alloc from a hostile length,
     // InternalError) fails the test by escaping.
+  }
+}
+
+TEST(RequestParse, RejectsMalformedTraceIds) {
+  const auto request_frame = [](const std::string& header_body) {
+    Frame frame;
+    frame.header = obs::Json::parse(header_body);
+    frame.payload = ".model m\n.end\n";
+    return frame;
+  };
+  // A well-formed context round-trips.
+  const MapRequest good = parse_map_request(request_frame(
+      "{\"type\":\"map_request/1\",\"proto\":2,"
+      "\"trace_id\":\"0123456789abcdef\",\"span_id\":\"00000000000000ff\"}"));
+  EXPECT_EQ(good.proto, 2);
+  EXPECT_EQ(good.context.trace_id, 0x0123456789abcdefull);
+  EXPECT_EQ(good.context.span_id, 0xffull);
+  // Absent context is fine (v1 peers) and parses to "none".
+  EXPECT_FALSE(parse_map_request(request_frame("{\"type\":\"map_request/1\"}"))
+                   .context.valid());
+  // Present-but-malformed is a hard error: a peer must not be able to
+  // smuggle arbitrary strings into trace files.
+  for (const char* bad :
+       {"{\"type\":\"map_request/1\",\"trace_id\":\"xyz\"}",
+        "{\"type\":\"map_request/1\",\"trace_id\":\"0123456789ABCDEF\"}",
+        "{\"type\":\"map_request/1\",\"trace_id\":\"0123\"}",
+        "{\"type\":\"map_request/1\",\"trace_id\":\"0123456789abcdef0\"}",
+        "{\"type\":\"map_request/1\",\"trace_id\":42}",
+        "{\"type\":\"map_request/1\",\"span_id\":\" 123456789abcdef\"}",
+        "{\"type\":\"map_request/1\",\"proto\":0}",
+        "{\"type\":\"map_request/1\",\"proto\":\"two\"}"}) {
+    EXPECT_THROW(parse_map_request(request_frame(bad)), InvalidInput) << bad;
+  }
+}
+
+TEST(ResponseParse, RejectsMalformedStageTimings) {
+  const auto response_frame = [](const std::string& header_body) {
+    Frame frame;
+    frame.header = obs::Json::parse(header_body);
+    return frame;
+  };
+  const MapResponse good = parse_map_response(response_frame(
+      "{\"type\":\"map_response/1\",\"status\":\"ok\",\"proto\":2,"
+      "\"stages\":{\"queue_wait\":0.0,\"parse\":0.001,\"solve\":0.01,"
+      "\"emit\":0.002}}"));
+  ASSERT_TRUE(good.has_stages);
+  EXPECT_DOUBLE_EQ(good.stages.solve, 0.01);
+  for (const char* bad :
+       {"{\"type\":\"map_response/1\",\"status\":\"ok\",\"stages\":7}",
+        "{\"type\":\"map_response/1\",\"status\":\"ok\","
+        "\"stages\":{\"solve\":-1.0}}",
+        "{\"type\":\"map_response/1\",\"status\":\"ok\","
+        "\"stages\":{\"parse\":\"fast\"}}"}) {
+    EXPECT_THROW(parse_map_response(response_frame(bad)), InvalidInput) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------
+// chortle-serve-stats/1: the validator sits behind the STATS client
+// path, so hostile documents must produce problem lists, never throws.
+
+std::string valid_stats_text() {
+  return R"({"schema":"chortle-serve-stats/1","uptime_seconds":1.5,)"
+         R"("in_flight":0,"queue_depth":0,"queue_high_water":2,)"
+         R"("config":{"workers":4,"queue_capacity":16,"map_jobs":1,)"
+         R"("cache_bytes":1048576},)"
+         R"("requests":{"accepted":3,"served":3,"ok":3,"rejected_busy":0,)"
+         R"("deadline_errors":0,"invalid_requests":0,"internal_errors":0,)"
+         R"("stats_requests":1},)"
+         R"("dp_cache":{"hits":5,"misses":2,"insertions":2,"evictions":0,)"
+         R"("entries":2,"bytes":2048,"hit_rate":0.714},)"
+         R"("stages":{"request":{"count":3,"sum":0.03,"min":0.005,)"
+         R"("max":0.02,"p50":0.01,"p90":0.02,"p99":0.02,"p999":0.02,)"
+         R"("buckets":[{"lo":0.005,"count":3}]}}})";
+}
+
+TEST(StatsValidation, AcceptsAWellFormedDocument) {
+  const obs::Json doc = obs::Json::parse(valid_stats_text());
+  EXPECT_TRUE(obs::validate_serve_stats(doc).empty());
+}
+
+TEST(StatsValidation, ReportsEveryStructuralProblemWithoutThrowing) {
+  // Each mutation breaks one clause; the validator must name it.
+  const auto problems_of = [](const std::string& text) {
+    return obs::validate_serve_stats(obs::Json::parse(text));
+  };
+  EXPECT_FALSE(problems_of("{}").empty());
+  EXPECT_FALSE(problems_of("[1,2,3]").empty());
+  EXPECT_FALSE(problems_of("42").empty());
+  // Wrong schema tag.
+  std::string wrong_schema = valid_stats_text();
+  wrong_schema.replace(wrong_schema.find("stats/1"), 7, "stats/9");
+  EXPECT_FALSE(problems_of(wrong_schema).empty());
+  // hit_rate outside [0, 1].
+  std::string bad_rate = valid_stats_text();
+  bad_rate.replace(bad_rate.find("0.714"), 5, "1.714");
+  EXPECT_FALSE(problems_of(bad_rate).empty());
+  // Non-monotone quantiles.
+  std::string bad_quantiles = valid_stats_text();
+  bad_quantiles.replace(bad_quantiles.find("\"p90\":0.02"), 10,
+                        "\"p90\":0.001");
+  EXPECT_FALSE(problems_of(bad_quantiles).empty());
+}
+
+TEST(StatsValidation, FuzzedDocumentsNeverThrow) {
+  // Corrupt the valid document's bytes; whatever still parses as JSON
+  // must flow through the validator without an exception escaping.
+  Rng rng(20260808);
+  const std::string valid = valid_stats_text();
+  int still_parsed = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string text = valid;
+    const int edits = 1 + static_cast<int>(rng.next_below(6));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t at = rng.next_below(text.size());
+      switch (rng.next_below(3)) {
+        case 0:
+          text[at] = static_cast<char>(rng.next_below(128));
+          break;
+        case 1:
+          text.erase(at, 1 + rng.next_below(4));
+          break;
+        default:
+          text.insert(at, 1, static_cast<char>('0' + rng.next_below(10)));
+          break;
+      }
+      if (text.empty()) text = "0";
+    }
+    obs::Json doc;
+    try {
+      doc = obs::Json::parse(text);
+    } catch (const InvalidInput&) {
+      continue;  // not this test's concern (JsonHardening covers it)
+    }
+    ++still_parsed;
+    const std::vector<std::string> problems = obs::validate_serve_stats(doc);
+    (void)problems;  // any outcome is fine; escaping exceptions are not
+  }
+  // The mutator is gentle enough that a meaningful fraction of inputs
+  // reaches the validator; otherwise this test fuzzes only the parser.
+  EXPECT_GT(still_parsed, 100);
+}
+
+TEST(StatsResponseParse, RejectsInvalidPayloads) {
+  const auto stats_frame = [](const std::string& header_body,
+                              const std::string& payload) {
+    Frame frame;
+    frame.header = obs::Json::parse(header_body);
+    frame.payload = payload;
+    return frame;
+  };
+  // Valid round trip.
+  EXPECT_NO_THROW(parse_stats_response(stats_frame(
+      "{\"type\":\"stats_response/1\"}", valid_stats_text())));
+  // Wrong type tag.
+  EXPECT_THROW(parse_stats_response(stats_frame(
+                   "{\"type\":\"map_response/1\",\"status\":\"ok\"}",
+                   valid_stats_text())),
+               InvalidInput);
+  // Payload is not JSON at all.
+  EXPECT_THROW(parse_stats_response(stats_frame(
+                   "{\"type\":\"stats_response/1\"}", "not json")),
+               InvalidInput);
+  // Parses but fails schema validation; the error lists the findings.
+  try {
+    parse_stats_response(
+        stats_frame("{\"type\":\"stats_response/1\"}", "{\"schema\":\"x\"}"));
+    FAIL() << "invalid stats payload was accepted";
+  } catch (const InvalidInput& error) {
+    EXPECT_NE(std::string(error.what()).find("schema"), std::string::npos);
   }
 }
 

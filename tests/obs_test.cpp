@@ -150,6 +150,113 @@ TEST(Metrics, ResetZeroesEverything) {
   EXPECT_EQ(registry.snapshot().counter("test.reset_probe"), 0u);
 }
 
+TEST(Metrics, HdrHistogramsRecordSinceAndMerge) {
+  obs::Registry registry;
+  const obs::MetricId id = registry.hdr("test.hdr.lat");
+  registry.observe(id, 0.001);
+  registry.observe(id, 0.002);
+  const obs::MetricsSnapshot before = registry.snapshot();
+  ASSERT_EQ(before.hdr.count("test.hdr.lat"), 1u);
+  EXPECT_EQ(before.hdr.at("test.hdr.lat").count, 2u);
+
+  registry.observe(id, 4.0);
+  const obs::MetricsSnapshot after = registry.snapshot();
+  const obs::MetricsSnapshot delta = after.since(before);
+  EXPECT_EQ(delta.hdr.at("test.hdr.lat").count, 1u);
+  EXPECT_GT(delta.hdr.at("test.hdr.lat").p50(), 1.0);
+
+  obs::MetricsSnapshot merged = before;
+  merged.merge(delta);
+  EXPECT_EQ(merged.hdr.at("test.hdr.lat").count, 3u);
+
+  // The hdr kind participates in name/kind conflict detection, and
+  // find-or-create returns a stable id.
+  EXPECT_THROW((void)registry.counter("test.hdr.lat"), InvalidInput);
+  EXPECT_EQ(registry.hdr("test.hdr.lat"), id);
+}
+
+TEST(Metrics, SnapshotSectionsAreSortedByName) {
+  // Registration order is adversarial; std::map keys must come out
+  // sorted so serialized snapshots are diffable run-to-run.
+  obs::Registry registry;
+  registry.add(registry.counter("z.last"), 1);
+  registry.add(registry.counter("a.first"), 1);
+  registry.add(registry.counter("m.middle"), 1);
+  registry.observe(registry.hdr("z.hdr"), 0.1);
+  registry.observe(registry.hdr("a.hdr"), 0.1);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  std::vector<std::string> counter_names;
+  for (const auto& [name, value] : snap.counters)
+    counter_names.push_back(name);
+  EXPECT_EQ(counter_names,
+            (std::vector<std::string>{"a.first", "m.middle", "z.last"}));
+  std::vector<std::string> hdr_names;
+  for (const auto& [name, value] : snap.hdr) hdr_names.push_back(name);
+  EXPECT_EQ(hdr_names, (std::vector<std::string>{"a.hdr", "z.hdr"}));
+}
+
+TEST(Metrics, HdrSnapshotToJsonShape) {
+  obs::Histogram hist;
+  hist.record(0.001);
+  hist.record(0.004);
+  hist.record(0.004);
+  const Json json = obs::hdr_snapshot_to_json(hist.snapshot());
+  EXPECT_EQ(json.find("count")->as_int(), 3);
+  EXPECT_NEAR(json.find("sum")->as_number(), 0.009, 1e-12);
+  EXPECT_DOUBLE_EQ(json.find("min")->as_number(), 0.001);
+  EXPECT_DOUBLE_EQ(json.find("max")->as_number(), 0.004);
+  double previous = 0.0;
+  for (const char* q : {"p50", "p90", "p99", "p999"}) {
+    const Json* value = json.find(q);
+    ASSERT_NE(value, nullptr) << q;
+    EXPECT_GE(value->as_number(), previous) << q;
+    previous = value->as_number();
+  }
+  // Only occupied buckets serialize, each as {lo, count}.
+  const Json* buckets = json.find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->as_array().size(), 2u);
+  std::uint64_t total = 0;
+  for (const Json& bucket : buckets->as_array()) {
+    EXPECT_GE(bucket.find("lo")->as_number(), 0.0);
+    total += static_cast<std::uint64_t>(bucket.find("count")->as_int());
+  }
+  EXPECT_EQ(total, 3u);
+
+  // Empty snapshot: count only, no quantiles to mislead a reader.
+  const Json empty = obs::hdr_snapshot_to_json(obs::Histogram().snapshot());
+  EXPECT_EQ(empty.find("count")->as_int(), 0);
+  EXPECT_EQ(empty.find("p50"), nullptr);
+}
+
+// ------------------------------------------------------------- context
+
+TEST(Context, HexIdsRoundTripAndRejectGarbage) {
+  EXPECT_EQ(obs::hex_id(0x0123456789abcdefull), "0123456789abcdef");
+  EXPECT_EQ(obs::hex_id(0xffull), "00000000000000ff");
+  EXPECT_EQ(obs::parse_hex_id("0123456789abcdef"),
+            std::optional<std::uint64_t>(0x0123456789abcdefull));
+  for (const char* bad : {"", "0123", "0123456789ABCDEF", "0123456789abcdeg",
+                          "0123456789abcdef0", " 123456789abcdef"})
+    EXPECT_EQ(obs::parse_hex_id(bad), std::nullopt) << bad;
+  // Round trip through the wire format is lossless for any id.
+  for (const std::uint64_t id : {1ull, 0x8000000000000000ull, ~0ull})
+    EXPECT_EQ(obs::parse_hex_id(obs::hex_id(id)), std::optional(id));
+}
+
+TEST(Context, GenerateMintsDistinctValidContexts) {
+  const obs::RequestContext a = obs::RequestContext::generate();
+  const obs::RequestContext b = obs::RequestContext::generate();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  // A child hop shares the trace but gets its own span id.
+  const obs::RequestContext child = a.child();
+  EXPECT_EQ(child.trace_id, a.trace_id);
+  EXPECT_NE(child.span_id, a.span_id);
+  EXPECT_FALSE(obs::RequestContext{}.valid());
+}
+
 // --------------------------------------------------------------- trace
 
 TEST(Trace, NestedSpansExportAsValidChromeTrace) {
@@ -188,6 +295,36 @@ TEST(Trace, NestedSpansExportAsValidChromeTrace) {
 
   obs::clear_trace();
   EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(Trace, ContextStampedSpansCarryTraceIds) {
+  obs::clear_trace();
+  obs::set_trace_enabled(true);
+  obs::RequestContext context;
+  context.trace_id = 0x00000000deadbeefull;
+  context.span_id = 0x00000000000000aaull;
+  {
+    obs::TraceSpan span("stamped", context);
+  }
+  // Retroactive span (the server's queue-wait shape): explicit begin and
+  // end timestamps, same context.
+  const std::uint64_t now = obs::trace_now_micros();
+  obs::record_span("retro", now > 50 ? now - 50 : 0, now, context);
+  obs::set_trace_enabled(false);
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  obs::clear_trace();
+  const Json doc = Json::parse(out.str());
+  const Json::Array& events = doc.find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const Json& event : events) {
+    const Json* args = event.find("args");
+    ASSERT_NE(args, nullptr) << event.find("name")->as_string();
+    // Hex strings, not numbers: 64-bit ids must stay exact in JSON.
+    EXPECT_EQ(args->find("trace")->as_string(), "00000000deadbeef");
+    EXPECT_EQ(args->find("span")->as_string(), "00000000000000aa");
+  }
 }
 
 TEST(Trace, DisabledSpansRecordNothing) {

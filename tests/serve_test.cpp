@@ -21,8 +21,10 @@
 #include "blif/blif.hpp"
 #include "chortle/mapper.hpp"
 #include "mcnc/generators.hpp"
+#include "obs/serve_stats.hpp"
 #include "opt/decompose.hpp"
 #include "serve/client.hpp"
+#include "serve/protocol.hpp"
 #include "serve/server.hpp"
 
 namespace chortle::serve {
@@ -301,6 +303,217 @@ TEST(Serve, RunReportRecordsOneRowPerRequest) {
   EXPECT_NE(report.find("report-row"), std::string::npos);
   EXPECT_NE(report.find("cache_hits"), std::string::npos);
   ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Protocol revision 2: trace context + per-stage timings, negotiated so
+// v1 peers keep seeing the exact v1 wire shape.
+
+/// Raw client socket speaking frames directly — stands in for an old
+/// (pre-revision-2) client build.
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+TEST(ServeProtocol, V1RequestGetsByteCompatibleV1Response) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("v1peer");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  // Hand-build a v1 header: no "proto", no trace fields — exactly what
+  // a pre-revision-2 client puts on the wire.
+  obs::Json header = obs::Json::object();
+  header.set("type", kMapRequestType);
+  header.set("k", 3);
+  const int fd = raw_connect(config.unix_path);
+  write_frame(fd, header, benchmark_blif("count"));
+  const std::optional<Frame> reply = read_frame(fd);
+  ::close(fd);
+  ASSERT_TRUE(reply.has_value());
+
+  // The response header must not contain any revision-2 field: an old
+  // client sees bytes indistinguishable from an old server's.
+  for (const char* field : {"proto", "trace_id", "span_id", "stages"})
+    EXPECT_EQ(reply->header.find(field), nullptr)
+        << "v1 response leaked revision-2 field '" << field << "'";
+  const MapResponse response = parse_map_response(*reply);
+  EXPECT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.proto, 1);
+  EXPECT_FALSE(response.has_stages);
+  EXPECT_FALSE(response.context.valid());
+  server.shutdown();
+}
+
+TEST(ServeProtocol, NewClientGetsEchoedContextAndStages) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("v2peer");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  MapRequest request;
+  request.blif = benchmark_blif("count");
+  request.context.trace_id = 0x0123456789abcdefull;
+  request.context.span_id = 0xfedcba9876543210ull;
+  Client client = Client::connect_unix(config.unix_path);
+  const MapResponse response = client.map(request);
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.proto, kProtocolVersion);
+  // Caller-supplied trace id is echoed, not replaced.
+  EXPECT_EQ(response.context.trace_id, request.context.trace_id);
+  ASSERT_TRUE(response.has_stages);
+  EXPECT_GT(response.stages.parse, 0.0);
+  EXPECT_GT(response.stages.solve, 0.0);
+  EXPECT_GT(response.stages.emit, 0.0);
+  EXPECT_GE(response.stages.queue_wait, 0.0);
+
+  // A client that sends no context still gets a server-minted trace id
+  // back, so its logs can reference the server's spans.
+  MapRequest bare;
+  bare.blif = request.blif;
+  const MapResponse minted = client.map(bare);
+  ASSERT_TRUE(minted.ok()) << minted.error;
+  EXPECT_TRUE(minted.context.valid());
+  server.shutdown();
+}
+
+TEST(ServeProtocol, MalformedTraceIdIsRejectedNotSmuggled) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("badtrace");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  for (const char* bad : {"xyz", "0123456789ABCDEF", "0123",
+                          "0123456789abcdef00"}) {
+    obs::Json header = obs::Json::object();
+    header.set("type", kMapRequestType);
+    header.set("proto", 2);
+    header.set("trace_id", bad);
+    const int fd = raw_connect(config.unix_path);
+    write_frame(fd, header, benchmark_blif("count"));
+    const std::optional<Frame> reply = read_frame(fd);
+    ::close(fd);
+    ASSERT_TRUE(reply.has_value());
+    const MapResponse response = parse_map_response(*reply);
+    EXPECT_EQ(response.status, "invalid") << "trace_id '" << bad << "'";
+  }
+  server.shutdown();
+  EXPECT_EQ(server.counters().invalid_requests, 4u);
+}
+
+TEST(ServeProtocol, StatsFrameReturnsValidatedLiveSnapshot) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("stats");
+  config.workers = 2;
+  Server server(config);
+  server.start();
+
+  Client client = Client::connect_unix(config.unix_path);
+  MapRequest request;
+  request.blif = benchmark_blif("count");
+  ASSERT_TRUE(client.map(request).ok());
+  ASSERT_TRUE(client.map(request).ok());  // second: a cache hit
+
+  // Client::stats() validates the document against the schema before
+  // returning it; re-validating here keeps the test honest if that
+  // changes.
+  const obs::Json stats = client.stats();
+  EXPECT_TRUE(obs::validate_serve_stats(stats).empty());
+
+  const obs::Json* requests = stats.find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->find("served")->as_int(), 2);
+  EXPECT_EQ(requests->find("ok")->as_int(), 2);
+  const obs::Json* cache = stats.find("dp_cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GT(cache->find("hit_rate")->as_number(), 0.0);
+  EXPECT_LE(cache->find("hit_rate")->as_number(), 1.0);
+  const obs::Json* stages = stats.find("stages");
+  ASSERT_NE(stages, nullptr);
+  // Per-stage HDR sections for everything that ran, including the
+  // DP-cache hit/miss latency split.
+  for (const char* stage :
+       {"request", "parse", "solve", "emit", "write", "cache_hit",
+        "cache_miss"}) {
+    const obs::Json* section = stages->find(stage);
+    ASSERT_NE(section, nullptr) << "missing stage '" << stage << "'";
+    EXPECT_GT(section->find("count")->as_int(), 0) << stage;
+  }
+  const obs::Json* request_stage = stages->find("request");
+  EXPECT_EQ(request_stage->find("count")->as_int(), 2);
+  EXPECT_GT(request_stage->find("p50")->as_number(), 0.0);
+  EXPECT_GE(request_stage->find("p99")->as_number(),
+            request_stage->find("p50")->as_number());
+
+  server.shutdown();
+  EXPECT_EQ(server.counters().stats_requests, 1u);
+  // The stats frame is introspection, not a served request.
+  EXPECT_EQ(server.counters().served, 2u);
+}
+
+TEST(ServeProtocol, StatsAreScopedToTheServerNotTheProcess) {
+  // Metrics are process-global; the baseline snapshot taken in start()
+  // must keep a later server's stats clean of an earlier server's
+  // traffic (this test suite runs many servers in one process).
+  ServerConfig config;
+  config.unix_path = test_socket_path("scoped");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+  Client client = Client::connect_unix(config.unix_path);
+  const obs::Json stats = client.stats();
+  const obs::Json* stages = stats.find("stages");
+  ASSERT_NE(stages, nullptr);
+  // No requests served by THIS server yet, so no request stage shows up
+  // even though earlier tests populated the global registry.
+  EXPECT_EQ(stages->find("request"), nullptr);
+  EXPECT_EQ(stats.find("requests")->find("served")->as_int(), 0);
+  server.shutdown();
+}
+
+TEST(ServeProtocol, DrainFlushesFinalSnapshotIntoReport) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("flush");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+  Client client = Client::connect_unix(config.unix_path);
+  MapRequest request;
+  request.blif = benchmark_blif("count");
+  ASSERT_TRUE(client.map(request).ok());
+  server.shutdown();  // flushes counters + histogram deltas to the report
+
+  const std::string path =
+      "/tmp/chortle_test_flush_" + std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(server.write_report(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const obs::Json report = obs::Json::parse(buffer.str());
+  ::unlink(path.c_str());
+
+  const obs::Json* requests = report.find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->find("ok")->as_int(), 1);
+  const obs::Json* cache = report.find("dp_cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GT(cache->find("insertions")->as_int(), 0);
+  // The captured metrics delta carries the per-stage HDR histograms.
+  const obs::Json* hdr = report.find("hdr");
+  ASSERT_NE(hdr, nullptr);
+  const obs::Json* stage = hdr->find("serve.stage.request");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->find("count")->as_int(), 1);
 }
 
 }  // namespace

@@ -4,13 +4,20 @@
 //                  [-k N] [--split N] [--no-search] [--optimize]
 //                  [--verify] [--deadline-ms N] [--id STR]
 //                  [-o OUT] input.blif
+//   chortle_client (--unix PATH | --host H --port N) --stats [-o OUT]
 //   chortle_client --dump-benchmark NAME [-o OUT]
 //
 // The first form sends input.blif to a running chortle_serve and writes
 // the mapped netlist to OUT (default stdout). Request stats go to
-// stderr. The second form runs no server at all: it emits the named
+// stderr. --stats instead pulls the server's live chortle-serve-stats/1
+// snapshot (validated client-side) and writes the JSON to OUT. The
+// --dump-benchmark form runs no server at all: it emits the named
 // built-in MCNC benchmark substitute as BLIF, which gives CI scripts a
 // benchmark file to feed both the offline mapper and the service.
+//
+// Set CHORTLE_TRACE=PATH to record a client-side Chrome trace of the
+// request; its trace id matches the server's spans, so the two files
+// merge into one end-to-end picture (obs_check --merge-traces).
 //
 // Exit codes: 0 ok, 2 usage, 3 server busy, 4 deadline exceeded,
 // 1 any other failure.
@@ -22,6 +29,7 @@
 
 #include "blif/blif.hpp"
 #include "mcnc/generators.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 
 namespace {
@@ -31,7 +39,17 @@ void usage() {
                "usage: chortle_client (--unix PATH | --host H --port N) "
                "[-k N] [--split N] [--no-search] [--optimize] [--verify] "
                "[--deadline-ms N] [--id STR] [-o OUT] input.blif\n"
+               "       chortle_client (--unix PATH | --host H --port N) "
+               "--stats [-o OUT]\n"
                "       chortle_client --dump-benchmark NAME [-o OUT]\n");
+}
+
+/// Flushes the client-side Chrome trace (CHORTLE_TRACE) on the way out.
+int finish(int code, const std::string& trace_out) {
+  if (!trace_out.empty() &&
+      !chortle::obs::write_chrome_trace_file(trace_out) && code == 0)
+    return 1;
+  return code;
 }
 
 bool write_output(const std::string& path, const std::string& text) {
@@ -60,6 +78,7 @@ int main(int argc, char** argv) {
   std::string input_path;
   std::string output_path;
   std::string dump_benchmark;
+  bool fetch_stats = false;
   serve::MapRequest request;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +108,8 @@ int main(int argc, char** argv) {
       output_path = argv[++i];
     } else if (arg == "--dump-benchmark" && has_value) {
       dump_benchmark = argv[++i];
+    } else if (arg == "--stats") {
+      fetch_stats = true;
     } else if (arg == "-h" || arg == "--help") {
       usage();
       return 0;
@@ -100,11 +121,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::string trace_out = obs::trace_path_from_env();
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
+
   try {
     if (!dump_benchmark.empty()) {
       const std::string text = blif::write_blif_string(
           mcnc::generate(dump_benchmark), dump_benchmark);
       return write_output(output_path, text) ? 0 : 1;
+    }
+
+    if (fetch_stats) {
+      if (unix_path.empty() && port < 0) {
+        usage();
+        return 2;
+      }
+      serve::Client client = unix_path.empty()
+                                 ? serve::Client::connect_tcp(host, port)
+                                 : serve::Client::connect_unix(unix_path);
+      return write_output(output_path, client.stats().dump(2) + "\n") ? 0 : 1;
     }
 
     if (input_path.empty() || (unix_path.empty() && port < 0)) {
@@ -129,9 +164,9 @@ int main(int argc, char** argv) {
     if (!response.ok()) {
       std::fprintf(stderr, "chortle_client: %s: %s\n",
                    response.status.c_str(), response.error.c_str());
-      if (response.status == "busy") return 3;
-      if (response.status == "deadline") return 4;
-      return 1;
+      if (response.status == "busy") return finish(3, trace_out);
+      if (response.status == "deadline") return finish(4, trace_out);
+      return finish(1, trace_out);
     }
     std::fprintf(stderr,
                  "chortle_client: id=%s luts=%d trees=%d depth=%d "
@@ -141,9 +176,17 @@ int main(int argc, char** argv) {
                  response.seconds,
                  response.verified.empty() ? "" : " verified=",
                  response.verified.c_str());
-    return write_output(output_path, response.blif) ? 0 : 1;
+    if (response.has_stages)
+      std::fprintf(stderr,
+                   "chortle_client: trace=%s stages: queue_wait=%.6f "
+                   "parse=%.6f solve=%.6f emit=%.6f\n",
+                   response.context.trace_hex().c_str(),
+                   response.stages.queue_wait, response.stages.parse,
+                   response.stages.solve, response.stages.emit);
+    return finish(write_output(output_path, response.blif) ? 0 : 1,
+                  trace_out);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "chortle_client: %s\n", error.what());
-    return 1;
+    return finish(1, trace_out);
   }
 }

@@ -5,6 +5,7 @@
 //
 //   chortle_serve (--unix PATH | --port N) [--workers N] [--queue N]
 //                 [--cache-mb N] [--map-jobs N] [--stats-out PATH]
+//                 [--stats-log-s N]
 //
 //   --unix PATH      listen on a Unix-domain socket at PATH
 //   --port N         listen on 127.0.0.1:N (0 = ephemeral; the chosen
@@ -16,17 +17,30 @@
 //   --map-jobs N     threads per map_network call (default 1)
 //   --stats-out P    write a chortle-run-report/1 with one row per
 //                    served request on shutdown
+//   --stats-log-s N  every N seconds, log a one-line summary of the
+//                    live stats snapshot (served/ok, queue, cache hit
+//                    rate, request p50/p99) to stderr
+//
+// Set CHORTLE_TRACE=PATH to record the server's per-request stage
+// spans as a Chrome trace written on shutdown; merge it with a
+// client-side trace via obs_check --merge-traces.
 //
 // Prints "READY ..." on stdout once listening (scripts wait for it or
 // for the socket file), then serves until SIGTERM/SIGINT.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include <unistd.h>
 
 #include "base/logging.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -44,7 +58,45 @@ void usage() {
   std::fprintf(stderr,
                "usage: chortle_serve (--unix PATH | --port N) [--workers N] "
                "[--queue N] [--cache-mb N] [--map-jobs N] [--stats-out "
-               "PATH]\n");
+               "PATH] [--stats-log-s N]\n");
+}
+
+double number_at(const chortle::obs::Json& doc, const char* outer,
+                 const char* inner) {
+  const chortle::obs::Json* section = doc.find(outer);
+  if (section == nullptr) return 0.0;
+  const chortle::obs::Json* value = section->find(inner);
+  return value != nullptr && value->is_number() ? value->as_number() : 0.0;
+}
+
+/// One compact stderr line per period: enough to watch a deployment
+/// without attaching a client for the full STATS snapshot.
+void log_stats_line(const chortle::serve::Server& server) {
+  const chortle::obs::Json doc = server.stats_json();
+  const chortle::obs::Json* uptime = doc.find("uptime_seconds");
+  const chortle::obs::Json* queue = doc.find("queue_depth");
+  const chortle::obs::Json* in_flight = doc.find("in_flight");
+  const chortle::obs::Json* stages = doc.find("stages");
+  const chortle::obs::Json* request =
+      stages != nullptr ? stages->find("request") : nullptr;
+  double p50 = 0.0, p99 = 0.0;
+  if (request != nullptr) {
+    const chortle::obs::Json* v50 = request->find("p50");
+    const chortle::obs::Json* v99 = request->find("p99");
+    if (v50 != nullptr && v50->is_number()) p50 = v50->as_number();
+    if (v99 != nullptr && v99->is_number()) p99 = v99->as_number();
+  }
+  std::fprintf(
+      stderr,
+      "chortle_serve: stats uptime=%.0fs served=%.0f ok=%.0f busy=%.0f "
+      "in_flight=%.0f queue=%.0f cache_hit_rate=%.2f p50=%.4fs p99=%.4fs\n",
+      uptime != nullptr && uptime->is_number() ? uptime->as_number() : 0.0,
+      number_at(doc, "requests", "served"), number_at(doc, "requests", "ok"),
+      number_at(doc, "requests", "rejected_busy"),
+      in_flight != nullptr && in_flight->is_number() ? in_flight->as_number()
+                                                     : 0.0,
+      queue != nullptr && queue->is_number() ? queue->as_number() : 0.0,
+      number_at(doc, "dp_cache", "hit_rate"), p50, p99);
 }
 
 }  // namespace
@@ -53,6 +105,7 @@ int main(int argc, char** argv) {
   using namespace chortle;
   serve::ServerConfig config;
   std::string stats_out;
+  int stats_log_s = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,6 +126,8 @@ int main(int argc, char** argv) {
       config.map_jobs = std::atoi(argv[++i]);
     } else if (arg == "--stats-out" && has_value) {
       stats_out = argv[++i];
+    } else if (arg == "--stats-log-s" && has_value) {
+      stats_log_s = std::atoi(argv[++i]);
     } else if (arg == "-h" || arg == "--help") {
       usage();
       return 0;
@@ -97,8 +152,27 @@ int main(int argc, char** argv) {
     ::sigaction(SIGINT, &action, nullptr);
     ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
 
+    const std::string trace_out = obs::trace_path_from_env();
+    if (!trace_out.empty()) obs::set_trace_enabled(true);
+
     serve::Server server(config);
     server.start();
+
+    // Periodic stats line: a plain thread sleeping on a condition
+    // variable so shutdown wakes it immediately instead of waiting out
+    // the period.
+    std::mutex logger_mu;
+    std::condition_variable logger_cv;
+    bool logger_stop = false;
+    std::thread stats_logger;
+    if (stats_log_s > 0)
+      stats_logger = std::thread([&] {
+        std::unique_lock<std::mutex> lock(logger_mu);
+        while (!logger_cv.wait_for(lock, std::chrono::seconds(stats_log_s),
+                                   [&] { return logger_stop; }))
+          log_stats_line(server);
+      });
+
     std::printf("READY%s%s\n",
                 config.unix_path.empty()
                     ? ""
@@ -113,6 +187,14 @@ int main(int argc, char** argv) {
     while (::read(signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
     }
     std::fprintf(stderr, "chortle_serve: draining...\n");
+    if (stats_logger.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(logger_mu);
+        logger_stop = true;
+      }
+      logger_cv.notify_all();
+      stats_logger.join();
+    }
     server.shutdown();
 
     const serve::Server::Counters counts = server.counters();
@@ -125,6 +207,8 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(counts.invalid_requests),
                  static_cast<unsigned long long>(counts.rejected_busy));
     if (!stats_out.empty() && !server.write_report(stats_out)) return 1;
+    if (!trace_out.empty() && !obs::write_chrome_trace_file(trace_out))
+      return 1;
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "chortle_serve: %s\n", error.what());

@@ -1,10 +1,15 @@
-// obs_check: validates the two JSON artifacts the observability layer
-// emits — a chortle-run-report/1 document (--report) and a Chrome
-// trace-event file (--trace). CI runs it against the table harness
-// output so a malformed report or trace fails the build instead of
-// silently uploading garbage.
+// obs_check: validates the JSON artifacts the observability layer
+// emits — a chortle-run-report/1 document (--report), a Chrome
+// trace-event file (--trace), and a chortle-serve-stats/1 snapshot
+// (--serve-stats). CI runs it against the harness outputs so a
+// malformed report, trace, or stats document fails the build instead
+// of silently uploading garbage. --merge-traces combines several
+// per-process Chrome traces (e.g. client + server) into one file,
+// giving each input its own pid so Perfetto shows them as separate
+// process tracks joined by the shared trace ids in event args.
 //
-//   obs_check [--report FILE] [--trace FILE]
+//   obs_check [--report FILE] [--trace FILE] [--serve-stats FILE]
+//             [--merge-traces OUT IN...]
 //
 // Exit status: 0 when every given file validates, 1 on any problem,
 // 2 on usage.
@@ -12,9 +17,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "obs/serve_stats.hpp"
 
 namespace {
 
@@ -121,6 +128,43 @@ void check_trace(const std::string& path) {
   }
 }
 
+void check_serve_stats(const std::string& path) {
+  Json doc;
+  if (!load(path, &doc)) return;
+  for (const std::string& found : chortle::obs::validate_serve_stats(doc))
+    problem(path, found);
+}
+
+void merge_traces(const std::string& out_path,
+                  const std::vector<std::string>& inputs) {
+  Json events = Json::array();
+  std::int64_t pid = 0;
+  for (const std::string& path : inputs) {
+    ++pid;  // one process track per input file
+    Json doc;
+    if (!load(path, &doc)) continue;
+    const Json* in_events = doc.is_object() ? doc.find("traceEvents") : nullptr;
+    if (!in_events || !in_events->is_array()) {
+      problem(path, "missing 'traceEvents' array");
+      continue;
+    }
+    for (const Json& event : in_events->as_array()) {
+      if (!event.is_object()) continue;
+      Json merged = event;
+      merged.set("pid", pid);
+      events.push_back(std::move(merged));
+    }
+  }
+  Json doc = Json::object();
+  doc.set("displayTimeUnit", "ms");
+  doc.set("traceEvents", std::move(events));
+  std::ofstream out(out_path);
+  doc.dump(out);
+  out << "\n";
+  out.close();
+  if (!out) problem(out_path, "cannot write merged trace");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,9 +177,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace" && i + 1 < argc) {
       check_trace(argv[++i]);
       saw_file = true;
+    } else if (arg == "--serve-stats" && i + 1 < argc) {
+      check_serve_stats(argv[++i]);
+      saw_file = true;
+    } else if (arg == "--merge-traces" && i + 2 < argc) {
+      const std::string out_path = argv[++i];
+      std::vector<std::string> inputs;
+      while (i + 1 < argc && argv[i + 1][0] != '-') inputs.push_back(argv[++i]);
+      merge_traces(out_path, inputs);
+      saw_file = true;
     } else {
       std::fprintf(stderr,
-                   "usage: obs_check [--report FILE] [--trace FILE]\n");
+                   "usage: obs_check [--report FILE] [--trace FILE] "
+                   "[--serve-stats FILE] [--merge-traces OUT IN...]\n");
       return 2;
     }
   }
