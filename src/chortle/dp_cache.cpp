@@ -1,6 +1,7 @@
 #include "chortle/dp_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 #include "base/check.hpp"
@@ -73,6 +74,91 @@ std::shared_ptr<const TreeMapper> DpCache::insert(
   return resident;
 }
 
+std::shared_ptr<const TreeMapper> DpCache::find_or_solve(
+    const std::string& key,
+    const std::function<std::shared_ptr<const TreeMapper>()>& solve,
+    const base::CancelToken* cancel, Outcome* outcome) {
+  Shard& shard = shard_of(key);
+  while (true) {
+    std::shared_ptr<InFlight> flight;
+    bool leader = false;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        ++shard.hits;
+        OBS_COUNT("chortle.dp_cache.hits", 1);
+        if (outcome != nullptr) *outcome = Outcome::kHit;
+        return it->second->mapper;
+      }
+      const auto in_flight = shard.in_flight.find(key);
+      if (in_flight == shard.in_flight.end()) {
+        flight = std::make_shared<InFlight>();
+        shard.in_flight.emplace(key, flight);
+        leader = true;
+        ++shard.misses;
+        OBS_COUNT("chortle.dp_cache.misses", 1);
+      } else {
+        flight = in_flight->second;
+        ++shard.coalesced;
+        OBS_COUNT("chortle.dp_cache.coalesced", 1);
+      }
+    }
+    if (leader) {
+      std::shared_ptr<const TreeMapper> resident;
+      try {
+        resident = insert(key, solve());
+      } catch (...) {
+        // Unregister first, then wake the waiters: each retries the
+        // whole lookup and the first one through becomes the new
+        // leader (a deadline that cancelled THIS solve must not
+        // propagate to requests with healthier budgets).
+        {
+          const std::lock_guard<std::mutex> lock(shard.mu);
+          shard.in_flight.erase(key);
+        }
+        {
+          const std::lock_guard<std::mutex> lock(flight->mu);
+          flight->done = true;
+          flight->failed = true;
+        }
+        flight->cv.notify_all();
+        throw;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        shard.in_flight.erase(key);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(flight->mu);
+        flight->done = true;
+        flight->result = resident;
+      }
+      flight->cv.notify_all();
+      if (outcome != nullptr) *outcome = Outcome::kSolved;
+      return resident;
+    }
+    // Follower: wait out the in-flight solve, polling our own token so
+    // a waiter's deadline still fires promptly mid-wait.
+    {
+      std::unique_lock<std::mutex> lock(flight->mu);
+      while (!flight->done) {
+        if (cancel != nullptr && cancel->expired()) {
+          lock.unlock();
+          cancel->check("dp_cache.find_or_solve");  // throws Cancelled
+        }
+        flight->cv.wait_for(lock, std::chrono::milliseconds(2));
+      }
+      if (!flight->failed) {
+        if (outcome != nullptr) *outcome = Outcome::kCoalesced;
+        return flight->result;
+      }
+    }
+    // Leader failed; retry from scratch (and possibly lead this time).
+  }
+}
+
 DpCache::Stats DpCache::stats() const {
   Stats total;
   for (const auto& shard : shards_) {
@@ -81,6 +167,7 @@ DpCache::Stats DpCache::stats() const {
     total.misses += shard->misses;
     total.insertions += shard->insertions;
     total.evictions += shard->evictions;
+    total.coalesced += shard->coalesced;
     total.entries += shard->lru.size();
     total.bytes += shard->bytes;
   }

@@ -79,7 +79,7 @@ MapResult map_network(const net::Network& network, const Options& options,
   struct SolvedTree {
     std::shared_ptr<const TreeMapper> mapper;
     std::vector<net::NodeId> leaf_ids;  // cache path: canonical leaf -> node
-    bool cache_hit = false;
+    DpCache::Outcome outcome = DpCache::Outcome::kSolved;
   };
   std::vector<SolvedTree> solved(num_trees);
   {
@@ -105,27 +105,43 @@ MapResult map_network(const net::Network& network, const Options& options,
       }
       // Lookup-outcome latency split (cached path only, so the uncached
       // benchmark tables pay nothing): a hit costs canonicalize+find, a
-      // miss additionally pays the fresh DP solve. The two histograms
+      // miss additionally pays the fresh DP solve, a coalesced lookup
+      // waits out another thread's identical solve. The histograms
       // surface in the serve-stats "stages" section as cache_hit /
-      // cache_miss.
+      // cache_miss / cache_coalesced.
       WallTimer lookup_timer;
       CanonicalTree canon = canonicalize_tree(work, options);
       solved[t].leaf_ids = std::move(canon.leaf_ids);
-      if (std::shared_ptr<const TreeMapper> hit = cache->find(canon.key)) {
-        solved[t].mapper = std::move(hit);
-        solved[t].cache_hit = true;
-        OBS_HDR_OBSERVE("map.cache_hit.seconds", lookup_timer.seconds());
-        return;
-      }
-      solved[t].mapper = cache->insert(
+      solved[t].mapper = cache->find_or_solve(
           canon.key,
-          std::make_shared<const TreeMapper>(std::move(canon.tree), options));
-      OBS_HDR_OBSERVE("map.cache_miss.seconds", lookup_timer.seconds());
+          [&] {
+            return std::make_shared<const TreeMapper>(std::move(canon.tree),
+                                                      options);
+          },
+          options.cancel, &solved[t].outcome);
+      switch (solved[t].outcome) {
+        case DpCache::Outcome::kHit:
+          OBS_HDR_OBSERVE("map.cache_hit.seconds", lookup_timer.seconds());
+          break;
+        case DpCache::Outcome::kSolved:
+          OBS_HDR_OBSERVE("map.cache_miss.seconds", lookup_timer.seconds());
+          break;
+        case DpCache::Outcome::kCoalesced:
+          OBS_HDR_OBSERVE("map.cache_coalesced.seconds",
+                          lookup_timer.seconds());
+          break;
+      }
     });
   }
   for (const SolvedTree& s : solved) {
     if (cache == nullptr) break;
-    ++(s.cache_hit ? result.stats.cache_hits : result.stats.cache_misses);
+    switch (s.outcome) {
+      case DpCache::Outcome::kHit: ++result.stats.cache_hits; break;
+      case DpCache::Outcome::kSolved: ++result.stats.cache_misses; break;
+      case DpCache::Outcome::kCoalesced:
+        ++result.stats.cache_coalesced;
+        break;
+    }
   }
 
   // Phase 2 — emit (sequential, original forest order): later trees read

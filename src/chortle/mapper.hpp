@@ -21,6 +21,8 @@ struct MapStats {
   int duplicated_roots = 0;  // fanout cones inlined (§5 extension)
   int cache_hits = 0;     // trees whose DP came from the shared cache
   int cache_misses = 0;   // trees solved fresh (0/0 without a cache)
+  int cache_coalesced = 0;  // trees that waited on a concurrent
+                            // identical solve (single-flight)
   double seconds = 0.0;   // wall-clock mapping time
 };
 

@@ -89,7 +89,8 @@ std::vector<std::string> validate_serve_stats(const Json& doc) {
   const Json* uptime = doc.find("uptime_seconds");
   if (uptime == nullptr || !uptime->is_number() || uptime->as_number() < 0.0)
     check.problem("missing/negative 'uptime_seconds'");
-  for (const char* field : {"in_flight", "queue_depth", "queue_high_water"})
+  for (const char* field :
+       {"in_flight", "open_connections", "queue_depth", "queue_high_water"})
     check.require_non_negative(doc, field, "top-level");
 
   if (const Json* config = check.require_object(doc, "config"))
@@ -100,12 +101,13 @@ std::vector<std::string> validate_serve_stats(const Json& doc) {
   if (const Json* requests = check.require_object(doc, "requests"))
     for (const char* field :
          {"accepted", "served", "ok", "rejected_busy", "deadline_errors",
-          "invalid_requests", "internal_errors", "stats_requests"})
+          "invalid_requests", "internal_errors", "stats_requests",
+          "idle_closed"})
       check.require_non_negative(*requests, field, "requests");
 
   if (const Json* cache = check.require_object(doc, "dp_cache")) {
     for (const char* field : {"hits", "misses", "insertions", "evictions",
-                              "entries", "bytes"})
+                              "coalesced", "entries", "bytes"})
       check.require_non_negative(*cache, field, "dp_cache");
     const Json* rate = cache->find("hit_rate");
     if (rate == nullptr || !rate->is_number() || rate->as_number() < 0.0 ||

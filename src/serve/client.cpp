@@ -91,11 +91,21 @@ MapResponse Client::map(const MapRequest& request) {
   std::optional<Frame> frame;
   try {
     write_frame(fd_, encode_request_header(outgoing), outgoing.blif);
-  } catch (const std::exception&) {
+  } catch (const std::exception& write_error) {
     // The server may reject-and-close before reading our request (busy
     // backpressure): the write fails with EPIPE, but the rejection
     // frame is already buffered on our side. Prefer it to the error.
-    frame = read_frame(fd_);
+    // The fallback read can itself fail (a crashed server, garbage on
+    // the stream): report the ORIGINAL write failure then — that is
+    // the error that describes what actually went wrong first — with
+    // the read failure attached as context, not swallowed.
+    try {
+      frame = read_frame(fd_);
+    } catch (const std::exception& read_error) {
+      throw std::runtime_error(std::string(write_error.what()) +
+                               " (no rejection frame either: " +
+                               read_error.what() + ")");
+    }
     if (!frame.has_value()) throw;
     return parse_map_response(*frame);
   }

@@ -196,6 +196,42 @@ std::optional<Frame> read_frame(int fd) {
   return frame;
 }
 
+void FrameAssembler::append(std::string_view bytes) {
+  // Compact the consumed prefix before it dominates the buffer; the
+  // threshold keeps the amortized cost of erase() linear in traffic.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > (std::size_t{1} << 16))) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+std::optional<Frame> FrameAssembler::next() {
+  const std::size_t avail = buffer_.size() - pos_;
+  if (!have_preamble_) {
+    if (avail < kFramePreambleBytes) return std::nullopt;
+    // Throws InvalidInput on bad magic or hostile lengths — before a
+    // single body byte is accepted, same as the one-shot decoder.
+    const auto [header_len, payload_len] = check_preamble(
+        reinterpret_cast<const unsigned char*>(buffer_.data() + pos_));
+    header_len_ = header_len;
+    payload_len_ = payload_len;
+    have_preamble_ = true;
+  }
+  const std::size_t total = kFramePreambleBytes + header_len_ + payload_len_;
+  if (buffer_.size() - pos_ < total) return std::nullopt;
+  Frame frame;
+  frame.header = parse_header(
+      std::string_view(buffer_).substr(pos_ + kFramePreambleBytes,
+                                       header_len_));
+  frame.payload.assign(buffer_, pos_ + kFramePreambleBytes + header_len_,
+                       payload_len_);
+  pos_ += total;
+  have_preamble_ = false;
+  header_len_ = payload_len_ = 0;
+  return frame;
+}
+
 void write_frame(int fd, const obs::Json& header, std::string_view payload) {
   const std::string bytes = encode_frame(header, payload);
   std::size_t done = 0;
@@ -270,6 +306,9 @@ obs::Json encode_response_header(const MapResponse& response) {
   if (response.proto >= 2) {
     header.set("proto", response.proto);
     set_context_fields(header, response.context);
+    // Revision-2-only so the v1 response stays byte-identical.
+    if (response.cache_coalesced > 0)
+      header.set("cache_coalesced", response.cache_coalesced);
     if (response.has_stages) {
       obs::Json stages = obs::Json::object();
       stages.set("queue_wait", response.stages.queue_wait);
@@ -297,6 +336,8 @@ MapResponse parse_map_response(const Frame& frame) {
       static_cast<int>(get_int(frame.header, "cache_hits", 0));
   response.cache_misses =
       static_cast<int>(get_int(frame.header, "cache_misses", 0));
+  response.cache_coalesced =
+      static_cast<int>(get_int(frame.header, "cache_coalesced", 0));
   const obs::Json* seconds = frame.header.find("seconds");
   if (seconds != nullptr && seconds->is_number())
     response.seconds = seconds->as_number();

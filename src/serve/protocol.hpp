@@ -76,6 +76,38 @@ Frame decode_frame(std::string_view bytes);
 /// mid-frame.
 std::optional<Frame> read_frame(int fd);
 
+/// Incremental frame decoder for non-blocking I/O: the server's event
+/// loop feeds it whatever bytes a socket had ready and asks for
+/// complete frames, so a peer that dribbles a request one byte at a
+/// time (slowloris) costs a buffer, never a blocked thread.
+///
+/// The preamble is validated as soon as its 12 bytes are buffered —
+/// a hostile length field is rejected *before* any body byte is
+/// accepted, exactly like decode_frame. next() throws InvalidInput on
+/// bad magic or oversized lengths; once it has thrown, framing on the
+/// stream is lost and the connection must be dropped.
+class FrameAssembler {
+ public:
+  /// Buffers more bytes off the wire.
+  void append(std::string_view bytes);
+
+  /// Extracts the next complete frame, or nullopt if the buffered
+  /// bytes end mid-frame. Call repeatedly: one append may complete
+  /// several pipelined frames.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet returned as a frame (a partially
+  /// received frame, or pipelined frames not yet asked for).
+  std::size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  bool have_preamble_ = false;
+  std::size_t header_len_ = 0;
+  std::size_t payload_len_ = 0;
+};
+
 /// Writes one frame, retrying partial writes. Throws std::runtime_error
 /// on I/O errors.
 void write_frame(int fd, const obs::Json& header, std::string_view payload);
@@ -112,8 +144,7 @@ MapRequest parse_map_request(const Frame& frame);
 /// proto >= 2 clients so a caller can see where its own latency went
 /// without pulling the whole STATS snapshot.
 struct StageSeconds {
-  double queue_wait = 0.0;  // accept() -> worker pickup (first request
-                            // on a connection; 0 afterwards)
+  double queue_wait = 0.0;  // complete request enqueued -> worker pickup
   double parse = 0.0;       // request header + BLIF parse + decompose
   double solve = 0.0;       // map_network (DP-cache lookups inside)
   double emit = 0.0;        // mapped-netlist serialization
@@ -129,6 +160,9 @@ struct MapResponse {
   int depth = 0;
   int cache_hits = 0;
   int cache_misses = 0;
+  /// Trees that piggybacked on a concurrent identical solve
+  /// (single-flight coalescing; on the wire only for proto >= 2).
+  int cache_coalesced = 0;
   double seconds = 0.0;
   std::string verified;  // "", "equivalent", "different", "inconclusive"
   /// Header revision of the response (mirrors the request's; fields

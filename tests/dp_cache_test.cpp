@@ -5,7 +5,10 @@
 // captures everything the DP and the emission walk depend on.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -204,6 +207,162 @@ TEST(DpCache, ClearEmptiesEveryShard) {
   EXPECT_EQ(cache.find(canon.key), nullptr);
 }
 
+// ------------------------------------------------------ single-flight
+
+TEST(DpCacheSingleFlight, ConcurrentMissesShareOneSolve) {
+  const Options options;
+  DpCache cache;
+  const net::Network network = testing::random_tree(6, 5, 4, /*seed=*/21);
+  const CanonicalTree canon =
+      canonicalize_tree(first_tree(network, options), options);
+
+  constexpr int kFollowers = 4;
+  std::atomic<int> solve_calls{0};
+  std::atomic<bool> solve_entered{false};
+  std::atomic<int> followers_launched{0};
+  const auto slow_solve = [&]() -> std::shared_ptr<const TreeMapper> {
+    ++solve_calls;
+    solve_entered.store(true);
+    // Hold the flight open until every follower has launched (plus a
+    // beat to park on the in-flight wait), so the followers coalesce
+    // instead of hitting the published entry.
+    while (followers_launched.load() < kFollowers)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return std::make_shared<const TreeMapper>(canon.tree, options);
+  };
+
+  DpCache::Outcome leader_outcome{};
+  std::shared_ptr<const TreeMapper> leader_result;
+  std::thread leader([&] {
+    leader_result =
+        cache.find_or_solve(canon.key, slow_solve, nullptr, &leader_outcome);
+  });
+  while (!solve_entered.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  std::vector<std::shared_ptr<const TreeMapper>> results(kFollowers);
+  std::vector<DpCache::Outcome> outcomes(kFollowers);
+  std::vector<std::thread> followers;
+  for (int t = 0; t < kFollowers; ++t)
+    followers.emplace_back([&, t] {
+      ++followers_launched;
+      results[static_cast<std::size_t>(t)] = cache.find_or_solve(
+          canon.key, slow_solve, nullptr,
+          &outcomes[static_cast<std::size_t>(t)]);
+    });
+  leader.join();
+  for (std::thread& thread : followers) thread.join();
+
+  EXPECT_EQ(solve_calls.load(), 1) << "stampede must cost one DP solve";
+  EXPECT_EQ(leader_outcome, DpCache::Outcome::kSolved);
+  int coalesced = 0;
+  for (int t = 0; t < kFollowers; ++t) {
+    // Followers literally share the leader's instance, not a copy.
+    EXPECT_EQ(results[static_cast<std::size_t>(t)], leader_result);
+    if (outcomes[static_cast<std::size_t>(t)] == DpCache::Outcome::kCoalesced)
+      ++coalesced;
+    else  // scheduled late enough to see the published entry
+      EXPECT_EQ(outcomes[static_cast<std::size_t>(t)], DpCache::Outcome::kHit);
+  }
+  EXPECT_GE(coalesced, 1);
+  const DpCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.coalesced, static_cast<std::uint64_t>(coalesced));
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(DpCacheSingleFlight, FailedLeaderHandsTheFlightToTheNextCaller) {
+  const Options options;
+  DpCache cache;
+  const net::Network network = testing::random_tree(6, 5, 4, /*seed=*/22);
+  const CanonicalTree canon =
+      canonicalize_tree(first_tree(network, options), options);
+
+  std::atomic<bool> leader_in_solve{false};
+  std::atomic<bool> release_failure{false};
+  std::thread leader([&] {
+    EXPECT_THROW(
+        cache.find_or_solve(canon.key,
+                            [&]() -> std::shared_ptr<const TreeMapper> {
+                              leader_in_solve.store(true);
+                              while (!release_failure.load())
+                                std::this_thread::sleep_for(
+                                    std::chrono::milliseconds(1));
+                              throw std::runtime_error("deadline mid-solve");
+                            }),
+        std::runtime_error);
+  });
+  while (!leader_in_solve.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  std::atomic<int> follower_solves{0};
+  DpCache::Outcome outcome{};
+  std::shared_ptr<const TreeMapper> result;
+  std::thread follower([&] {
+    result = cache.find_or_solve(
+        canon.key,
+        [&] {
+          ++follower_solves;
+          return std::make_shared<const TreeMapper>(canon.tree, options);
+        },
+        nullptr, &outcome);
+  });
+  // Let the follower park on the flight, then fail the leader under it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release_failure.store(true);
+  leader.join();
+  follower.join();
+
+  // The failure must not propagate: the follower retried the lookup,
+  // became the new leader, and solved — one cancelled request cannot
+  // poison an identical healthy one.
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(follower_solves.load(), 1);
+  EXPECT_EQ(outcome, DpCache::Outcome::kSolved);
+  EXPECT_EQ(cache.find(canon.key), result);
+}
+
+TEST(DpCacheSingleFlight, WaiterDeadlineFiresWhileTheLeaderIsSolving) {
+  const Options options;
+  DpCache cache;
+  const net::Network network = testing::random_tree(6, 5, 4, /*seed=*/23);
+  const CanonicalTree canon =
+      canonicalize_tree(first_tree(network, options), options);
+
+  std::atomic<bool> leader_in_solve{false};
+  std::atomic<bool> release{false};
+  std::thread leader([&] {
+    cache.find_or_solve(canon.key,
+                        [&]() -> std::shared_ptr<const TreeMapper> {
+                          leader_in_solve.store(true);
+                          while (!release.load())
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(1));
+                          return std::make_shared<const TreeMapper>(canon.tree,
+                                                                    options);
+                        });
+  });
+  while (!leader_in_solve.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // A waiter whose own deadline is already gone unwinds promptly (the
+  // wait polls the waiter's token) without disturbing the leader.
+  base::CancelToken token;
+  token.cancel();
+  EXPECT_THROW(cache.find_or_solve(
+                   canon.key,
+                   [&]() -> std::shared_ptr<const TreeMapper> {
+                     ADD_FAILURE() << "an expired waiter must never solve";
+                     return nullptr;
+                   },
+                   &token),
+               base::Cancelled);
+
+  release.store(true);
+  leader.join();
+  EXPECT_NE(cache.find(canon.key), nullptr) << "leader still published";
+}
+
 // ------------------------------------------------- end-to-end mapping
 
 TEST(DpCacheMapping, CachedMappingIsByteIdenticalToUncached) {
@@ -221,7 +380,8 @@ TEST(DpCacheMapping, CachedMappingIsByteIdenticalToUncached) {
     EXPECT_EQ(plain.stats.cache_misses, 0);
     EXPECT_GT(warm.stats.cache_hits, 0) << name;
     EXPECT_EQ(warm.stats.cache_misses, 0) << name;
-    EXPECT_EQ(cold.stats.cache_hits + cold.stats.cache_misses,
+    EXPECT_EQ(cold.stats.cache_hits + cold.stats.cache_misses +
+                  cold.stats.cache_coalesced,
               cold.stats.num_trees);
 
     const std::string reference = blif::write_blif_string(plain.circuit, name);

@@ -90,6 +90,83 @@ TEST(FrameDecode, RejectsMalformedHeaderJson) {
   }
 }
 
+TEST(FrameAssembler, ByteAtATimeFeedMatchesWholeFrameDecode) {
+  obs::Json header = obs::Json::object();
+  header.set("type", "map_request/1");
+  header.set("id", "drip");
+  const std::string bytes = encode_frame(header, "payload bytes");
+  // The slowest possible peer: one byte per append. The assembler must
+  // stay mid-frame (nullopt) until the very last byte, then yield the
+  // same frame decode_frame sees.
+  serve::FrameAssembler assembler;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    assembler.append(std::string_view(bytes).substr(i, 1));
+    EXPECT_EQ(assembler.next(), std::nullopt) << "byte " << i;
+  }
+  assembler.append(std::string_view(bytes).substr(bytes.size() - 1, 1));
+  const std::optional<Frame> frame = assembler.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "payload bytes");
+  ASSERT_NE(frame->header.find("id"), nullptr);
+  EXPECT_EQ(frame->header.find("id")->as_string(), "drip");
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+  EXPECT_EQ(assembler.next(), std::nullopt);
+}
+
+TEST(FrameAssembler, OneAppendCanCompleteSeveralPipelinedFrames) {
+  std::string wire;
+  for (int i = 0; i < 3; ++i) {
+    obs::Json header = obs::Json::object();
+    header.set("id", "req-" + std::to_string(i));
+    wire += encode_frame(header, "p" + std::to_string(i));
+  }
+  // Plus the start of a fourth frame: three complete frames come out in
+  // order, the partial tail stays buffered.
+  obs::Json tail_header = obs::Json::object();
+  tail_header.set("id", "req-3");
+  const std::string tail = encode_frame(tail_header, "p3");
+  wire += tail.substr(0, tail.size() / 2);
+
+  serve::FrameAssembler assembler;
+  assembler.append(wire);
+  for (int i = 0; i < 3; ++i) {
+    const std::optional<Frame> frame = assembler.next();
+    ASSERT_TRUE(frame.has_value()) << i;
+    ASSERT_NE(frame->header.find("id"), nullptr);
+    EXPECT_EQ(frame->header.find("id")->as_string(),
+              "req-" + std::to_string(i));
+    EXPECT_EQ(frame->payload, "p" + std::to_string(i));
+  }
+  EXPECT_EQ(assembler.next(), std::nullopt);
+  EXPECT_GT(assembler.buffered_bytes(), 0u);
+  assembler.append(tail.substr(tail.size() / 2));
+  const std::optional<Frame> fourth = assembler.next();
+  ASSERT_TRUE(fourth.has_value());
+  EXPECT_EQ(fourth->payload, "p3");
+}
+
+TEST(FrameAssembler, RejectsHostilePreamblesAsEarlyAsDecodeFrame) {
+  // Bad magic and oversized length fields are detectable from the
+  // 12-byte preamble; the assembler must throw there instead of
+  // buffering toward an attacker-chosen length.
+  {
+    serve::FrameAssembler assembler;
+    assembler.append("XSv1" + be32(2) + be32(0) + "{}");
+    EXPECT_THROW(assembler.next(), InvalidInput);
+  }
+  {
+    serve::FrameAssembler assembler;
+    assembler.append(raw_frame(
+        "CSv1", static_cast<std::uint32_t>(kMaxHeaderBytes + 1), 0, ""));
+    EXPECT_THROW(assembler.next(), InvalidInput);
+  }
+  {
+    serve::FrameAssembler assembler;
+    assembler.append(raw_frame("CSv1", 0xFFFFFFFFu, 0xFFFFFFFFu, ""));
+    EXPECT_THROW(assembler.next(), InvalidInput);
+  }
+}
+
 TEST(JsonHardening, DeepNestingFailsCleanlyInsteadOfOverflowing) {
   // 4000 levels would overflow the recursive-descent stack without the
   // depth cap; the cap (128) turns it into a clean parse error.
@@ -254,14 +331,16 @@ TEST(ResponseParse, RejectsMalformedStageTimings) {
 
 std::string valid_stats_text() {
   return R"({"schema":"chortle-serve-stats/1","uptime_seconds":1.5,)"
-         R"("in_flight":0,"queue_depth":0,"queue_high_water":2,)"
-         R"("config":{"workers":4,"queue_capacity":16,"map_jobs":1,)"
+         R"("in_flight":0,"open_connections":1,)"
+         R"("queue_depth":0,"queue_high_water":2,)"
+         R"("config":{"workers":4,"queue_capacity":16,"max_connections":64,)"
+         R"("idle_timeout_ms":60000,"map_jobs":1,)"
          R"("cache_bytes":1048576},)"
          R"("requests":{"accepted":3,"served":3,"ok":3,"rejected_busy":0,)"
          R"("deadline_errors":0,"invalid_requests":0,"internal_errors":0,)"
-         R"("stats_requests":1},)"
+         R"("stats_requests":1,"idle_closed":0},)"
          R"("dp_cache":{"hits":5,"misses":2,"insertions":2,"evictions":0,)"
-         R"("entries":2,"bytes":2048,"hit_rate":0.714},)"
+         R"("coalesced":0,"entries":2,"bytes":2048,"hit_rate":0.714},)"
          R"("stages":{"request":{"count":3,"sum":0.03,"min":0.005,)"
          R"("max":0.02,"p50":0.01,"p90":0.02,"p99":0.02,"p999":0.02,)"
          R"("buckets":[{"lo":0.005,"count":3}]}}})";

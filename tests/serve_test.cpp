@@ -6,7 +6,10 @@
 // under the TSan CI configuration like every other test.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -50,6 +53,28 @@ std::string offline_mapping(const std::string& blif_text, int k) {
   const core::MapResult result =
       core::map_network(opt::decompose_to_and_or(model.network), options);
   return blif::write_blif_string(result.circuit, model.name + "_luts");
+}
+
+/// Raw client socket speaking frames directly — stands in for an old
+/// (pre-revision-2) client build or a hostile peer.
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+/// An idle keep-alive adversary: 4 bytes of preamble, then silence.
+/// Under the old blocking design this pinned a worker inside a frame
+/// read; under the event loop it costs a socket and a 4-byte buffer.
+int raw_partial_connection(const std::string& path) {
+  const int fd = raw_connect(path);
+  EXPECT_EQ(::send(fd, "CSv1", 4, MSG_NOSIGNAL), 4);
+  return fd;
 }
 
 TEST(Serve, MapsTwiceWithCacheHitsAndByteIdenticalOutput) {
@@ -185,6 +210,17 @@ TEST(Serve, VerifyFlagRunsTheEquivalenceOracle) {
   server.shutdown();
 }
 
+/// A request whose cold solve takes long enough (~400 ms in release,
+/// more under sanitizers) that the test can arrange server state around
+/// it; every wait below is gated on observable server state, not time.
+MapRequest slow_request() {
+  MapRequest request;
+  request.blif = benchmark_blif("alu4");
+  request.k = 6;
+  request.split_threshold = 14;
+  return request;
+}
+
 TEST(Serve, FullAdmissionQueueRejectsWithBusy) {
   ServerConfig config;
   config.unix_path = test_socket_path("busy");
@@ -193,33 +229,30 @@ TEST(Serve, FullAdmissionQueueRejectsWithBusy) {
   Server server(config);
   server.start();
 
-  // Stall the single worker: a raw connection that sends only part of a
-  // frame preamble and then goes quiet. The worker blocks reading the
-  // rest of the frame.
-  const int stall_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  ASSERT_GE(stall_fd, 0);
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, config.unix_path.c_str(),
-               sizeof addr.sun_path - 1);
-  ASSERT_EQ(::connect(stall_fd, reinterpret_cast<sockaddr*>(&addr),
-                      sizeof addr),
-            0);
-  ASSERT_EQ(::write(stall_fd, "CSv1", 4), 4);
-  // Wait until the worker owns the stalled connection, so the next two
-  // land in the queue deterministically.
-  for (int i = 0; i < 500 && server.active_connections() == 0; ++i)
+  // Occupy the single worker with a genuinely slow solve.
+  std::thread solving([&] {
+    Client client = Client::connect_unix(config.unix_path);
+    const MapResponse response = client.map(slow_request());
+    EXPECT_TRUE(response.ok()) << response.error;
+  });
+  for (int i = 0; i < 5000 && server.in_flight_requests() == 0; ++i)
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  ASSERT_EQ(server.active_connections(), 1u);
+  ASSERT_EQ(server.in_flight_requests(), 1u);
 
-  // Fills the queue slot; never served until the stall clears.
-  Client queued = Client::connect_unix(config.unix_path);
-  // Give the acceptor a moment to enqueue it before overflowing.
-  for (int i = 0; i < 500 && server.counters().accepted < 2; ++i)
+  // Fill the one queue slot with a second complete request.
+  std::thread queued([&] {
+    Client client = Client::connect_unix(config.unix_path);
+    MapRequest request;
+    request.blif = benchmark_blif("count");
+    const MapResponse response = client.map(request);
+    EXPECT_TRUE(response.ok()) << response.error;
+  });
+  for (int i = 0; i < 5000 && server.queue_depth() == 0; ++i)
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(server.queue_depth(), 1u);
 
-  // Overflow: must be rejected with "busy" immediately, while the
-  // worker is still stuck — no second worker exists to rescue it.
+  // Overflow: a third request must be rejected "busy" by the event
+  // loop itself — no worker is free to even look at it.
   Client overflow = Client::connect_unix(config.unix_path);
   MapRequest request;
   request.blif = benchmark_blif("count");
@@ -227,10 +260,40 @@ TEST(Serve, FullAdmissionQueueRejectsWithBusy) {
   EXPECT_EQ(response.status, "busy");
   EXPECT_TRUE(response.blif.empty());
 
-  // Unstick the worker; the queued connection must then be served.
-  ::close(stall_fd);
-  const MapResponse served = queued.map(request);
-  EXPECT_TRUE(served.ok()) << served.error;
+  // The slow and the queued request are unaffected by the rejection.
+  solving.join();
+  queued.join();
+  server.shutdown();
+  EXPECT_GE(server.counters().rejected_busy, 1u);
+  EXPECT_EQ(server.counters().ok, 2u);
+}
+
+TEST(Serve, MaxConnectionsRejectFreshConnectionsWithBusy) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("conncap");
+  config.workers = 1;
+  config.max_connections = 2;
+  Server server(config);
+  server.start();
+
+  const int idle1 = raw_partial_connection(config.unix_path);
+  const int idle2 = raw_partial_connection(config.unix_path);
+  ASSERT_GE(idle1, 0);
+  ASSERT_GE(idle2, 0);
+  for (int i = 0; i < 5000 && server.open_connections() < 2; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(server.open_connections(), 2u);
+
+  // The connection budget is exhausted: a fresh connection gets a
+  // best-effort busy frame and an immediate close.
+  Client overflow = Client::connect_unix(config.unix_path);
+  MapRequest request;
+  request.blif = benchmark_blif("count");
+  const MapResponse response = overflow.map(request);
+  EXPECT_EQ(response.status, "busy");
+
+  ::close(idle1);
+  ::close(idle2);
   server.shutdown();
   EXPECT_GE(server.counters().rejected_busy, 1u);
 }
@@ -308,19 +371,6 @@ TEST(Serve, RunReportRecordsOneRowPerRequest) {
 // ---------------------------------------------------------------------
 // Protocol revision 2: trace context + per-stage timings, negotiated so
 // v1 peers keep seeing the exact v1 wire shape.
-
-/// Raw client socket speaking frames directly — stands in for an old
-/// (pre-revision-2) client build.
-int raw_connect(const std::string& path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  EXPECT_GE(fd, 0);
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-  EXPECT_EQ(
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
-  return fd;
-}
 
 TEST(ServeProtocol, V1RequestGetsByteCompatibleV1Response) {
   ServerConfig config;
@@ -514,6 +564,282 @@ TEST(ServeProtocol, DrainFlushesFinalSnapshotIntoReport) {
   const obs::Json* stage = hdr->find("serve.stage.request");
   ASSERT_NE(stage, nullptr);
   EXPECT_EQ(stage->find("count")->as_int(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Event-driven connection multiplexing: the keep-alive starvation class
+// of bugs. Idle or dribbling peers must never occupy a worker.
+
+TEST(ServeMultiplex, IdleKeepAliveConnectionsDoNotStarveWorkers) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("starve");
+  config.workers = 2;
+  Server server(config);
+  server.start();
+
+  // More idle connections than workers, each parked mid-preamble. The
+  // old per-connection-worker design dispatched the first two of these
+  // to the pool and never got them back: the real request below then
+  // waited forever. The event loop just buffers 4 bytes each.
+  std::vector<int> idle_fds;
+  for (int i = 0; i < config.workers + 4; ++i)
+    idle_fds.push_back(raw_partial_connection(config.unix_path));
+  for (int i = 0; i < 5000 && server.open_connections() < idle_fds.size();
+       ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(server.open_connections(), idle_fds.size());
+
+  Client client = Client::connect_unix(config.unix_path);
+  MapRequest request;
+  request.blif = benchmark_blif("count");
+  const MapResponse response = client.map(request);
+  EXPECT_TRUE(response.ok()) << response.error;
+
+  for (const int fd : idle_fds) ::close(fd);
+  server.shutdown();
+  EXPECT_EQ(server.counters().ok, 1u);
+}
+
+TEST(ServeMultiplex, SlowlorisFrameDoesNotBlockOtherRequests) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("loris");
+  config.workers = 1;  // a pinned worker would be THE worker
+  Server server(config);
+  server.start();
+
+  // A complete, valid request delivered in two halves, with the pause
+  // between them under test control — no timing assumptions.
+  MapRequest slow;
+  slow.id = "slowloris";
+  slow.blif = benchmark_blif("count");
+  const std::string bytes =
+      encode_frame(encode_request_header(slow), slow.blif);
+  const int fd = raw_connect(config.unix_path);
+  const std::size_t half = bytes.size() / 2;
+  ASSERT_EQ(::send(fd, bytes.data(), half, MSG_NOSIGNAL),
+            static_cast<ssize_t>(half));
+
+  // While the frame sits half-received, the single worker must still
+  // serve other connections.
+  Client client = Client::connect_unix(config.unix_path);
+  MapRequest request;
+  request.blif = benchmark_blif("count");
+  for (int i = 0; i < 3; ++i) {
+    const MapResponse response = client.map(request);
+    EXPECT_TRUE(response.ok()) << response.error;
+  }
+
+  // Now finish the frame; the dribbled request gets its response too.
+  ASSERT_EQ(::send(fd, bytes.data() + half, bytes.size() - half,
+                   MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size() - half));
+  const std::optional<Frame> reply = read_frame(fd);
+  ::close(fd);
+  ASSERT_TRUE(reply.has_value());
+  const MapResponse slow_response = parse_map_response(*reply);
+  EXPECT_TRUE(slow_response.ok()) << slow_response.error;
+  EXPECT_EQ(slow_response.id, "slowloris");
+  server.shutdown();
+  EXPECT_EQ(server.counters().ok, 4u);
+}
+
+TEST(ServeMultiplex, PipelinedRequestsAnswerInOrder) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("pipeline");
+  config.workers = 2;  // order must come from the protocol, not the pool
+  Server server(config);
+  server.start();
+
+  const int fd = raw_connect(config.unix_path);
+  std::string bytes;
+  for (const char* id : {"first", "second", "third"}) {
+    MapRequest request;
+    request.id = id;
+    request.blif = benchmark_blif("count");
+    bytes += encode_frame(encode_request_header(request), request.blif);
+  }
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  for (const char* id : {"first", "second", "third"}) {
+    const std::optional<Frame> reply = read_frame(fd);
+    ASSERT_TRUE(reply.has_value()) << id;
+    const MapResponse response = parse_map_response(*reply);
+    EXPECT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(response.id, id);
+  }
+  ::close(fd);
+  server.shutdown();
+  EXPECT_EQ(server.counters().ok, 3u);
+}
+
+TEST(ServeMultiplex, IdleTimeoutReapsQuietAndMidFrameConnections) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("reap");
+  config.workers = 1;
+  config.idle_timeout_ms = 100;
+  Server server(config);
+  server.start();
+
+  const int quiet = raw_connect(config.unix_path);
+  const int mid_frame = raw_partial_connection(config.unix_path);
+  for (const int fd : {quiet, mid_frame}) {
+    timeval timeout{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    char byte;
+    // EOF (0) within the receive timeout: the server reaped us.
+    EXPECT_EQ(::read(fd, &byte, 1), 0);
+    ::close(fd);
+  }
+  server.shutdown();
+  EXPECT_GE(server.counters().idle_closed, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Serving-layer bugfix sweep.
+
+TEST(ServeBugfix, StartFailureReleasesEarlierListeners) {
+  // Occupy a TCP port so the server's TCP bind fails AFTER its unix
+  // listener was already bound.
+  const int blocker = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(blocker, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(blocker, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  ASSERT_EQ(::listen(blocker, 1), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(blocker, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+
+  ServerConfig config;
+  config.unix_path = test_socket_path("startfail");
+  config.tcp_port = ntohs(addr.sin_port);
+  {
+    Server server(config);
+    EXPECT_THROW(server.start(), std::runtime_error);
+  }
+  // The already-bound unix listener's socket file must be gone...
+  struct stat st {};
+  EXPECT_NE(::lstat(config.unix_path.c_str(), &st), 0);
+  // ...so a corrected retry can bind the same path.
+  config.tcp_port = -1;
+  Server retry(config);
+  retry.start();
+  Client client = Client::connect_unix(config.unix_path);
+  MapRequest request;
+  request.blif = benchmark_blif("count");
+  EXPECT_TRUE(client.map(request).ok());
+  retry.shutdown();
+  ::close(blocker);
+}
+
+TEST(ServeBugfix, ListenUnixRefusesToUnlinkARegularFile) {
+  const std::string path = test_socket_path("regfile");
+  {
+    std::ofstream out(path);
+    out << "somebody's precious data\n";
+  }
+  ServerConfig config;
+  config.unix_path = path;
+  {
+    Server server(config);
+    EXPECT_THROW(server.start(), std::runtime_error);
+  }
+  // The file survived, contents intact: a mistyped --unix cannot
+  // destroy data.
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "somebody's precious data");
+  ::unlink(path.c_str());
+}
+
+TEST(ServeBugfix, InvalidRequestStillEchoesIdProtoAndTraceContext) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("echoinv");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  // k = 9 fails request validation; a revision-2 peer must still get
+  // its id and trace id back so client-side correlation works.
+  obs::Json header = obs::Json::object();
+  header.set("type", kMapRequestType);
+  header.set("id", "correlate-me");
+  header.set("proto", 2);
+  header.set("trace_id", "00112233445566aa");
+  header.set("span_id", "aabbccddeeff0011");
+  header.set("k", 9);
+  const int fd = raw_connect(config.unix_path);
+  write_frame(fd, header, benchmark_blif("count"));
+  const std::optional<Frame> reply = read_frame(fd);
+  ::close(fd);
+  ASSERT_TRUE(reply.has_value());
+  const MapResponse response = parse_map_response(*reply);
+  EXPECT_EQ(response.status, "invalid");
+  EXPECT_EQ(response.id, "correlate-me");
+  EXPECT_EQ(response.proto, kProtocolVersion);
+  EXPECT_EQ(response.context.trace_id, 0x00112233445566aaull);
+
+  // A v1 peer's invalid request stays v1-shaped: id echoed, no
+  // revision-2 fields.
+  obs::Json v1_header = obs::Json::object();
+  v1_header.set("type", kMapRequestType);
+  v1_header.set("id", "v1-invalid");
+  v1_header.set("k", 9);
+  const int v1_fd = raw_connect(config.unix_path);
+  write_frame(v1_fd, v1_header, benchmark_blif("count"));
+  const std::optional<Frame> v1_reply = read_frame(v1_fd);
+  ::close(v1_fd);
+  ASSERT_TRUE(v1_reply.has_value());
+  EXPECT_EQ(v1_reply->header.find("proto"), nullptr);
+  EXPECT_EQ(v1_reply->header.find("trace_id"), nullptr);
+  const MapResponse v1_response = parse_map_response(*v1_reply);
+  EXPECT_EQ(v1_response.status, "invalid");
+  EXPECT_EQ(v1_response.id, "v1-invalid");
+  server.shutdown();
+  EXPECT_EQ(server.counters().invalid_requests, 2u);
+}
+
+TEST(ServeBugfix, ClientSurfacesWriteErrorWhenBusyRecoveryFails) {
+  // A fake "server" that sends garbage and hangs up: the client's write
+  // fails mid-request, and its busy-recovery fallback read then hits
+  // bytes that are not a frame. The original write error must survive,
+  // with the read failure attached as context — not be masked by it.
+  const std::string path = test_socket_path("fakesrv");
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ASSERT_EQ(
+      ::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  std::thread fake([&] {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    (void)!::send(conn, "GARBAGEGARBAGE!!", 16, MSG_NOSIGNAL);
+    ::close(conn);
+  });
+
+  Client client = Client::connect_unix(path);
+  fake.join();
+  MapRequest request;
+  // Far larger than the socket buffers, so the write cannot complete
+  // before the peer's close turns into EPIPE.
+  request.blif = std::string(std::size_t{32} << 20, 'x');
+  try {
+    client.map(request);
+    FAIL() << "map() must throw when the server hangs up mid-write";
+  } catch (const std::exception& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("frame write failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("no rejection frame"), std::string::npos) << what;
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
 }
 
 }  // namespace

@@ -4,15 +4,22 @@
 // and drains gracefully on SIGTERM/SIGINT.
 //
 //   chortle_serve (--unix PATH | --port N) [--workers N] [--queue N]
-//                 [--cache-mb N] [--map-jobs N] [--stats-out PATH]
-//                 [--stats-log-s N]
+//                 [--max-conns N] [--idle-timeout-ms N] [--cache-mb N]
+//                 [--map-jobs N] [--stats-out PATH] [--stats-log-s N]
 //
 //   --unix PATH      listen on a Unix-domain socket at PATH
 //   --port N         listen on 127.0.0.1:N (0 = ephemeral; the chosen
 //                    port is printed on the READY line)
-//   --workers N      concurrently served connections (default 4)
-//   --queue N        admission queue bound; beyond it requests are
-//                    rejected with "busy" (default 16)
+//   --workers N      concurrently *solving* requests (default 4);
+//                    connections are multiplexed by the event loop and
+//                    not bounded by this
+//   --queue N        admission queue bound (complete requests waiting
+//                    for a worker); beyond it requests are rejected
+//                    with "busy" (default 16)
+//   --max-conns N    open-socket budget; beyond it fresh connections
+//                    are rejected with "busy" (default 1024)
+//   --idle-timeout-ms N  close connections idle (or stalled mid-frame)
+//                    this long; <= 0 never (default 60000)
 //   --cache-mb N     DP-cache budget in MiB (default 256)
 //   --map-jobs N     threads per map_network call (default 1)
 //   --stats-out P    write a chortle-run-report/1 with one row per
@@ -57,8 +64,9 @@ void on_signal(int) {
 void usage() {
   std::fprintf(stderr,
                "usage: chortle_serve (--unix PATH | --port N) [--workers N] "
-               "[--queue N] [--cache-mb N] [--map-jobs N] [--stats-out "
-               "PATH] [--stats-log-s N]\n");
+               "[--queue N] [--max-conns N] [--idle-timeout-ms N] "
+               "[--cache-mb N] [--map-jobs N] [--stats-out PATH] "
+               "[--stats-log-s N]\n");
 }
 
 double number_at(const chortle::obs::Json& doc, const char* outer,
@@ -76,6 +84,7 @@ void log_stats_line(const chortle::serve::Server& server) {
   const chortle::obs::Json* uptime = doc.find("uptime_seconds");
   const chortle::obs::Json* queue = doc.find("queue_depth");
   const chortle::obs::Json* in_flight = doc.find("in_flight");
+  const chortle::obs::Json* conns = doc.find("open_connections");
   const chortle::obs::Json* stages = doc.find("stages");
   const chortle::obs::Json* request =
       stages != nullptr ? stages->find("request") : nullptr;
@@ -89,10 +98,12 @@ void log_stats_line(const chortle::serve::Server& server) {
   std::fprintf(
       stderr,
       "chortle_serve: stats uptime=%.0fs served=%.0f ok=%.0f busy=%.0f "
-      "in_flight=%.0f queue=%.0f cache_hit_rate=%.2f p50=%.4fs p99=%.4fs\n",
+      "conns=%.0f in_flight=%.0f queue=%.0f cache_hit_rate=%.2f "
+      "p50=%.4fs p99=%.4fs\n",
       uptime != nullptr && uptime->is_number() ? uptime->as_number() : 0.0,
       number_at(doc, "requests", "served"), number_at(doc, "requests", "ok"),
       number_at(doc, "requests", "rejected_busy"),
+      conns != nullptr && conns->is_number() ? conns->as_number() : 0.0,
       in_flight != nullptr && in_flight->is_number() ? in_flight->as_number()
                                                      : 0.0,
       queue != nullptr && queue->is_number() ? queue->as_number() : 0.0,
@@ -119,6 +130,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue" && has_value) {
       config.queue_capacity =
           static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--max-conns" && has_value) {
+      config.max_connections =
+          static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--idle-timeout-ms" && has_value) {
+      config.idle_timeout_ms = std::atol(argv[++i]);
     } else if (arg == "--cache-mb" && has_value) {
       config.cache_bytes =
           static_cast<std::size_t>(std::atol(argv[++i])) << 20;
