@@ -126,6 +126,7 @@ struct Row {
   std::string name;
   int k = 0;
   int luts = 0;
+  int depth = 0;
   std::string blif_hash;  // fnv1a64 of the serial BLIF, hex
   double seconds_serial = 0.0;
   double seconds_jobs = 0.0;
@@ -137,7 +138,7 @@ struct Row {
 /// the last result's circuit is written out as BLIF text.
 template <typename MapFn>
 double time_mapping(int repeat, MapFn map, std::string* blif_out,
-                    int* luts_out) {
+                    int* luts_out, int* depth_out = nullptr) {
   double best = 0.0;
   for (int r = 0; r < repeat; ++r) {
     WallTimer timer;
@@ -148,6 +149,7 @@ double time_mapping(int repeat, MapFn map, std::string* blif_out,
       if (blif_out != nullptr)
         *blif_out = blif::write_blif_string(result.circuit, "bench");
       if (luts_out != nullptr) *luts_out = result.stats.num_luts;
+      if (depth_out != nullptr) *depth_out = result.stats.depth;
     }
   }
   return best;
@@ -202,6 +204,17 @@ int check_against_baseline(const std::vector<Row>& rows, const Flags& flags) {
                    static_cast<long long>(luts->as_int()), row.luts);
       ++mismatches;
     }
+    // Depth is exact, like the LUT count — but older baselines predate
+    // the field, so only compare when the baseline row carries it.
+    if (const obs::Json* depth = base_row.find("depth");
+        depth != nullptr && depth->as_int() != row.depth) {
+      std::fprintf(stderr,
+                   "run_tables: depth mismatch vs baseline: %s K=%d "
+                   "(baseline %lld, current %d)\n",
+                   row.name.c_str(), row.k,
+                   static_cast<long long>(depth->as_int()), row.depth);
+      ++mismatches;
+    }
     const double current[] = {row.seconds_serial, row.seconds_jobs,
                               row.seconds_cache_cold, row.seconds_cache_warm};
     for (int m = 0; m < 4; ++m) {
@@ -254,7 +267,7 @@ int run(const Flags& flags) {
       row.seconds_serial = time_mapping(
           flags.repeat,
           [&] { return core::map_network(design.network, serial); },
-          &serial_blif, &row.luts);
+          &serial_blif, &row.luts, &row.depth);
       row.blif_hash = base::fnv1a64_hex(serial_blif);
 
       core::Options parallel = serial;
@@ -289,10 +302,11 @@ int run(const Flags& flags) {
       }
 
       std::printf(
-          "%-8s K=%d  luts %5d  serial %8.4fs  jobs%-2d %8.4fs  "
+          "%-8s K=%d  luts %5d  depth %3d  serial %8.4fs  jobs%-2d %8.4fs  "
           "cold %8.4fs  warm %8.4fs\n",
-          name.c_str(), k, row.luts, row.seconds_serial, flags.jobs,
-          row.seconds_jobs, row.seconds_cache_cold, row.seconds_cache_warm);
+          name.c_str(), k, row.luts, row.depth, row.seconds_serial,
+          flags.jobs, row.seconds_jobs, row.seconds_cache_cold,
+          row.seconds_cache_warm);
       rows.push_back(std::move(row));
     }
   }
@@ -312,6 +326,7 @@ int run(const Flags& flags) {
     entry.set("name", row.name);
     entry.set("k", row.k);
     entry.set("luts", row.luts);
+    entry.set("depth", row.depth);
     entry.set("blif_fnv1a64", row.blif_hash);
     entry.set("seconds_serial", row.seconds_serial);
     entry.set("seconds_jobs", row.seconds_jobs);

@@ -1,14 +1,16 @@
 // map_blif: a command-line technology mapper, the tool a user of the
 // original Chortle program would have run.
 //
-//   map_blif [input.blif] [-k K] [-o output.blif] [--baseline]
-//            [--no-optimize] [--split N] [--stats] [--verilog]
+//   map_blif [input.blif] [-k K] [-o output.blif] [--mapper NAME]
+//            [--baseline] [--no-optimize] [--split N] [--stats]
+//            [--verilog]
 //
 // Reads a combinational BLIF model, optimizes it, maps it into K-input
-// LUTs with Chortle (or the MIS-II-style baseline with --baseline),
-// verifies the result, and writes a LUT-level BLIF netlist to stdout or
-// to the -o file. Without an input path, a built-in demo circuit (the
-// alu2 benchmark substitute) is used so the binary runs standalone.
+// LUTs with the selected backend (--mapper chortle|libmap|flowmap|
+// cutmap; --baseline is shorthand for --mapper libmap), verifies the
+// result, and writes a LUT-level BLIF netlist to stdout or to the -o
+// file. Without an input path, a built-in demo circuit (the alu2
+// benchmark substitute) is used so the binary runs standalone.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,9 +19,8 @@
 
 #include "blif/blif.hpp"
 #include "blif/verilog.hpp"
+#include "chortle/imapper.hpp"
 #include "chortle/mapper.hpp"
-#include "libmap/library.hpp"
-#include "libmap/matcher.hpp"
 #include "mcnc/generators.hpp"
 #include "opt/decompose.hpp"
 #include "opt/script.hpp"
@@ -30,8 +31,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: map_blif [input.blif] [-k K] [-o out.blif] "
-               "[--baseline] [--no-optimize] [--split N] [--stats] "
-               "[--verilog]\n");
+               "[--mapper NAME] [--baseline] [--no-optimize] [--split N] "
+               "[--stats] [--verilog]\n");
 }
 
 }  // namespace
@@ -42,10 +43,12 @@ int main(int argc, char** argv) {
   std::string output_path;
   int k = 4;
   int split_threshold = 10;
-  bool use_baseline = false;
+  std::string mapper_name = "chortle";
   bool run_optimizer = true;
   bool print_stats = false;
   bool emit_verilog = false;
+
+  const core::IMapper* mapper = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -55,8 +58,12 @@ int main(int argc, char** argv) {
       output_path = argv[++i];
     } else if (arg == "--split" && i + 1 < argc) {
       split_threshold = std::atoi(argv[++i]);
+    } else if (arg == "--mapper" && i + 1 < argc) {
+      mapper_name = argv[++i];
+    } else if (arg.rfind("--mapper=", 0) == 0) {
+      mapper_name = arg.substr(9);
     } else if (arg == "--baseline") {
-      use_baseline = true;
+      mapper_name = "libmap";
     } else if (arg == "--no-optimize") {
       run_optimizer = false;
     } else if (arg == "--stats") {
@@ -72,6 +79,18 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+  }
+
+  mapper = core::find_mapper(mapper_name);
+  if (mapper == nullptr) {
+    std::fprintf(stderr, "map_blif: unknown mapper '%s' (expected %s)\n",
+                 mapper_name.c_str(), core::mapper_names().c_str());
+    return 2;
+  }
+  if (k < mapper->min_k() || k > mapper->max_k()) {
+    std::fprintf(stderr, "map_blif: mapper '%s' supports K=%d..%d, got %d\n",
+                 mapper->name(), mapper->min_k(), mapper->max_k(), k);
+    return 2;
   }
 
   try {
@@ -103,30 +122,15 @@ int main(int argc, char** argv) {
       network = opt::decompose_to_and_or(model.network);
     }
 
-    net::LutCircuit circuit(k);
-    if (use_baseline) {
-      const libmap::Library library =
-          k <= 3 ? libmap::Library::complete(k)
-                 : libmap::Library::level0_kernels(k);
-      const libmap::BaselineResult result =
-          libmap::map_with_library(network, library);
-      circuit = result.circuit;
-      if (print_stats)
-        std::fprintf(stderr, "baseline: %d LUTs, depth %d, %.3fs\n",
-                     result.stats.num_luts, result.stats.depth,
-                     result.stats.seconds);
-    } else {
-      core::Options options;
-      options.k = k;
-      options.split_threshold = split_threshold;
-      const core::MapResult result = core::map_network(network, options);
-      circuit = result.circuit;
-      if (print_stats)
-        std::fprintf(stderr,
-                     "chortle: %d LUTs in %d trees, depth %d, %.3fs\n",
-                     result.stats.num_luts, result.stats.num_trees,
-                     result.stats.depth, result.stats.seconds);
-    }
+    core::Options options;
+    options.k = k;
+    options.split_threshold = split_threshold;
+    const core::MapResult result = mapper->map(network, options);
+    const net::LutCircuit& circuit = result.circuit;
+    if (print_stats)
+      std::fprintf(stderr, "%s: %d LUTs, depth %d, %.3fs\n", mapper->name(),
+                   result.stats.num_luts, result.stats.depth,
+                   result.stats.seconds);
 
     if (!sim::equivalent(sim::design_of(model.network),
                          sim::design_of(circuit))) {

@@ -1,0 +1,51 @@
+// The uniform facade over every technology mapper in the tree. Each
+// backend — the paper's Chortle mapper, the MIS-style library baseline,
+// FlowMap, and the priority-cuts mapper — advertises a stable name and
+// a supported K range and maps an arbitrary-fanin AND/OR network into
+// LUTs; backends that operate on the 2-input subject graph build it
+// internally. Tools select a backend with --mapper=<name> and the fuzz
+// generator sweeps the registry, so adding a mapper here puts it in
+// front of every CLI and the differential oracle at once.
+//
+// The interface is header-only; the registry (all_mappers) lives in the
+// chortle_mappers library, the one target that links every backend.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chortle/mapper.hpp"
+#include "network/network.hpp"
+
+namespace chortle::core {
+
+class IMapper {
+ public:
+  virtual ~IMapper() = default;
+
+  /// Stable identifier used by --mapper= and reports.
+  virtual const char* name() const = 0;
+
+  /// Inclusive supported LUT-size range.
+  virtual int min_k() const = 0;
+  virtual int max_k() const = 0;
+
+  /// Maps `network` into options.k-input LUTs. options.k must lie in
+  /// [min_k(), max_k()] (InvalidInput otherwise); options.cancel is
+  /// honored by backends with cancellation points. Backend-specific
+  /// MapStats fields beyond num_luts/depth/seconds may stay zero.
+  virtual MapResult map(const net::Network& network,
+                        const Options& options) const = 0;
+};
+
+/// The registered mappers (chortle, libmap, flowmap, cutmap) in
+/// canonical order. Pointers are to process-lifetime singletons.
+const std::vector<const IMapper*>& all_mappers();
+
+/// nullptr when no mapper has that name.
+const IMapper* find_mapper(const std::string& name);
+
+/// "chortle|libmap|flowmap|cutmap", for CLI help and error text.
+std::string mapper_names();
+
+}  // namespace chortle::core

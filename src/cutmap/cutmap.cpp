@@ -1,0 +1,920 @@
+#include "cutmap/cutmap.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "base/check.hpp"
+#include "base/timer.hpp"
+#include "flowmap/flowmap.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "truth/packed.hpp"
+
+namespace chortle::cutmap {
+namespace {
+
+constexpr int kMaxCutLeaves = CutMapOptions::kMaxK + 2;
+constexpr int kInfRequired = std::numeric_limits<int>::max() / 2;
+
+/// One K-feasible cut (or two-LUT cascade candidate) of a node. Leaves
+/// are sorted by node id; the function is over the leaves with variable
+/// i = leaves[i]. Cut sets are immutable once enumeration finishes —
+/// the area passes only change which index is selected.
+struct Cut {
+  std::array<net::NodeId, kMaxCutLeaves> leaves{};
+  int num_leaves = 0;
+  std::uint64_t sig = 0;  // OR of 1 << (leaf % 64): fast subset filter
+  truth::PackedTable func;
+
+  // Chain decomposition (cube / complement-of-cube cuts wider than K).
+  // Leaf i carries literal (neg_mask bit i ? ~x : x); bits of
+  // early_mask pick the leaves of the first cascade LUT. The split is
+  // fixed at enumeration time from the first-pass arrival times.
+  bool decomposed = false;
+  bool is_or = false;  // OR of literals (complement of a cube) vs AND
+  std::uint16_t neg_mask = 0;
+  std::uint16_t early_mask = 0;
+
+  int area() const { return decomposed ? 2 : 1; }
+
+  bool subset_of(const Cut& other) const {
+    if ((sig & ~other.sig) != 0) return false;
+    int j = 0;
+    for (int i = 0; i < num_leaves; ++i) {
+      while (j < other.num_leaves && other.leaves[static_cast<std::size_t>(
+                                         j)] < leaves[static_cast<std::size_t>(
+                                                  i)])
+        ++j;
+      if (j == other.num_leaves ||
+          other.leaves[static_cast<std::size_t>(j)] !=
+              leaves[static_cast<std::size_t>(i)])
+        return false;
+    }
+    return true;
+  }
+};
+
+/// Per-node mapping state. `cuts` ends with the trivial self-cut for
+/// gates (never selectable as the node's own implementation; it exists
+/// so parents can use the node as a leaf).
+struct NodeState {
+  std::vector<Cut> cuts;
+  int selected = -1;
+  int arrival = 0;
+  double area_flow = 0.0;
+  int est_refs = 1;   // structural fanout, clamped to >= 1
+  int map_refs = 0;   // exact-area pass reference counts
+};
+
+/// True when `func` (over `w` > K vars) is an AND or OR chain of
+/// literals; fills the literal polarities.
+bool classify_chain(const truth::PackedTable& func, int w, bool* is_or,
+                    std::uint16_t* neg_mask) {
+  const std::uint64_t ones = func.count_ones();
+  if (ones == 1) {
+    // Cube: literal i is positive iff bit i of the unique minterm is 1.
+    std::uint64_t minterm = 0;
+    for (int i = 0; i < func.num_words(); ++i) {
+      const std::uint64_t word = func.words()[static_cast<std::size_t>(i)];
+      if (word != 0) {
+        minterm = static_cast<std::uint64_t>(i) * 64 +
+                  static_cast<std::uint64_t>(std::countr_zero(word));
+        break;
+      }
+    }
+    *is_or = false;
+    *neg_mask = static_cast<std::uint16_t>(~minterm &
+                                           ((std::uint64_t{1} << w) - 1));
+    return true;
+  }
+  if (ones == func.num_minterms() - 1) {
+    // Complement of a cube, i.e. OR of literals: literal i is negated
+    // iff bit i of the unique zero-minterm is 1.
+    const truth::PackedTable complement = ~func;
+    std::uint64_t minterm = 0;
+    for (int i = 0; i < complement.num_words(); ++i) {
+      const std::uint64_t word =
+          complement.words()[static_cast<std::size_t>(i)];
+      if (word != 0) {
+        minterm = static_cast<std::uint64_t>(i) * 64 +
+                  static_cast<std::uint64_t>(std::countr_zero(word));
+        break;
+      }
+    }
+    *is_or = true;
+    *neg_mask = static_cast<std::uint16_t>(minterm);
+    return true;
+  }
+  return false;
+}
+
+/// The AND/OR-of-literals function the cascade of a decomposed cut
+/// computes, for the emission-time equivalence check.
+truth::PackedTable chain_function(int num_vars, bool is_or,
+                                  std::uint16_t neg_mask) {
+  truth::PackedTable acc = is_or ? truth::PackedTable::zeros(num_vars)
+                                 : truth::PackedTable::ones(num_vars);
+  for (int i = 0; i < num_vars; ++i) {
+    truth::PackedTable lit = truth::PackedTable::var(i, num_vars);
+    if ((neg_mask >> i) & 1) lit = ~lit;
+    if (is_or)
+      acc |= lit;
+    else
+      acc &= lit;
+  }
+  return acc;
+}
+
+class CutMapper {
+ public:
+  CutMapper(const net::Network& subject, const CutMapOptions& options)
+      : network_(subject), options_(options) {
+    options.validate();
+    if (const auto violation = flowmap::validate_k_bounded(subject, 2))
+      throw InvalidInput("cutmap needs a 2-input subject graph: " +
+                         violation->message());
+  }
+
+  CutMapResult run() {
+    OBS_SPAN_ARG("cutmap.map", network_.num_nodes());
+    WallTimer timer;
+    const std::size_t n = static_cast<std::size_t>(network_.num_nodes());
+    labels_ = flowmap::flowmap_labels(network_, options_.k);
+    state_.assign(n, NodeState{});
+    const std::vector<int> refs = network_.reference_counts();
+    for (std::size_t i = 0; i < n; ++i)
+      state_[i].est_refs = std::max(1, refs[i]);
+
+    enumerate();
+    depth_target_ = cover_depth();
+    CHORTLE_CHECK_MSG(depth_target_ <= labels_.depth,
+                      "cutmap depth exceeds the FlowMap-optimal bound");
+
+    CutMapResult result{net::LutCircuit(options_.k), CutMapStats{}};
+    result.stats.first_pass_luts = cover_area();
+    // Each recovery pass is advisory: the area-flow estimate can
+    // misjudge shared logic and leave a worse cover than it started
+    // with, so a pass that increased the cover area is rolled back.
+    // This makes num_luts <= first_pass_luts an invariant rather than
+    // a tendency.
+    struct Selection {
+      int selected;
+      int arrival;
+      double area_flow;
+    };
+    std::vector<Selection> saved(state_.size());
+    int best_area = result.stats.first_pass_luts;
+    for (int pass = 0; pass < options_.area_iterations; ++pass) {
+      for (std::size_t i = 0; i < state_.size(); ++i)
+        saved[i] = {state_[i].selected, state_[i].arrival,
+                    state_[i].area_flow};
+      compute_required();
+      if (pass == 0)
+        area_flow_pass();
+      else
+        exact_area_pass();
+      CHORTLE_CHECK_MSG(cover_depth() <= depth_target_,
+                        "area recovery broke the depth bound");
+      const int area = cover_area();
+      if (area > best_area) {
+        for (std::size_t i = 0; i < state_.size(); ++i) {
+          state_[i].selected = saved[i].selected;
+          state_[i].arrival = saved[i].arrival;
+          state_[i].area_flow = saved[i].area_flow;
+        }
+      } else {
+        best_area = area;
+      }
+    }
+
+    emit(result.circuit);
+    result.stats.num_luts = result.circuit.num_luts();
+    result.stats.depth = result.circuit.depth();
+    result.stats.depth_bound = labels_.depth;
+    result.stats.repair_cuts = repair_cuts_;
+    result.stats.cuts_enumerated = cuts_enumerated_;
+    result.stats.decomposed_luts = count_decomposed_in_cover();
+    result.stats.seconds = timer.seconds();
+    CHORTLE_CHECK_MSG(result.stats.depth <= labels_.depth,
+                      "emitted circuit exceeds the FlowMap-optimal depth");
+    OBS_COUNT("cutmap.networks", 1);
+    OBS_COUNT("cutmap.cuts_enumerated", cuts_enumerated_);
+    OBS_COUNT("cutmap.repair_cuts", repair_cuts_);
+    OBS_COUNT("cutmap.decomposed_luts", result.stats.decomposed_luts);
+    OBS_COUNT("cutmap.luts", result.stats.num_luts);
+    return result;
+  }
+
+ private:
+  NodeState& state(net::NodeId v) {
+    return state_[static_cast<std::size_t>(v)];
+  }
+  const Cut& selected_cut(net::NodeId v) const {
+    const NodeState& s = state_[static_cast<std::size_t>(v)];
+    return s.cuts[static_cast<std::size_t>(s.selected)];
+  }
+  int arrival(net::NodeId v) const {
+    return state_[static_cast<std::size_t>(v)].arrival;
+  }
+
+  /// Arrival time of `cut` under the current per-node arrivals: one
+  /// level above the latest leaf, or the cascade formula (early leaves
+  /// pass through two LUTs) for decomposed cuts.
+  int cut_arrival(const Cut& cut) const {
+    if (!cut.decomposed) {
+      int latest = 0;
+      for (int i = 0; i < cut.num_leaves; ++i)
+        latest = std::max(latest,
+                          arrival(cut.leaves[static_cast<std::size_t>(i)]));
+      return latest + 1;
+    }
+    int early = 0;
+    int late = 0;
+    for (int i = 0; i < cut.num_leaves; ++i) {
+      const int a = arrival(cut.leaves[static_cast<std::size_t>(i)]);
+      if ((cut.early_mask >> i) & 1)
+        early = std::max(early, a);
+      else
+        late = std::max(late, a);
+    }
+    return std::max(early + 2, late + 1);
+  }
+
+  double cut_area_flow(net::NodeId v, const Cut& cut) const {
+    double flow = cut.area();
+    for (int i = 0; i < cut.num_leaves; ++i)
+      flow += state_[static_cast<std::size_t>(
+                         cut.leaves[static_cast<std::size_t>(i)])]
+                  .area_flow;
+    return flow / state_[static_cast<std::size_t>(v)].est_refs;
+  }
+
+  /// Deterministic tie-break of last resort: lexicographic leaf lists.
+  static bool leaves_less(const Cut& a, const Cut& b) {
+    const int n = std::min(a.num_leaves, b.num_leaves);
+    for (int i = 0; i < n; ++i) {
+      const std::size_t j = static_cast<std::size_t>(i);
+      if (a.leaves[j] != b.leaves[j]) return a.leaves[j] < b.leaves[j];
+    }
+    return a.num_leaves < b.num_leaves;
+  }
+
+  // --- Cut enumeration -------------------------------------------------
+
+  void enumerate() {
+    OBS_SPAN_ARG("cutmap.enumerate", network_.num_nodes());
+    for (net::NodeId pi : network_.inputs()) {
+      NodeState& s = state(pi);
+      s.cuts.push_back(trivial_cut(pi));
+      s.selected = 0;  // never emitted; keeps selected_cut() total
+      s.arrival = 0;
+      s.area_flow = 0.0;
+    }
+    for (net::NodeId v : network_.gates_in_topo_order()) {
+      if (options_.cancel) options_.cancel->check("cutmap.enumerate");
+      enumerate_node(v);
+    }
+  }
+
+  static Cut trivial_cut(net::NodeId v) {
+    Cut cut;
+    cut.leaves[0] = v;
+    cut.num_leaves = 1;
+    cut.sig = std::uint64_t{1} << (v & 63);
+    cut.func = truth::PackedTable::var(0, 1);
+    return cut;
+  }
+
+  /// Sorted-union merge of two leaf lists; false when the union
+  /// exceeds `max_leaves`. Also records, for each input cut, where its
+  /// leaves land in the merged list (the expanded() position maps).
+  static bool merge_leaves(const Cut& a, const Cut& b, int max_leaves,
+                           Cut* merged, int* pos_a, int* pos_b) {
+    int i = 0;
+    int j = 0;
+    int out = 0;
+    while (i < a.num_leaves || j < b.num_leaves) {
+      if (out == max_leaves) return false;
+      const bool take_a =
+          j == b.num_leaves ||
+          (i < a.num_leaves && a.leaves[static_cast<std::size_t>(i)] <=
+                                   b.leaves[static_cast<std::size_t>(j)]);
+      if (take_a) {
+        const net::NodeId leaf = a.leaves[static_cast<std::size_t>(i)];
+        pos_a[i++] = out;
+        if (j < b.num_leaves &&
+            b.leaves[static_cast<std::size_t>(j)] == leaf)
+          pos_b[j++] = out;
+        merged->leaves[static_cast<std::size_t>(out++)] = leaf;
+      } else {
+        pos_b[j] = out;
+        merged->leaves[static_cast<std::size_t>(out++)] =
+            b.leaves[static_cast<std::size_t>(j++)];
+      }
+    }
+    merged->num_leaves = out;
+    merged->sig = a.sig | b.sig;
+    return true;
+  }
+
+  /// Drops non-support leaves from `cut` (keeps at least one so the
+  /// emitted LUT has an input even for a constant cone function).
+  void minimize_support(Cut* cut) const {
+    int keep[kMaxCutLeaves];
+    int num_keep = 0;
+    for (int i = 0; i < cut->num_leaves; ++i)
+      if (cut->func.depends_on(i)) keep[num_keep++] = i;
+    if (num_keep == cut->num_leaves) return;
+    if (num_keep == 0) keep[num_keep++] = 0;
+    cut->func = cut->func.compressed(keep, num_keep);
+    cut->sig = 0;
+    for (int i = 0; i < num_keep; ++i) {
+      cut->leaves[static_cast<std::size_t>(i)] =
+          cut->leaves[static_cast<std::size_t>(keep[i])];
+      cut->sig |= std::uint64_t{1}
+                  << (cut->leaves[static_cast<std::size_t>(i)] & 63);
+    }
+    cut->num_leaves = num_keep;
+  }
+
+  /// Fixes the cascade split of a wide chain cut: the earliest-arriving
+  /// leaves feed the first LUT. Returns false when no feasible split
+  /// exists (it always does for K+1..K+2 leaves and K >= 3).
+  bool plan_cascade(Cut* cut) const {
+    const int w = cut->num_leaves;
+    const int k = options_.k;
+    // First-LUT size g: the second LUT takes the cascade signal plus
+    // the remaining w-g leaves, so g >= w-k+1; and g <= k, g >= 2,
+    // with at least one late leaf (g <= w-1).
+    const int g_min = std::max(2, w - k + 1);
+    const int g_max = std::min(k, w - 1);
+    if (g_min > g_max) return false;
+    int order[kMaxCutLeaves];
+    for (int i = 0; i < w; ++i) order[i] = i;
+    std::sort(order, order + w, [&](int x, int y) {
+      const int ax = arrival(cut->leaves[static_cast<std::size_t>(x)]);
+      const int ay = arrival(cut->leaves[static_cast<std::size_t>(y)]);
+      if (ax != ay) return ax < ay;
+      return x < y;
+    });
+    int best_g = -1;
+    int best_depth = kInfRequired;
+    for (int g = g_min; g <= g_max; ++g) {
+      const int early =
+          arrival(cut->leaves[static_cast<std::size_t>(order[g - 1])]);
+      const int late =
+          arrival(cut->leaves[static_cast<std::size_t>(order[w - 1])]);
+      const int depth = std::max(early + 2, late + 1);
+      if (depth < best_depth) {
+        best_depth = depth;
+        best_g = g;
+      }
+    }
+    cut->decomposed = true;
+    cut->early_mask = 0;
+    for (int i = 0; i < best_g; ++i)
+      cut->early_mask |= static_cast<std::uint16_t>(1 << order[i]);
+    return true;
+  }
+
+  /// Inserts `cut` into `set` unless a kept cut dominates it (subset
+  /// leaves, no worse arrival or area); evicts kept cuts it dominates.
+  void insert_cut(std::vector<Cut>& set, Cut cut) const {
+    const int a = cut_arrival(cut);
+    for (const Cut& kept : set) {
+      if (kept.subset_of(cut) && cut_arrival(kept) <= a &&
+          kept.area() <= cut.area())
+        return;
+    }
+    std::erase_if(set, [&](const Cut& kept) {
+      return cut.subset_of(kept) && a <= cut_arrival(kept) &&
+             cut.area() <= kept.area();
+    });
+    set.push_back(std::move(cut));
+  }
+
+  void enumerate_node(net::NodeId v) {
+    const net::Network::Node& node = network_.node(v);
+    CHORTLE_CHECK(node.fanins.size() == 2);
+    const net::Fanin fa = node.fanins[0];
+    const net::Fanin fb = node.fanins[1];
+    const bool is_and = node.op == net::GateOp::kAnd;
+    const int max_leaves =
+        options_.decompose_chains ? options_.k + 2 : options_.k;
+
+    std::vector<Cut> cands;
+    std::uint64_t polls = 0;
+    for (const Cut& ca : state(fa.node).cuts) {
+      for (const Cut& cb : state(fb.node).cuts) {
+        // Poll the cancel token at the same coarse stride as the tree
+        // DP so a deadline aborts mid-enumeration, not per-network.
+        if (options_.cancel && (++polls & 0xFF) == 0)
+          options_.cancel->check("cutmap.enumerate");
+        ++cuts_enumerated_;
+        if (std::popcount(ca.sig | cb.sig) > max_leaves) continue;
+        Cut merged;
+        int pos_a[kMaxCutLeaves];
+        int pos_b[kMaxCutLeaves];
+        if (!merge_leaves(ca, cb, max_leaves, &merged, pos_a, pos_b))
+          continue;
+        truth::PackedTable ta =
+            ca.func.expanded(pos_a, merged.num_leaves);
+        truth::PackedTable tb =
+            cb.func.expanded(pos_b, merged.num_leaves);
+        if (fa.negated) ta = ~ta;
+        if (fb.negated) tb = ~tb;
+        merged.func = is_and ? ta & tb : ta | tb;
+        minimize_support(&merged);
+        if (merged.num_leaves > options_.k) {
+          if (!classify_chain(merged.func, merged.num_leaves,
+                              &merged.is_or, &merged.neg_mask))
+            continue;
+          if (!plan_cascade(&merged)) continue;
+        }
+        insert_cut(cands, std::move(merged));
+      }
+    }
+    CHORTLE_CHECK(!cands.empty());
+
+    // A cascade costs two LUTs; it earns its slot only by strictly
+    // beating every single-LUT cut's depth.
+    int best_single = kInfRequired;
+    for (const Cut& cut : cands)
+      if (!cut.decomposed) best_single = std::min(best_single,
+                                                  cut_arrival(cut));
+    std::erase_if(cands, [&](const Cut& cut) {
+      return cut.decomposed && cut_arrival(cut) >= best_single;
+    });
+
+    // Exactness repair: when the heuristic cut set misses the node's
+    // FlowMap label, adopt the labeler's own cut (its leaves all carry
+    // strictly smaller labels, so its arrival meets the label).
+    int best_depth = kInfRequired;
+    for (const Cut& cut : cands)
+      best_depth = std::min(best_depth, cut_arrival(cut));
+    const int label = labels_.label[static_cast<std::size_t>(v)];
+    if (best_depth > label) {
+      Cut repair = flowmap_cut(v);
+      CHORTLE_CHECK_MSG(cut_arrival(repair) <= label,
+                        "FlowMap repair cut misses its own label");
+      ++repair_cuts_;
+      insert_cut(cands, std::move(repair));
+    }
+
+    // Keep the best cut_limit cuts; ordering mixes depth and area flow
+    // so area candidates survive the cap.
+    std::sort(cands.begin(), cands.end(), [&](const Cut& a, const Cut& b) {
+      const int da = cut_arrival(a);
+      const int db = cut_arrival(b);
+      if (da != db) return da < db;
+      const double aa = cut_area_flow(v, a);
+      const double ab = cut_area_flow(v, b);
+      if (aa != ab) return aa < ab;
+      if (a.num_leaves != b.num_leaves) return a.num_leaves < b.num_leaves;
+      return leaves_less(a, b);
+    });
+    if (static_cast<int>(cands.size()) > options_.cut_limit)
+      cands.resize(static_cast<std::size_t>(options_.cut_limit));
+
+    NodeState& s = state(v);
+    s.cuts = std::move(cands);
+    select_depth_only(v);
+    s.cuts.push_back(trivial_cut(v));
+  }
+
+  /// First-pass selection: pure depth, smallest cut on ties (no area
+  /// term — the recovery passes measure their win against this).
+  void select_depth_only(net::NodeId v) {
+    NodeState& s = state(v);
+    int best = -1;
+    int best_arrival = kInfRequired;
+    int best_size = kMaxCutLeaves + 1;
+    for (std::size_t i = 0; i < s.cuts.size(); ++i) {
+      const Cut& cut = s.cuts[i];
+      if (cut.num_leaves == 1 && cut.leaves[0] == v) continue;
+      const int a = cut_arrival(cut);
+      if (a < best_arrival ||
+          (a == best_arrival && cut.num_leaves < best_size)) {
+        best = static_cast<int>(i);
+        best_arrival = a;
+        best_size = cut.num_leaves;
+      }
+    }
+    CHORTLE_CHECK(best >= 0);
+    s.selected = best;
+    s.arrival = best_arrival;
+    s.area_flow =
+        cut_area_flow(v, s.cuts[static_cast<std::size_t>(best)]);
+  }
+
+  /// The labeling phase's own depth-optimal cut for `v`, with its cone
+  /// function evaluated over PackedTables.
+  Cut flowmap_cut(net::NodeId v) const {
+    const std::vector<net::NodeId>& leaves =
+        labels_.cut_of[static_cast<std::size_t>(v)];
+    const int arity = static_cast<int>(leaves.size());
+    CHORTLE_CHECK(arity >= 1 && arity <= options_.k);
+    Cut cut;
+    cut.num_leaves = arity;
+    for (int i = 0; i < arity; ++i) {
+      cut.leaves[static_cast<std::size_t>(i)] =
+          leaves[static_cast<std::size_t>(i)];
+      cut.sig |= std::uint64_t{1}
+                 << (leaves[static_cast<std::size_t>(i)] & 63);
+    }
+    cut.func = cone_function(v, leaves);
+    minimize_support(&cut);
+    return cut;
+  }
+
+  /// Evaluates the cone of `t` over `cut` (variable i = cut[i]) with
+  /// word-parallel tables; mirrors flowmap's TruthTable walk.
+  truth::PackedTable cone_function(
+      net::NodeId t, const std::vector<net::NodeId>& cut) const {
+    const int arity = static_cast<int>(cut.size());
+    std::vector<net::NodeId> interior;
+    std::vector<bool> seen(static_cast<std::size_t>(network_.num_nodes()),
+                           false);
+    for (net::NodeId v : cut) seen[static_cast<std::size_t>(v)] = true;
+    std::vector<net::NodeId> stack{t};
+    if (!seen[static_cast<std::size_t>(t)]) {
+      seen[static_cast<std::size_t>(t)] = true;
+      interior.push_back(t);
+    }
+    while (!stack.empty()) {
+      const net::NodeId v = stack.back();
+      stack.pop_back();
+      if (std::find(cut.begin(), cut.end(), v) != cut.end()) continue;
+      for (const net::Fanin& f : network_.node(v).fanins)
+        if (!seen[static_cast<std::size_t>(f.node)]) {
+          seen[static_cast<std::size_t>(f.node)] = true;
+          interior.push_back(f.node);
+          stack.push_back(f.node);
+        }
+    }
+    std::sort(interior.begin(), interior.end());
+    std::vector<int> index(static_cast<std::size_t>(network_.num_nodes()),
+                           -1);
+    std::vector<truth::PackedTable> value;
+    value.reserve(cut.size() + interior.size());
+    for (int i = 0; i < arity; ++i) {
+      index[static_cast<std::size_t>(cut[static_cast<std::size_t>(i)])] =
+          static_cast<int>(value.size());
+      value.push_back(truth::PackedTable::var(i, arity));
+    }
+    for (net::NodeId v : interior) {
+      const net::Network::Node& node = network_.node(v);
+      CHORTLE_CHECK_MSG(!network_.is_input(v),
+                        "cone interior reached a primary input; bad cut");
+      const bool is_and = node.op == net::GateOp::kAnd;
+      truth::PackedTable acc = is_and ? truth::PackedTable::ones(arity)
+                                      : truth::PackedTable::zeros(arity);
+      for (const net::Fanin& f : node.fanins) {
+        const int fi = index[static_cast<std::size_t>(f.node)];
+        CHORTLE_CHECK(fi >= 0);
+        truth::PackedTable fv = value[static_cast<std::size_t>(fi)];
+        if (f.negated) fv = ~fv;
+        if (is_and)
+          acc &= fv;
+        else
+          acc |= fv;
+      }
+      index[static_cast<std::size_t>(v)] = static_cast<int>(value.size());
+      value.push_back(std::move(acc));
+    }
+    return value[static_cast<std::size_t>(
+        index[static_cast<std::size_t>(t)])];
+  }
+
+  // --- Cover bookkeeping ----------------------------------------------
+
+  /// Marks the nodes the current selection actually implements and
+  /// calls `visit(v)` for each (descending id order — leaves always
+  /// precede their users, so one sweep suffices).
+  template <typename Visit>
+  void walk_cover(Visit&& visit) const {
+    std::vector<bool> needed(static_cast<std::size_t>(network_.num_nodes()),
+                             false);
+    for (const net::Output& o : network_.outputs())
+      if (!o.is_const && !network_.is_input(o.node))
+        needed[static_cast<std::size_t>(o.node)] = true;
+    for (net::NodeId v = network_.num_nodes() - 1; v >= 0; --v) {
+      if (!needed[static_cast<std::size_t>(v)] || network_.is_input(v))
+        continue;
+      visit(v);
+      const Cut& cut = selected_cut(v);
+      for (int i = 0; i < cut.num_leaves; ++i)
+        needed[static_cast<std::size_t>(
+            cut.leaves[static_cast<std::size_t>(i)])] = true;
+    }
+  }
+
+  int cover_depth() const {
+    int depth = 0;
+    for (const net::Output& o : network_.outputs())
+      if (!o.is_const && !network_.is_input(o.node))
+        depth = std::max(depth, arrival(o.node));
+    return depth;
+  }
+
+  int cover_area() const {
+    int area = 0;
+    walk_cover([&](net::NodeId v) { area += selected_cut(v).area(); });
+    return area;
+  }
+
+  int count_decomposed_in_cover() const {
+    int count = 0;
+    walk_cover([&](net::NodeId v) {
+      if (selected_cut(v).decomposed) ++count;
+    });
+    return count;
+  }
+
+  /// Required times over the current cover, anchored at the depth
+  /// target: leaves of a selected cut must settle one level earlier
+  /// (two for the early leaves of a cascade). Nodes outside the cover
+  /// are unconstrained.
+  void compute_required() {
+    required_.assign(static_cast<std::size_t>(network_.num_nodes()),
+                     kInfRequired);
+    for (const net::Output& o : network_.outputs())
+      if (!o.is_const && !network_.is_input(o.node))
+        required_[static_cast<std::size_t>(o.node)] = depth_target_;
+    walk_cover([&](net::NodeId v) {
+      const int r = required_[static_cast<std::size_t>(v)];
+      CHORTLE_CHECK_MSG(arrival(v) <= r, "cover node misses required time");
+      const Cut& cut = selected_cut(v);
+      for (int i = 0; i < cut.num_leaves; ++i) {
+        const int slack = cut.decomposed && ((cut.early_mask >> i) & 1)
+                              ? 2
+                              : 1;
+        int& leaf_required = required_[static_cast<std::size_t>(
+            cut.leaves[static_cast<std::size_t>(i)])];
+        leaf_required = std::min(leaf_required, r - slack);
+      }
+    });
+  }
+
+  // --- Area recovery (selection only; cut sets stay fixed) ------------
+
+  void area_flow_pass() {
+    OBS_SPAN("cutmap.area_flow");
+    for (net::NodeId v : network_.gates_in_topo_order()) {
+      NodeState& s = state(v);
+      int best = -1;
+      double best_flow = 0.0;
+      int best_arrival = 0;
+      for (std::size_t i = 0; i < s.cuts.size(); ++i) {
+        const Cut& cut = s.cuts[i];
+        if (cut.num_leaves == 1 && cut.leaves[0] == v) continue;
+        const int a = cut_arrival(cut);
+        if (a > required_[static_cast<std::size_t>(v)]) continue;
+        const double flow = cut_area_flow(v, cut);
+        if (best < 0 || flow < best_flow ||
+            (flow == best_flow && a < best_arrival) ||
+            (flow == best_flow && a == best_arrival &&
+             leaves_less(cut,
+                         s.cuts[static_cast<std::size_t>(best)]))) {
+          best = static_cast<int>(i);
+          best_flow = flow;
+          best_arrival = a;
+        }
+      }
+      CHORTLE_CHECK_MSG(best >= 0, "no cut meets the required time");
+      s.selected = best;
+      s.arrival = best_arrival;
+      s.area_flow = best_flow;
+    }
+  }
+
+  /// Adds a reference to `v`'s selected cut, activating newly needed
+  /// leaves recursively; returns the LUT area brought into the cover.
+  int ref_selected(net::NodeId v) {
+    const Cut& cut = selected_cut(v);
+    int area = cut.area();
+    for (int i = 0; i < cut.num_leaves; ++i) {
+      const net::NodeId leaf = cut.leaves[static_cast<std::size_t>(i)];
+      if (network_.is_input(leaf)) continue;
+      if (state(leaf).map_refs++ == 0) area += ref_selected(leaf);
+    }
+    return area;
+  }
+
+  int deref_selected(net::NodeId v) {
+    const Cut& cut = selected_cut(v);
+    int area = cut.area();
+    for (int i = 0; i < cut.num_leaves; ++i) {
+      const net::NodeId leaf = cut.leaves[static_cast<std::size_t>(i)];
+      if (network_.is_input(leaf)) continue;
+      CHORTLE_CHECK(state(leaf).map_refs > 0);
+      if (--state(leaf).map_refs == 0) area += deref_selected(leaf);
+    }
+    return area;
+  }
+
+  /// Exact area of adopting `cut` at `v`, measured by trial reference
+  /// insertion (the ABC cut_ref/cut_deref trick): the LUTs that would
+  /// join the cover, no estimate involved.
+  int probe_exact_area(net::NodeId v, std::size_t cut_index) {
+    NodeState& s = state(v);
+    const int previous = s.selected;
+    s.selected = static_cast<int>(cut_index);
+    const int area = ref_selected(v);
+    const int back = deref_selected(v);
+    CHORTLE_CHECK(back == area);
+    s.selected = previous;
+    return area;
+  }
+
+  void exact_area_pass() {
+    OBS_SPAN("cutmap.exact_area");
+    for (std::size_t i = 0; i < state_.size(); ++i) state_[i].map_refs = 0;
+    // Seed reference counts from the current cover.
+    {
+      std::vector<bool> needed(
+          static_cast<std::size_t>(network_.num_nodes()), false);
+      for (const net::Output& o : network_.outputs())
+        if (!o.is_const && !network_.is_input(o.node)) {
+          needed[static_cast<std::size_t>(o.node)] = true;
+          ++state(o.node).map_refs;
+        }
+      for (net::NodeId v = network_.num_nodes() - 1; v >= 0; --v) {
+        if (!needed[static_cast<std::size_t>(v)] || network_.is_input(v))
+          continue;
+        const Cut& cut = selected_cut(v);
+        for (int i = 0; i < cut.num_leaves; ++i) {
+          const net::NodeId leaf =
+              cut.leaves[static_cast<std::size_t>(i)];
+          needed[static_cast<std::size_t>(leaf)] = true;
+          if (!network_.is_input(leaf)) ++state(leaf).map_refs;
+        }
+      }
+    }
+    for (net::NodeId v : network_.gates_in_topo_order()) {
+      NodeState& s = state(v);
+      const bool referenced = s.map_refs > 0;
+      // Lift this node's current cut out of the cover so the probes
+      // measure each candidate against the cover without it.
+      if (referenced) deref_selected(v);
+      int best = -1;
+      int best_area = 0;
+      int best_arrival = 0;
+      for (std::size_t i = 0; i < s.cuts.size(); ++i) {
+        const Cut& cut = s.cuts[i];
+        if (cut.num_leaves == 1 && cut.leaves[0] == v) continue;
+        const int a = cut_arrival(cut);
+        if (a > required_[static_cast<std::size_t>(v)]) continue;
+        const int area = probe_exact_area(v, i);
+        if (best < 0 || area < best_area ||
+            (area == best_area && a < best_arrival) ||
+            (area == best_area && a == best_arrival &&
+             leaves_less(cut,
+                         s.cuts[static_cast<std::size_t>(best)]))) {
+          best = static_cast<int>(i);
+          best_area = area;
+          best_arrival = a;
+        }
+      }
+      CHORTLE_CHECK_MSG(best >= 0, "no cut meets the required time");
+      s.selected = best;
+      s.arrival = best_arrival;
+      if (referenced) ref_selected(v);
+    }
+  }
+
+  // --- Emission ---------------------------------------------------------
+
+  void emit(net::LutCircuit& circuit) const {
+    std::vector<net::SignalId> signal_of(
+        static_cast<std::size_t>(network_.num_nodes()), -1);
+    for (net::NodeId pi : network_.inputs())
+      signal_of[static_cast<std::size_t>(pi)] =
+          circuit.add_input(network_.node(pi).name);
+
+    std::vector<bool> needed(static_cast<std::size_t>(network_.num_nodes()),
+                             false);
+    for (const net::Output& o : network_.outputs())
+      if (!o.is_const && !network_.is_input(o.node))
+        needed[static_cast<std::size_t>(o.node)] = true;
+    for (net::NodeId v = network_.num_nodes() - 1; v >= 0; --v) {
+      if (!needed[static_cast<std::size_t>(v)] || network_.is_input(v))
+        continue;
+      const Cut& cut = selected_cut(v);
+      for (int i = 0; i < cut.num_leaves; ++i)
+        needed[static_cast<std::size_t>(
+            cut.leaves[static_cast<std::size_t>(i)])] = true;
+    }
+
+    for (net::NodeId v = 0; v < network_.num_nodes(); ++v) {
+      if (!needed[static_cast<std::size_t>(v)] || network_.is_input(v))
+        continue;
+      const Cut& cut = selected_cut(v);
+      signal_of[static_cast<std::size_t>(v)] =
+          cut.decomposed ? emit_cascade(circuit, v, cut, signal_of)
+                         : emit_single(circuit, v, cut, signal_of);
+    }
+    for (const net::Output& o : network_.outputs()) {
+      if (o.is_const) {
+        circuit.add_const_output(o.name, o.const_value);
+        continue;
+      }
+      const net::SignalId sig = signal_of[static_cast<std::size_t>(o.node)];
+      CHORTLE_CHECK(sig >= 0);
+      circuit.add_output(o.name, sig, o.negated);
+    }
+    circuit.check();
+  }
+
+  net::SignalId emit_single(net::LutCircuit& circuit, net::NodeId v,
+                            const Cut& cut,
+                            const std::vector<net::SignalId>& signal_of)
+      const {
+    net::Lut lut;
+    lut.name = network_.node(v).name;
+    for (int i = 0; i < cut.num_leaves; ++i) {
+      const net::SignalId sig = signal_of[static_cast<std::size_t>(
+          cut.leaves[static_cast<std::size_t>(i)])];
+      CHORTLE_CHECK(sig >= 0);
+      lut.inputs.push_back(sig);
+    }
+    lut.function = cut.func.to_truth();
+    return circuit.add_lut(std::move(lut));
+  }
+
+  /// Two-LUT chain cascade: the first LUT folds the early literals, the
+  /// second combines its (positive) output with the late literals under
+  /// the same associative op.
+  net::SignalId emit_cascade(net::LutCircuit& circuit, net::NodeId v,
+                             const Cut& cut,
+                             const std::vector<net::SignalId>& signal_of)
+      const {
+    CHORTLE_CHECK_MSG(
+        chain_function(cut.num_leaves, cut.is_or, cut.neg_mask) == cut.func,
+        "decomposed cut is not the literal chain it claims to be");
+    net::Lut first;
+    int num_early = 0;
+    std::uint16_t early_neg = 0;
+    for (int i = 0; i < cut.num_leaves; ++i) {
+      if (!((cut.early_mask >> i) & 1)) continue;
+      const net::SignalId sig = signal_of[static_cast<std::size_t>(
+          cut.leaves[static_cast<std::size_t>(i)])];
+      CHORTLE_CHECK(sig >= 0);
+      first.inputs.push_back(sig);
+      if ((cut.neg_mask >> i) & 1)
+        early_neg |= static_cast<std::uint16_t>(1 << num_early);
+      ++num_early;
+    }
+    first.function =
+        chain_function(num_early, cut.is_or, early_neg).to_truth();
+    const net::SignalId first_sig = circuit.add_lut(std::move(first));
+
+    net::Lut second;
+    second.name = network_.node(v).name;
+    second.inputs.push_back(first_sig);
+    int num_vars = 1;
+    std::uint16_t second_neg = 0;  // the cascade signal enters positive
+    for (int i = 0; i < cut.num_leaves; ++i) {
+      if ((cut.early_mask >> i) & 1) continue;
+      const net::SignalId sig = signal_of[static_cast<std::size_t>(
+          cut.leaves[static_cast<std::size_t>(i)])];
+      CHORTLE_CHECK(sig >= 0);
+      second.inputs.push_back(sig);
+      if ((cut.neg_mask >> i) & 1)
+        second_neg |= static_cast<std::uint16_t>(1 << num_vars);
+      ++num_vars;
+    }
+    second.function =
+        chain_function(num_vars, cut.is_or, second_neg).to_truth();
+    return circuit.add_lut(std::move(second));
+  }
+
+  const net::Network& network_;
+  const CutMapOptions& options_;
+  flowmap::DepthLabels labels_;
+  std::vector<NodeState> state_;
+  std::vector<int> required_;
+  int depth_target_ = 0;
+  int repair_cuts_ = 0;
+  std::uint64_t cuts_enumerated_ = 0;
+};
+
+}  // namespace
+
+void CutMapOptions::validate() const {
+  CHORTLE_REQUIRE(k >= 2 && k <= kMaxK, "cutmap K must be in [2, 7]");
+  CHORTLE_REQUIRE(cut_limit >= 2 && cut_limit <= 32,
+                  "cut_limit must be in [2, 32]");
+  CHORTLE_REQUIRE(area_iterations >= 0 && area_iterations <= 8,
+                  "area_iterations must be in [0, 8]");
+}
+
+CutMapResult map_luts(const net::Network& subject,
+                      const CutMapOptions& options) {
+  return CutMapper(subject, options).run();
+}
+
+}  // namespace chortle::cutmap

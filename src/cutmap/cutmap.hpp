@@ -1,0 +1,87 @@
+// Priority-cuts LUT mapping over the 2-input subject graph — the
+// delay-driven counterpart of the area-driven Chortle mapper, built in
+// the style of ABC's if-mapper. Every node keeps a small sorted set of
+// K-feasible cuts (plus the trivial self-cut), enumerated bottom-up by
+// merging the fanin cut sets; cut functions are carried as bit-parallel
+// truth::PackedTable values so support minimization and Boolean
+// classification are word ops, not graph walks.
+//
+// Depth is exact by construction: the FlowMap labeling phase
+// (flowmap/flowmap.hpp) computes the provably optimal depth label for
+// every node first, and whenever the priority heuristic's best cut for
+// a node misses its label, the recorded FlowMap cut is inserted as a
+// repair candidate — so the mapped depth never exceeds the optimum.
+// After the depth-oriented first pass, selection-only area-recovery
+// passes (area flow, then exact area with reference counting) shrink
+// the cover under required times that hold the depth bound.
+//
+// Wide AND/OR chains get one extra trick the K-feasible enumeration
+// cannot see: a merged cut of K+1..K+2 leaves whose function is a cube
+// (AND of literals) or the complement of one (OR of literals) is kept
+// as a two-LUT cascade — the earliest-arriving leaves feed the first
+// LUT — which can beat the best K-feasible depth at the node.
+#pragma once
+
+#include <cstdint>
+
+#include "base/cancel.hpp"
+#include "network/lut_circuit.hpp"
+#include "network/network.hpp"
+
+namespace chortle::cutmap {
+
+struct CutMapOptions {
+  /// Largest supported LUT input count. One above Chortle's K <= 6: the
+  /// cascade decomposition and the PackedTable kernels are sized for
+  /// the K=7 architecture sweep.
+  static constexpr int kMaxK = 7;
+
+  /// LUT input count K, in [2, kMaxK].
+  int k = 6;
+
+  /// Priority cuts kept per node (the trivial self-cut rides along for
+  /// free). In [2, 32]; 8 is the classical sweet spot.
+  int cut_limit = 8;
+
+  /// Area-recovery passes after the depth-oriented first pass: pass one
+  /// minimizes area flow, later passes exact area via reference
+  /// counting. In [0, 8]; the depth bound is held throughout.
+  int area_iterations = 2;
+
+  /// Keep chain-decomposable cuts of K+1..K+2 leaves as two-LUT
+  /// cascades when they beat every K-feasible cut's depth.
+  bool decompose_chains = true;
+
+  /// Optional cooperative cancellation, polled inside the cut
+  /// enumeration loop (see base/cancel.hpp). Must outlive the call;
+  /// nullptr disables polling.
+  const base::CancelToken* cancel = nullptr;
+
+  void validate() const;
+};
+
+struct CutMapStats {
+  int num_luts = 0;
+  int depth = 0;        // LUT depth of the emitted circuit
+  int depth_bound = 0;  // FlowMap-optimal label (depth <= depth_bound)
+  int first_pass_luts = 0;  // cover area after the depth-only pass
+  int decomposed_luts = 0;  // cascades in the final cover
+  int repair_cuts = 0;      // FlowMap cuts inserted to hold the bound
+  std::uint64_t cuts_enumerated = 0;
+  double seconds = 0.0;
+};
+
+struct CutMapResult {
+  net::LutCircuit circuit;
+  CutMapStats stats;
+};
+
+/// Maps a 2-bounded network (every gate fanin <= 2; see
+/// libmap/subject.hpp for the canonical construction) into K-input
+/// LUTs at the FlowMap-optimal depth, then recovers area. Throws
+/// InvalidInput when a gate has more than two fanins and
+/// base::Cancelled when options.cancel fires mid-enumeration.
+CutMapResult map_luts(const net::Network& subject,
+                      const CutMapOptions& options);
+
+}  // namespace chortle::cutmap

@@ -103,16 +103,14 @@ class FlowMapper {
       : network_(network), k_(k) {
     CHORTLE_REQUIRE(k >= 2 && k <= truth::TruthTable::kMaxVars,
                     "LUT size out of range");
-    CHORTLE_REQUIRE(network.max_fanin() <= k,
-                    "FlowMap requires a K-bounded network");
+    if (const auto violation = validate_k_bounded(network, k))
+      throw InvalidInput(violation->message());
   }
 
   FlowMapResult run() {
     OBS_SPAN_ARG("flowmap.map", network_.num_nodes());
     WallTimer timer;
-    label_.assign(static_cast<std::size_t>(network_.num_nodes()), 0);
-    cut_of_.resize(static_cast<std::size_t>(network_.num_nodes()));
-    for (net::NodeId gate : network_.gates_in_topo_order()) label_node(gate);
+    compute_labels();
 
     FlowMapResult result{net::LutCircuit(k_), FlowMapStats{}};
     emit(result.circuit);
@@ -126,7 +124,32 @@ class FlowMapper {
     return result;
   }
 
+  /// The labeling phase alone, for callers that only need the optimal
+  /// depth bound and the per-node optimal cuts (cutmap's cross-check).
+  DepthLabels labels() {
+    OBS_SPAN_ARG("flowmap.labels", network_.num_nodes());
+    compute_labels();
+    DepthLabels out;
+    out.label = label_;
+    out.cut_of = cut_of_;
+    for (const net::Output& o : network_.outputs())
+      if (!o.is_const)
+        out.depth =
+            std::max(out.depth, label_[static_cast<std::size_t>(o.node)]);
+    OBS_COUNT("flowmap.label_runs", 1);
+    OBS_COUNT("flowmap.labels", labels_computed_);
+    OBS_COUNT("flowmap.maxflow_runs", maxflow_runs_);
+    return out;
+  }
+
  private:
+  void compute_labels() {
+    label_.assign(static_cast<std::size_t>(network_.num_nodes()), 0);
+    cut_of_.assign(static_cast<std::size_t>(network_.num_nodes()),
+                   std::vector<net::NodeId>());
+    for (net::NodeId gate : network_.gates_in_topo_order()) label_node(gate);
+  }
+
   /// All nodes in the input cone of `t` (including `t` and PIs).
   std::vector<net::NodeId> cone_of(net::NodeId t) const {
     std::vector<net::NodeId> cone;
@@ -323,6 +346,43 @@ class FlowMapper {
 };
 
 }  // namespace
+
+std::string KBoundViolation::message() const {
+  std::string msg = "flowmap: input is not K-bounded: gate ";
+  msg += std::to_string(node);
+  if (!node_name.empty()) {
+    msg += " ('";
+    msg += node_name;
+    msg += "')";
+  }
+  msg += " has fanin ";
+  msg += std::to_string(fanin);
+  msg += " > K=";
+  msg += std::to_string(k);
+  return msg;
+}
+
+std::optional<KBoundViolation> validate_k_bounded(const net::Network& network,
+                                                  int k) {
+  for (net::NodeId v = 0; v < network.num_nodes(); ++v) {
+    if (network.is_input(v)) continue;
+    const auto& node = network.node(v);
+    const int fanin = static_cast<int>(node.fanins.size());
+    if (fanin > k) {
+      KBoundViolation violation;
+      violation.node = v;
+      violation.node_name = node.name;
+      violation.fanin = fanin;
+      violation.k = k;
+      return violation;
+    }
+  }
+  return std::nullopt;
+}
+
+DepthLabels flowmap_labels(const net::Network& network, int k) {
+  return FlowMapper(network, k).labels();
+}
 
 FlowMapResult flowmap(const net::Network& network, int k) {
   return FlowMapper(network, k).run();

@@ -15,6 +15,10 @@
 // subject graph (libmap/subject.hpp) built from the mapper input.
 #pragma once
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "network/lut_circuit.hpp"
 #include "network/network.hpp"
 
@@ -31,8 +35,45 @@ struct FlowMapResult {
   FlowMapStats stats;
 };
 
+/// The structured error for an input that is not K-bounded: which gate
+/// violates the bound and by how much. flowmap() raises it as an
+/// InvalidInput carrying message(); callers that want to recover (the
+/// mapping service, the IMapper facade) pre-check with
+/// validate_k_bounded() instead of parsing exception text.
+struct KBoundViolation {
+  net::NodeId node = net::kInvalidNode;
+  std::string node_name;  // may be empty for unnamed gates
+  int fanin = 0;
+  int k = 0;
+
+  std::string message() const;
+};
+
+/// Scans every gate up front; nullopt when the network is K-bounded
+/// (every gate fanin <= k). Reports the first offending gate in id
+/// order otherwise.
+std::optional<KBoundViolation> validate_k_bounded(const net::Network& network,
+                                                  int k);
+
+/// Per-node depth labels from the FlowMap labeling phase alone:
+/// label[v] is the optimal LUT depth of v over every K-feasible mapping
+/// of the input (0 for primary inputs), cut_of[v] one depth-optimal
+/// K-cut achieving it (empty for PIs), and depth the maximum label over
+/// non-constant primary-output drivers — the provably minimum depth of
+/// any K-LUT cover. cutmap uses this as its exactness cross-check and
+/// repair source.
+struct DepthLabels {
+  std::vector<int> label;
+  std::vector<std::vector<net::NodeId>> cut_of;
+  int depth = 0;
+};
+
+/// Runs only the labeling phase (no circuit emission).
+DepthLabels flowmap_labels(const net::Network& network, int k);
+
 /// Depth-optimal mapping of a K-bounded network into K-input LUTs.
-/// Every gate's fanin count must be at most k.
+/// Every gate's fanin count must be at most k; violations raise
+/// InvalidInput with KBoundViolation::message() (see validate_k_bounded).
 FlowMapResult flowmap(const net::Network& network, int k);
 
 }  // namespace chortle::flowmap

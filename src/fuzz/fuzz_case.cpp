@@ -7,12 +7,14 @@ const char* to_string(Backend backend) {
     case Backend::kChortle: return "chortle";
     case Backend::kFlowMap: return "flowmap";
     case Backend::kLibMap: return "libmap";
+    case Backend::kCutMap: return "cutmap";
   }
   return "?";
 }
 
 std::vector<Backend> all_backends() {
-  return {Backend::kChortle, Backend::kFlowMap, Backend::kLibMap};
+  return {Backend::kChortle, Backend::kFlowMap, Backend::kLibMap,
+          Backend::kCutMap};
 }
 
 }  // namespace chortle::fuzz

@@ -15,7 +15,7 @@
 namespace chortle::fuzz {
 
 /// The mapping backends the oracle cross-checks.
-enum class Backend { kChortle, kFlowMap, kLibMap };
+enum class Backend { kChortle, kFlowMap, kLibMap, kCutMap };
 
 const char* to_string(Backend backend);
 

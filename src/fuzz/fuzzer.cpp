@@ -23,6 +23,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     Rng rng(options.seed + static_cast<std::uint64_t>(run));
     FuzzCase fuzz_case = sample_case(rng, options.generator);
     fuzz_case.options.jobs = options.jobs;
+    fuzz_case.backends = options.backends;
     OBS_COUNT("fuzz.cases_generated", 1);
     const Verdict verdict = check_case(fuzz_case, options.oracle);
     ++report.runs_completed;

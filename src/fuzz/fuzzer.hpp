@@ -28,6 +28,9 @@ struct FuzzOptions {
   /// the parallel solve path under the differential oracle, not to
   /// change what is tested.
   int jobs = 0;
+  /// Backends every sampled case is cross-checked under (the
+  /// fuzz_mapper --mapper flag narrows this to a single backend).
+  std::vector<Backend> backends = all_backends();
   /// Generator sizing (smoke runs use small cases).
   GeneratorOptions generator;
   /// Forwarded to every oracle call (carries the fault injection).

@@ -7,6 +7,7 @@
 #include "bdd/equiv.hpp"
 #include "chortle/forest.hpp"
 #include "chortle/mapper.hpp"
+#include "cutmap/cutmap.hpp"
 #include "flowmap/flowmap.hpp"
 #include "libmap/library.hpp"
 #include "libmap/matcher.hpp"
@@ -268,6 +269,16 @@ class OracleRun {
         const libmap::BaselineResult result = libmap::map_with_library(
             mapper_input, library_for(case_.options.k));
         check_circuit("libmap", result.circuit, result.stats.num_luts);
+        break;
+      }
+      case Backend::kCutMap: {
+        const net::Network subject =
+            libmap::build_subject_graph(mapper_input);
+        cutmap::CutMapOptions cut_options;
+        cut_options.k = case_.options.k;
+        const cutmap::CutMapResult result =
+            cutmap::map_luts(subject, cut_options);
+        check_circuit("cutmap", result.circuit, result.stats.num_luts);
         break;
       }
     }

@@ -81,6 +81,96 @@ std::uint64_t PackedTable::count_ones() const {
   return total;
 }
 
+bool PackedTable::depends_on(int var) const {
+  CHORTLE_REQUIRE(var >= 0 && var < num_vars_, "variable index");
+  const int n = num_words();
+  if (var < 6) {
+    const int shift = 1 << var;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t w = words_[static_cast<std::size_t>(i)];
+      if (((w >> shift) ^ w) & ~kVarMask[var]) return true;
+    }
+    return false;
+  }
+  const int run = 1 << (var - 6);
+  for (int i = 0; i < n; ++i)
+    if (!((i / run) & 1) &&
+        words_[static_cast<std::size_t>(i)] !=
+            words_[static_cast<std::size_t>(i ^ run)])
+      return true;
+  return false;
+}
+
+PackedTable PackedTable::expanded(const int* position,
+                                  int num_out_vars) const {
+  CHORTLE_REQUIRE(num_out_vars >= num_vars_ && num_out_vars <= kMaxVars,
+                  "expanded() target arity out of range");
+  bool identity = true;
+  for (int i = 0; i < num_vars_; ++i) {
+    CHORTLE_REQUIRE(position[i] >= (i == 0 ? 0 : position[i - 1] + 1) &&
+                        position[i] < num_out_vars,
+                    "expanded() positions must be strictly increasing and "
+                    "within the target arity");
+    identity = identity && position[i] == i;
+  }
+  PackedTable t(num_out_vars);
+  const int out_words = t.num_words();
+  if (identity) {
+    // The input vars keep their places, so the table just replicates:
+    // within the first word when num_vars_ < 6, then word-for-word.
+    std::uint64_t w0 = words_[0];
+    if (num_vars_ < 6)
+      for (int b = 1 << num_vars_; b < 64; b <<= 1) w0 |= w0 << b;
+    const int in_words = num_words();
+    for (int i = 0; i < out_words; ++i)
+      t.words_[static_cast<std::size_t>(i)] =
+          num_vars_ <= 6 ? w0 : words_[static_cast<std::size_t>(i & (in_words - 1))];
+    t.mask_tail();
+    return t;
+  }
+  const std::uint64_t out_minterms = t.num_minterms();
+  for (std::uint64_t big = 0; big < out_minterms; ++big) {
+    std::uint64_t small = 0;
+    for (int i = 0; i < num_vars_; ++i)
+      small |= ((big >> position[i]) & 1) << i;
+    if ((words_[static_cast<std::size_t>(small >> 6)] >> (small & 63)) & 1)
+      t.words_[static_cast<std::size_t>(big >> 6)] |= std::uint64_t{1}
+                                                      << (big & 63);
+  }
+  return t;
+}
+
+PackedTable PackedTable::compressed(const int* keep, int num_keep) const {
+  CHORTLE_REQUIRE(num_keep >= 0 && num_keep <= num_vars_,
+                  "compressed() keep count out of range");
+  for (int i = 0; i < num_keep; ++i)
+    CHORTLE_REQUIRE(keep[i] >= (i == 0 ? 0 : keep[i - 1] + 1) &&
+                        keep[i] < num_vars_,
+                    "compressed() positions must be strictly increasing and "
+                    "within the arity");
+  // Dropped variables must be outside the support, else the projection
+  // below (which fixes them to 0) would change the function.
+  int next_kept = 0;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (next_kept < num_keep && keep[next_kept] == v) {
+      ++next_kept;
+      continue;
+    }
+    CHORTLE_CHECK_MSG(!depends_on(v),
+                      "compressed() would drop a support variable");
+  }
+  PackedTable t(num_keep);
+  const std::uint64_t out_minterms = t.num_minterms();
+  for (std::uint64_t small = 0; small < out_minterms; ++small) {
+    std::uint64_t big = 0;
+    for (int i = 0; i < num_keep; ++i) big |= ((small >> i) & 1) << keep[i];
+    if ((words_[static_cast<std::size_t>(big >> 6)] >> (big & 63)) & 1)
+      t.words_[static_cast<std::size_t>(small >> 6)] |= std::uint64_t{1}
+                                                        << (small & 63);
+  }
+  return t;
+}
+
 PackedTable PackedTable::cofactor0(int var) const {
   CHORTLE_REQUIRE(var >= 0 && var < num_vars_, "variable index");
   PackedTable t(*this);

@@ -64,6 +64,24 @@ class PackedTable {
   bool is_zero() const;
   std::uint64_t count_ones() const;
 
+  /// True when the function's value changes with input `var` (i.e. the
+  /// Shannon cofactors differ). Word-parallel; no temporaries.
+  bool depends_on(int var) const;
+
+  /// The same function over a wider input set: variable i of this table
+  /// becomes variable position[i] of the result (positions strictly
+  /// increasing, < num_out_vars). The result has num_out_vars inputs and
+  /// does not depend on the unmentioned positions. This is the cut-merge
+  /// primitive: child cut functions are expanded onto the union leaf set
+  /// before being combined.
+  PackedTable expanded(const int* position, int num_out_vars) const;
+
+  /// The inverse of expanded(): the function over only the `num_keep`
+  /// listed variables (strictly increasing positions into this table),
+  /// which must cover the support — dropped variables are required to be
+  /// non-support (checked).
+  PackedTable compressed(const int* keep, int num_keep) const;
+
   /// Shannon cofactors with respect to input `var` (same num_vars, the
   /// result no longer depends on `var`). Word-parallel: in-word
   /// shift/mask for var < 6, whole-word swaps above.

@@ -68,6 +68,51 @@ TEST(FlowMap, RequiresKBoundedInput) {
   EXPECT_NO_THROW(flowmap(n, 5));
 }
 
+TEST(FlowMap, KBoundViolationIsStructured) {
+  net::Network n;
+  std::vector<net::Fanin> fanins;
+  for (int i = 0; i < 5; ++i) fanins.push_back({n.add_input(""), false});
+  const auto g = n.add_gate(net::GateOp::kAnd, fanins, "wide");
+  n.add_output("y", g, false);
+  const auto violation = validate_k_bounded(n, 4);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->node, g);
+  EXPECT_EQ(violation->node_name, "wide");
+  EXPECT_EQ(violation->fanin, 5);
+  EXPECT_EQ(violation->k, 4);
+  EXPECT_NE(violation->message().find("fanin 5"), std::string::npos);
+  EXPECT_NE(violation->message().find("'wide'"), std::string::npos);
+  EXPECT_FALSE(validate_k_bounded(n, 5).has_value());
+  // The labeling-only entry point validates the same way.
+  EXPECT_THROW(flowmap_labels(n, 4), InvalidInput);
+  EXPECT_EQ(flowmap_labels(n, 5).depth, 1);
+}
+
+TEST(FlowMap, LabelsMatchMappedDepth) {
+  for (std::uint64_t seed = 240; seed < 244; ++seed) {
+    const net::Network dag = testing::random_dag(10, 6, 60, seed);
+    const net::Network subject = libmap::build_subject_graph(dag);
+    for (int k : {3, 4, 6}) {
+      const DepthLabels labels = flowmap_labels(subject, k);
+      const FlowMapResult result = flowmap(subject, k);
+      EXPECT_EQ(labels.depth, result.stats.depth)
+          << "seed=" << seed << " k=" << k;
+      ASSERT_EQ(static_cast<int>(labels.label.size()), subject.num_nodes());
+      for (net::NodeId v = 0; v < subject.num_nodes(); ++v) {
+        if (subject.is_input(v)) {
+          EXPECT_EQ(labels.label[static_cast<std::size_t>(v)], 0);
+          EXPECT_TRUE(labels.cut_of[static_cast<std::size_t>(v)].empty());
+        } else {
+          EXPECT_GE(labels.label[static_cast<std::size_t>(v)], 1);
+          EXPECT_LE(static_cast<int>(
+                        labels.cut_of[static_cast<std::size_t>(v)].size()),
+                    k);
+        }
+      }
+    }
+  }
+}
+
 class FlowMapProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FlowMapProperty, CorrectAndDepthOptimalOnSubjectGraphs) {

@@ -2,6 +2,7 @@
 
 #include "base/rng.hpp"
 #include "truth/canonical.hpp"
+#include "truth/packed.hpp"
 #include "truth/truth_table.hpp"
 
 namespace chortle::truth {
@@ -197,6 +198,122 @@ TEST(Canonical, EnumerationRepresentativesAreCanonical) {
   const auto classes = enumerate_p_classes(3, false);
   EXPECT_EQ(classes.size(), 78u);
   for (const TruthTable& t : classes) EXPECT_EQ(p_canonical(t), t);
+}
+
+// ---------------------------------------------------------------------
+// PackedTable expansion/compression — the cut-merge primitives of the
+// cutmap subsystem (src/cutmap). Checked against per-minterm oracles at
+// the widths the delay mapper uses (K=6 and K=7 cut functions, plus the
+// degenerate and maximum arities).
+// ---------------------------------------------------------------------
+
+TEST(Packed, DependsOnMatchesCofactors) {
+  Rng rng(31);
+  for (int n : {1, 2, 5, 6, 7, 8, 10}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      PackedTable f(n);
+      for (std::uint64_t m = 0; m < f.num_minterms(); ++m)
+        f.set_bit(m, rng.next_bool());
+      for (int v = 0; v < n; ++v)
+        EXPECT_EQ(f.depends_on(v), f.cofactor0(v) != f.cofactor1(v))
+            << "n=" << n << " v=" << v;
+    }
+  }
+}
+
+TEST(Packed, ExpandedMatchesMintermOracle) {
+  Rng rng(32);
+  // (input arity, positions, output arity) cases spanning the in-word
+  // and multi-word regimes, including the K=6 and K=7 cut widths.
+  const struct {
+    int n;
+    std::vector<int> pos;
+    int out;
+  } cases[] = {
+      {0, {}, 3},
+      {1, {2}, 3},
+      {2, {0, 1}, 2},           // identity, no growth
+      {3, {0, 1, 2}, 6},        // identity prefix into one full word
+      {4, {1, 3, 4, 6}, 7},     // crosses the 64-minterm word boundary
+      {6, {0, 1, 2, 3, 4, 5}, 7},
+      {6, {0, 2, 3, 4, 5, 6}, 7},
+      {7, {0, 1, 2, 3, 4, 5, 6}, 10},
+      {7, {0, 1, 3, 5, 6, 8, 9}, 10},
+  };
+  for (const auto& c : cases) {
+    for (int trial = 0; trial < 5; ++trial) {
+      PackedTable f(c.n);
+      for (std::uint64_t m = 0; m < f.num_minterms(); ++m)
+        f.set_bit(m, rng.next_bool());
+      const PackedTable g = f.expanded(c.pos.data(), c.out);
+      ASSERT_EQ(g.num_vars(), c.out);
+      for (std::uint64_t big = 0; big < g.num_minterms(); ++big) {
+        std::uint64_t small = 0;
+        for (int i = 0; i < c.n; ++i)
+          small |= ((big >> c.pos[static_cast<std::size_t>(i)]) & 1) << i;
+        EXPECT_EQ(g.bit(big), f.bit(small)) << "n=" << c.n << " big=" << big;
+      }
+    }
+  }
+}
+
+TEST(Packed, ExpandedIdentityToSubWordArityMasksTail) {
+  // Regression: the identity fast path replicates the sub-word pattern
+  // across the whole 64-bit word, so for a sub-word target arity it
+  // must clear the bits past 2^out_vars — otherwise count_ones() and
+  // operator== see phantom minterms.
+  const int pos[] = {0, 1, 2};
+  const PackedTable f = PackedTable::var(1, 3);
+  const PackedTable g = f.expanded(pos, 5);
+  EXPECT_EQ(g.words()[0] >> (std::uint64_t{1} << 5), 0u);
+  EXPECT_EQ(g.count_ones(), g.num_minterms() / 2);
+  EXPECT_EQ(g, PackedTable::var(1, 5));
+}
+
+TEST(Packed, CompressedInvertsExpanded) {
+  Rng rng(33);
+  const struct {
+    int n;
+    std::vector<int> pos;
+    int out;
+  } cases[] = {
+      {3, {1, 4, 5}, 6},
+      {4, {0, 2, 5, 6}, 7},
+      {6, {0, 1, 2, 4, 5, 6}, 7},
+      {7, {0, 1, 2, 4, 6, 7, 9}, 10},
+  };
+  for (const auto& c : cases) {
+    PackedTable f(c.n);
+    for (std::uint64_t m = 0; m < f.num_minterms(); ++m)
+      f.set_bit(m, rng.next_bool());
+    const PackedTable wide = f.expanded(c.pos.data(), c.out);
+    EXPECT_EQ(wide.compressed(c.pos.data(), c.n), f);
+  }
+}
+
+TEST(Packed, CompressedRejectsDroppingSupport) {
+  const PackedTable f = PackedTable::var(2, 4);
+  const int keep[] = {0, 1};  // drops var 2, which f depends on
+  EXPECT_THROW(f.compressed(keep, 2), InternalError);
+  const int keep_support[] = {2};
+  EXPECT_EQ(f.compressed(keep_support, 1), PackedTable::var(0, 1));
+}
+
+TEST(Packed, ExpandedAgreesWithTruthTableBridge) {
+  // Cross-check against the general TruthTable path: expand, then
+  // compare bit layouts through to_truth().
+  Rng rng(34);
+  const int pos[] = {1, 2, 4, 6, 7};
+  PackedTable f(5);
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m)
+    f.set_bit(m, rng.next_bool());
+  const PackedTable wide = f.expanded(pos, 8);
+  const TruthTable wide_tt = wide.to_truth();
+  for (std::uint64_t big = 0; big < wide.num_minterms(); ++big) {
+    std::uint64_t small = 0;
+    for (int i = 0; i < 5; ++i) small |= ((big >> pos[i]) & 1) << i;
+    EXPECT_EQ(wide_tt.bit(big), f.bit(small));
+  }
 }
 
 }  // namespace

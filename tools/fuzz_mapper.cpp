@@ -7,9 +7,12 @@
 // corpus directory as a replayable BLIF reproducer.
 //
 //   fuzz_mapper [--runs N] [--seed S] [--smoke] [--kernels] [--corpus DIR]
-//               [--inject-miscompile [LUT,BIT]] [--no-shrink] [--quiet]
-//               [--jobs N] [--stats-out FILE] [--trace-out FILE]
+//               [--mapper NAME[,NAME...]] [--inject-miscompile [LUT,BIT]]
+//               [--no-shrink] [--quiet] [--jobs N] [--stats-out FILE]
+//               [--trace-out FILE]
 //
+//   --mapper NAMES        restrict the oracle to these backends
+//                         (chortle,flowmap,libmap,cutmap; default all)
 //   --smoke               ~30-second CI mode: small cases, time budget
 //   --kernels             kernel-equivalence mode: cross-check the
 //                         bit-parallel truth::PackedTable ops against
@@ -43,9 +46,40 @@ void usage() {
   std::fprintf(stderr,
                "usage: fuzz_mapper [--runs N] [--seed S] [--smoke] "
                "[--kernels] [--corpus DIR] "
+               "[--mapper NAME[,NAME...]] "
                "[--inject-miscompile [LUT,BIT]] "
                "[--no-shrink] [--quiet] [--jobs N] "
                "[--stats-out FILE] [--trace-out FILE]\n");
+}
+
+/// Parses a comma-separated backend list ("cutmap" or
+/// "chortle,flowmap") against the oracle's backend names.
+std::vector<chortle::fuzz::Backend> parse_backends(const std::string& text) {
+  std::vector<chortle::fuzz::Backend> backends;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string name =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    bool found = false;
+    for (chortle::fuzz::Backend backend : chortle::fuzz::all_backends()) {
+      if (name == chortle::fuzz::to_string(backend)) {
+        backends.push_back(backend);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "fuzz_mapper: unknown mapper '%s'\n",
+                   name.c_str());
+      usage();
+      std::exit(2);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return backends;
 }
 
 /// Parses a non-negative decimal or exits with a usage error — a typo'd
@@ -92,6 +126,10 @@ int main(int argc, char** argv) {
       options.generator.max_gates = 60;
     } else if (arg == "--kernels") {
       kernels = true;
+    } else if (arg == "--mapper" && i + 1 < argc) {
+      options.backends = parse_backends(argv[++i]);
+    } else if (arg.rfind("--mapper=", 0) == 0) {
+      options.backends = parse_backends(arg.substr(9));
     } else if (arg == "--jobs" && i + 1 < argc) {
       options.jobs = static_cast<int>(parse_number("--jobs", argv[++i]));
       if (options.jobs > 512) {
@@ -159,6 +197,14 @@ int main(int argc, char** argv) {
   run_report.set_option("smoke", smoke);
   run_report.set_option("jobs", options.jobs);
   run_report.set_option("shrink", options.shrink_failures);
+  {
+    std::string mappers;
+    for (fuzz::Backend backend : options.backends) {
+      if (!mappers.empty()) mappers += ',';
+      mappers += fuzz::to_string(backend);
+    }
+    run_report.set_option("mappers", mappers);
+  }
   run_report.set_option("inject_miscompile",
                         options.oracle.injection.enabled);
 
