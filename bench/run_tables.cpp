@@ -17,6 +17,12 @@
 //
 // Flags:
 //   --out PATH         JSON output path (default BENCH_chortle.json)
+//   --mapper NAME      registry backend to time (default chortle). Any
+//                      other registered mapper — flowmap, cutmap,
+//                      libmap, portfolio — runs in serial mode only
+//                      (the jobs/cache modes are chortle's seams); the
+//                      default keeps the historical output and the
+//                      committed baselines byte-identical.
 //   --benchmarks CSV   subset of benchmark names (default: all twelve)
 //   --kmin N --kmax N  K range (default 2..6)
 //   --jobs N           worker threads for the "jobs" mode (default 4)
@@ -43,16 +49,19 @@
 #include "base/timer.hpp"
 #include "blif/blif.hpp"
 #include "chortle/dp_cache.hpp"
+#include "chortle/imapper.hpp"
 #include "chortle/mapper.hpp"
 #include "mcnc/generators.hpp"
 #include "obs/json.hpp"
 #include "opt/script.hpp"
+#include "portfolio/portfolio.hpp"
 
 namespace chortle::bench {
 namespace {
 
 struct Flags {
   std::string out = "BENCH_chortle.json";
+  std::string mapper = "chortle";
   std::vector<std::string> benchmarks;
   int kmin = 2;
   int kmax = 6;
@@ -82,6 +91,8 @@ Flags parse_flags(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--out" && need_value(i)) {
       flags.out = argv[++i];
+    } else if (arg == "--mapper" && need_value(i)) {
+      flags.mapper = argv[++i];
     } else if (arg == "--benchmarks" && need_value(i)) {
       flags.benchmarks = split_csv(argv[++i]);
     } else if (arg == "--kmin" && need_value(i)) {
@@ -104,7 +115,8 @@ Flags parse_flags(int argc, char** argv) {
       flags.min_seconds = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: run_tables [--out FILE] [--benchmarks a,b,c]\n"
+                   "usage: run_tables [--out FILE] [--mapper NAME]\n"
+                   "                  [--benchmarks a,b,c]\n"
                    "                  [--kmin N] [--kmax N] [--jobs N]\n"
                    "                  [--repeat R] [--label STR]\n"
                    "                  [--golden-out FILE]\n"
@@ -250,6 +262,21 @@ int run(const Flags& flags) {
   std::vector<std::string> names = flags.benchmarks;
   if (names.empty()) names = mcnc::benchmark_names();
 
+  // Any backend other than chortle is timed through the registry in
+  // serial mode only: the jobs/cache columns exercise chortle-specific
+  // seams (tree-level parallelism, the cross-request DP cache) that the
+  // other mappers do not share.
+  const core::IMapper* backend = nullptr;
+  if (flags.mapper != "chortle") {
+    portfolio::ensure_registered();
+    backend = core::find_mapper(flags.mapper);
+    if (backend == nullptr) {
+      std::fprintf(stderr, "run_tables: unknown mapper '%s' (registered: %s)\n",
+                   flags.mapper.c_str(), core::mapper_names().c_str());
+      return 2;
+    }
+  }
+
   std::vector<Row> rows;
   int blif_mismatches = 0;
   for (const std::string& name : names) {
@@ -259,6 +286,24 @@ int run(const Flags& flags) {
       Row row;
       row.name = name;
       row.k = k;
+
+      if (backend != nullptr) {
+        if (k < backend->min_k() || k > backend->max_k()) continue;
+        core::Options options;
+        options.k = k;
+        options.jobs = 1;
+        std::string blif;
+        row.seconds_serial = time_mapping(
+            flags.repeat,
+            [&] { return backend->map(design.network, options); }, &blif,
+            &row.luts, &row.depth);
+        row.blif_hash = base::fnv1a64_hex(blif);
+        std::printf("%-8s K=%d  luts %5d  depth %3d  %s %8.4fs\n",
+                    name.c_str(), k, row.luts, row.depth, backend->name(),
+                    row.seconds_serial);
+        rows.push_back(std::move(row));
+        continue;
+      }
 
       core::Options serial;
       serial.k = k;
@@ -313,6 +358,9 @@ int run(const Flags& flags) {
 
   obs::Json doc = obs::Json::object();
   doc.set("schema", "chortle-bench/1");
+  // Only recorded off the default so historical chortle baselines stay
+  // byte-identical.
+  if (flags.mapper != "chortle") doc.set("mapper", flags.mapper);
   if (!flags.label.empty()) doc.set("label", flags.label);
   doc.set("kmin", flags.kmin);
   doc.set("kmax", flags.kmax);

@@ -2,15 +2,18 @@
 // original Chortle program would have run.
 //
 //   map_blif [input.blif] [-k K] [-o output.blif] [--mapper NAME]
+//            [--objective NAME] [--portfolio-budget-ms N]
 //            [--baseline] [--no-optimize] [--split N] [--stats]
 //            [--verilog]
 //
 // Reads a combinational BLIF model, optimizes it, maps it into K-input
-// LUTs with the selected backend (--mapper chortle|libmap|flowmap|
-// cutmap; --baseline is shorthand for --mapper libmap), verifies the
+// LUTs with the selected backend (--mapper=help lists every registered
+// backend; --baseline is shorthand for --mapper libmap), verifies the
 // result, and writes a LUT-level BLIF netlist to stdout or to the -o
-// file. Without an input path, a built-in demo circuit (the alu2
-// benchmark substitute) is used so the binary runs standalone.
+// file. --mapper portfolio races every backend under
+// --portfolio-budget-ms and returns the best cover by --objective
+// (src/portfolio). Without an input path, a built-in demo circuit (the
+// alu2 benchmark substitute) is used so the binary runs standalone.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +27,7 @@
 #include "mcnc/generators.hpp"
 #include "opt/decompose.hpp"
 #include "opt/script.hpp"
+#include "portfolio/portfolio.hpp"
 #include "sim/simulate.hpp"
 
 namespace {
@@ -31,8 +35,9 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: map_blif [input.blif] [-k K] [-o out.blif] "
-               "[--mapper NAME] [--baseline] [--no-optimize] [--split N] "
-               "[--stats] [--verilog]\n");
+               "[--mapper NAME|help] [--objective NAME] "
+               "[--portfolio-budget-ms N] [--baseline] [--no-optimize] "
+               "[--split N] [--stats] [--verilog]\n");
 }
 
 }  // namespace
@@ -44,9 +49,15 @@ int main(int argc, char** argv) {
   int k = 4;
   int split_threshold = 10;
   std::string mapper_name = "chortle";
+  std::string objective_name = "luts";
+  long long portfolio_budget_ms = -1;
   bool run_optimizer = true;
   bool print_stats = false;
   bool emit_verilog = false;
+
+  // Registration first, so --mapper=help and error messages list the
+  // full registry rather than a stale hard-coded set.
+  portfolio::ensure_registered();
 
   const core::IMapper* mapper = nullptr;
 
@@ -62,6 +73,14 @@ int main(int argc, char** argv) {
       mapper_name = argv[++i];
     } else if (arg.rfind("--mapper=", 0) == 0) {
       mapper_name = arg.substr(9);
+    } else if (arg == "--objective" && i + 1 < argc) {
+      objective_name = argv[++i];
+    } else if (arg.rfind("--objective=", 0) == 0) {
+      objective_name = arg.substr(12);
+    } else if (arg == "--portfolio-budget-ms" && i + 1 < argc) {
+      portfolio_budget_ms = std::atoll(argv[++i]);
+    } else if (arg.rfind("--portfolio-budget-ms=", 0) == 0) {
+      portfolio_budget_ms = std::atoll(arg.c_str() + 22);
     } else if (arg == "--baseline") {
       mapper_name = "libmap";
     } else if (arg == "--no-optimize") {
@@ -81,6 +100,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (mapper_name == "help") {
+    std::fprintf(stderr, "map_blif: registered mappers: %s\n",
+                 core::mapper_names().c_str());
+    return 0;
+  }
   mapper = core::find_mapper(mapper_name);
   if (mapper == nullptr) {
     std::fprintf(stderr, "map_blif: unknown mapper '%s' (expected %s)\n",
@@ -125,12 +149,28 @@ int main(int argc, char** argv) {
     core::Options options;
     options.k = k;
     options.split_threshold = split_threshold;
-    const core::MapResult result = mapper->map(network, options);
+    core::MapResult result = [&] {
+      if (mapper_name != "portfolio") return mapper->map(network, options);
+      portfolio::PortfolioConfig race =
+          portfolio::default_portfolio().config();
+      race.objective = portfolio::parse_objective(objective_name);
+      race.budget_ms = portfolio_budget_ms;
+      return portfolio::default_portfolio().map_with(network, options, race,
+                                                     nullptr);
+    }();
     const net::LutCircuit& circuit = result.circuit;
     if (print_stats)
       std::fprintf(stderr, "%s: %d LUTs, depth %d, %.3fs\n", mapper->name(),
                    result.stats.num_luts, result.stats.depth,
                    result.stats.seconds);
+    if (!result.stats.portfolio_winner.empty())
+      std::fprintf(stderr,
+                   "portfolio: winner=%s cancelled=%d stitched_trees=%d "
+                   "objective=%s\n",
+                   result.stats.portfolio_winner.c_str(),
+                   result.stats.portfolio_cancelled,
+                   result.stats.portfolio_stitched_trees,
+                   objective_name.c_str());
 
     if (!sim::equivalent(sim::design_of(model.network),
                          sim::design_of(circuit))) {

@@ -17,6 +17,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "base/clock.hpp"
+
 namespace chortle::base {
 
 /// Thrown by CancelToken::check() when the token has fired. Deliberately
@@ -34,13 +36,20 @@ class CancelToken {
 
   /// A token that only fires on an explicit cancel().
   CancelToken() = default;
-  /// A token that additionally fires once `deadline` has passed.
-  explicit CancelToken(Clock::time_point deadline)
-      : has_deadline_(true), deadline_(deadline) {}
+  /// A token that additionally fires once `deadline` has passed. The
+  /// deadline is read through `clock` when one is given (the test seam
+  /// of base/clock.hpp, which must then outlive the token); nullptr
+  /// keeps the direct steady_clock fast path.
+  explicit CancelToken(Clock::time_point deadline,
+                       const chortle::base::Clock* clock = nullptr)
+      : has_deadline_(true), deadline_(deadline), clock_(clock) {}
 
   /// Token firing `budget` from now (non-positive: already expired).
-  static CancelToken after(Clock::duration budget) {
-    return CancelToken(Clock::now() + budget);
+  static CancelToken after(Clock::duration budget,
+                           const chortle::base::Clock* clock = nullptr) {
+    return CancelToken((clock != nullptr ? clock->now() : Clock::now()) +
+                           budget,
+                       clock);
   }
 
   CancelToken(const CancelToken&) = delete;
@@ -56,7 +65,10 @@ class CancelToken {
   /// loops should call this every N iterations, not every one.
   bool expired() const {
     if (cancel_requested()) return true;
-    return has_deadline_ && Clock::now() >= deadline_;
+    if (!has_deadline_) return false;
+    const Clock::time_point now =
+        clock_ != nullptr ? clock_->now() : Clock::now();
+    return now >= deadline_;
   }
 
   /// Throws Cancelled (mentioning `where`) once the token has fired.
@@ -69,11 +81,14 @@ class CancelToken {
 
   bool has_deadline() const { return has_deadline_; }
   Clock::time_point deadline() const { return deadline_; }
+  /// The injected time source, or nullptr for the real steady clock.
+  const chortle::base::Clock* clock() const { return clock_; }
 
  private:
   std::atomic<bool> cancelled_{false};
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
+  const chortle::base::Clock* clock_ = nullptr;
 };
 
 }  // namespace chortle::base

@@ -1,0 +1,112 @@
+#include "base/clock.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "base/check.hpp"
+
+namespace chortle::base {
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  TimePoint now() const override {
+    return std::chrono::steady_clock::now();
+  }
+
+  void wait_until(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lock,
+                  TimePoint deadline) const override {
+    if (deadline == TimePoint::max())
+      cv.wait(lock);
+    else
+      cv.wait_until(lock, deadline);
+  }
+};
+
+}  // namespace
+
+const Clock* real_clock() {
+  static const RealClock clock;
+  return &clock;
+}
+
+Clock::TimePoint FakeClock::now() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void FakeClock::wait_until(std::condition_variable& cv,
+                           std::unique_lock<std::mutex>& lock,
+                           TimePoint deadline) const {
+  CHORTLE_CHECK(lock.owns_lock());
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    if (now_ >= deadline) return;  // already timed out in fake time
+    waiters_.push_back(Waiter{&cv, lock.mutex()});
+  }
+  // One wait, not a loop: the contract is the same as a raw condition
+  // variable (the caller re-checks its predicate), and a single wait
+  // lets wake_all() force that re-check without moving time.
+  cv.wait(lock);
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    const auto it = std::find_if(
+        waiters_.begin(), waiters_.end(), [&](const Waiter& w) {
+          return w.cv == &cv && w.mutex == lock.mutex();
+        });
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
+}
+
+void FakeClock::advance(Duration d) {
+  CHORTLE_REQUIRE(d >= Duration::zero(),
+                  "FakeClock::advance: time cannot move backwards");
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    now_ += d;
+  }
+  wake_all();
+}
+
+void FakeClock::set(TimePoint t) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    CHORTLE_REQUIRE(t >= now_,
+                    "FakeClock::set: time cannot move backwards");
+    now_ = t;
+  }
+  wake_all();
+}
+
+void FakeClock::wake_all() const {
+  // Two constraints shape this loop. Lifetime: a waiter's cv and mutex
+  // may live on its stack and die the moment wait_until returns, so
+  // they may only be touched while the waiter is still registered —
+  // i.e. under mu_, which every deregistration also takes. Lost
+  // wakeups: a thread between "registered" and "blocked in cv.wait"
+  // still holds its own mutex, so notifying under that mutex cannot
+  // land in the gap. Taking the waiter's mutex while holding mu_ would
+  // invert wait_until's caller-mutex -> mu_ order, hence try_lock: a
+  // failed attempt means the waiter is mid-register or mid-deregister,
+  // and releasing mu_ lets it finish before the retry.
+  while (true) {
+    bool retry = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (const Waiter& waiter : waiters_) {
+        std::unique_lock<std::mutex> guard(*waiter.mutex,
+                                           std::try_to_lock);
+        if (!guard.owns_lock()) {
+          retry = true;
+          continue;
+        }
+        waiter.cv->notify_all();
+      }
+    }
+    if (!retry) return;
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace chortle::base

@@ -1,0 +1,85 @@
+// The time seam for everything that races a deadline: a virtual clock
+// supplying now() and a timed condition-variable wait. Production code
+// uses RealClock (std::chrono::steady_clock underneath); tests inject a
+// FakeClock and script time explicitly — "cutmap finishes at t=3ms, the
+// deadline fires at t=5ms" becomes two advance() calls instead of a
+// sleep and a prayer. base::CancelToken reads its deadline through this
+// seam and the portfolio race driver waits through it, so every
+// race-ordering test in tests/portfolio_test.cpp runs with zero sleeps.
+//
+// Waiting protocol (both implementations): the caller holds `lock` (on
+// its own mutex), calls wait_until(cv, lock, deadline), and re-checks
+// its predicate when the call returns — the wait can end on a notify,
+// on the deadline, or spuriously, exactly like a raw condition
+// variable. Pass TimePoint::max() for a pure notification wait.
+//
+// FakeClock wakeup guarantee: advance()/wake_all() notify each waiter
+// under both the registry lock and the waiter's own mutex. The former
+// means a waiter's cv/mutex (often stack-locals of wait_until's caller)
+// are only touched while the waiter is provably still registered; the
+// latter means a thread between "registered as waiter" and "blocked in
+// cv.wait" — it still holds its mutex across that gap — cannot miss
+// the notification. A fake-clock advance is therefore never lost and
+// never touches a dead condition variable.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace chortle::base {
+
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+  using Duration = std::chrono::steady_clock::duration;
+
+  virtual ~Clock() = default;
+
+  virtual TimePoint now() const = 0;
+
+  /// Blocks on `cv` (the caller holds `lock`) until notified, the
+  /// clock reaches `deadline`, or spuriously. The caller re-checks its
+  /// predicate; TimePoint::max() waits for a notification only.
+  virtual void wait_until(std::condition_variable& cv,
+                          std::unique_lock<std::mutex>& lock,
+                          TimePoint deadline) const = 0;
+};
+
+/// The process-wide real clock (steady_clock).
+const Clock* real_clock();
+
+/// A manually-advanced clock for deterministic race tests. now() only
+/// moves when a test calls advance()/set(); waiters blocked through
+/// wait_until() are woken by any advance (and by wake_all(), which
+/// moves no time — used to make waiters re-check non-time predicates
+/// such as an explicit cancellation).
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(TimePoint start = TimePoint{}) : now_(start) {}
+
+  TimePoint now() const override;
+  void wait_until(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lock,
+                  TimePoint deadline) const override;
+
+  /// Moves time forward and wakes every waiter. `d` must be >= 0.
+  void advance(Duration d);
+  /// Jumps to an absolute time (never backwards) and wakes waiters.
+  void set(TimePoint t);
+  /// Wakes every waiter without moving time.
+  void wake_all() const;
+
+ private:
+  struct Waiter {
+    std::condition_variable* cv;
+    std::mutex* mutex;
+  };
+
+  mutable std::mutex mu_;
+  TimePoint now_;
+  mutable std::vector<Waiter> waiters_;
+};
+
+}  // namespace chortle::base

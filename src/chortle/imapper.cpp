@@ -1,6 +1,7 @@
 #include "chortle/imapper.hpp"
 
 #include <map>
+#include <mutex>
 
 #include "base/check.hpp"
 #include "cutmap/cutmap.hpp"
@@ -49,9 +50,14 @@ class LibMapMapper final : public IMapper {
 
  private:
   /// One library per K per process (complete for K <= 3, level-0
-  /// kernels above — the same policy as the fuzz oracle).
+  /// kernels above — the same policy as the fuzz oracle). Locked: the
+  /// portfolio race maps with this backend from several pool threads at
+  /// once. Entries are never erased, so the returned reference stays
+  /// valid after the lock is released.
   static const libmap::Library& library_for(int k) {
+    static std::mutex mu;
     static std::map<int, libmap::Library> cache;
+    const std::lock_guard<std::mutex> lock(mu);
     auto it = cache.find(k);
     if (it == cache.end())
       it = cache
@@ -103,16 +109,25 @@ class CutMapMapper final : public IMapper {
   }
 };
 
-}  // namespace
-
-const std::vector<const IMapper*>& all_mappers() {
+std::vector<const IMapper*>& registry() {
   static const ChortleMapper chortle;
   static const LibMapMapper libmap;
   static const FlowMapMapper flowmap;
   static const CutMapMapper cutmap;
-  static const std::vector<const IMapper*> mappers{&chortle, &libmap,
-                                                   &flowmap, &cutmap};
+  static std::vector<const IMapper*> mappers{&chortle, &libmap,
+                                             &flowmap, &cutmap};
   return mappers;
+}
+
+}  // namespace
+
+const std::vector<const IMapper*>& all_mappers() { return registry(); }
+
+void register_mapper(const IMapper* mapper) {
+  CHORTLE_REQUIRE(mapper != nullptr, "register_mapper: null mapper");
+  for (const IMapper* existing : registry())
+    if (std::string(existing->name()) == mapper->name()) return;
+  registry().push_back(mapper);
 }
 
 const IMapper* find_mapper(const std::string& name) {

@@ -38,14 +38,24 @@ class IMapper {
                         const Options& options) const = 0;
 };
 
-/// The registered mappers (chortle, libmap, flowmap, cutmap) in
-/// canonical order. Pointers are to process-lifetime singletons.
+/// The registered mappers — the built-ins (chortle, libmap, flowmap,
+/// cutmap) in canonical order, then anything added by register_mapper.
+/// Pointers are to process-lifetime singletons.
 const std::vector<const IMapper*>& all_mappers();
+
+/// Appends a mapper to the registry (idempotent: a second registration
+/// of an existing name is ignored). This is how backends layered above
+/// chortle_mappers — the portfolio racer, which itself drives the
+/// built-ins — appear in find_mapper/mapper_names without a library
+/// cycle. Call during startup, before threads iterate the registry.
+void register_mapper(const IMapper* mapper);
 
 /// nullptr when no mapper has that name.
 const IMapper* find_mapper(const std::string& name);
 
-/// "chortle|libmap|flowmap|cutmap", for CLI help and error text.
+/// "chortle|libmap|flowmap|cutmap|..." — every registered name, for
+/// CLI help and error text. Never hard-code this list: tools print
+/// this so a newly registered backend shows up everywhere at once.
 std::string mapper_names();
 
 }  // namespace chortle::core

@@ -5,6 +5,8 @@
 // combined into one circuit of K-input lookup tables (paper §3).
 #pragma once
 
+#include <string>
+
 #include "chortle/options.hpp"
 #include "network/lut_circuit.hpp"
 #include "network/network.hpp"
@@ -24,6 +26,11 @@ struct MapStats {
   int cache_coalesced = 0;  // trees that waited on a concurrent
                             // identical solve (single-flight)
   double seconds = 0.0;   // wall-clock mapping time
+
+  // Portfolio-race fields (src/portfolio); zero/empty for plain backends.
+  std::string portfolio_winner;     // strategy name or "stitched"
+  int portfolio_cancelled = 0;      // racer tasks still pending at close
+  int portfolio_stitched_trees = 0;  // trees a non-fallback racer won
 };
 
 struct MapResult {

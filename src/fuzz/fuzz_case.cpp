@@ -8,13 +8,14 @@ const char* to_string(Backend backend) {
     case Backend::kFlowMap: return "flowmap";
     case Backend::kLibMap: return "libmap";
     case Backend::kCutMap: return "cutmap";
+    case Backend::kPortfolio: return "portfolio";
   }
   return "?";
 }
 
 std::vector<Backend> all_backends() {
   return {Backend::kChortle, Backend::kFlowMap, Backend::kLibMap,
-          Backend::kCutMap};
+          Backend::kCutMap, Backend::kPortfolio};
 }
 
 }  // namespace chortle::fuzz

@@ -14,8 +14,10 @@
 
 namespace chortle::fuzz {
 
-/// The mapping backends the oracle cross-checks.
-enum class Backend { kChortle, kFlowMap, kLibMap, kCutMap };
+/// The mapping backends the oracle cross-checks. kPortfolio races the
+/// other four (src/portfolio) and is additionally held to the
+/// never-worse-than-chortle objective guarantee.
+enum class Backend { kChortle, kFlowMap, kLibMap, kCutMap, kPortfolio };
 
 const char* to_string(Backend backend);
 

@@ -14,6 +14,7 @@
 #include "libmap/subject.hpp"
 #include "obs/metrics.hpp"
 #include "opt/script.hpp"
+#include "portfolio/portfolio.hpp"
 #include "sim/simulate.hpp"
 
 namespace chortle::fuzz {
@@ -279,6 +280,33 @@ class OracleRun {
         const cutmap::CutMapResult result =
             cutmap::map_luts(subject, cut_options);
         check_circuit("cutmap", result.circuit, result.stats.num_luts);
+        break;
+      }
+      case Backend::kPortfolio: {
+        // Race every backend with no budget (all racers run to
+        // completion — the case stays deterministic) and hold the
+        // winner to the oracle's full battery plus the portfolio's own
+        // guarantee: under the LUT objective the stitched/raced cover
+        // is never worse than plain chortle, because chortle is the
+        // fallback and ties break toward it.
+        portfolio::PortfolioConfig race =
+            portfolio::default_portfolio().config();
+        race.budget_ms = -1;
+        const core::MapResult result = portfolio::default_portfolio()
+                                           .map_with(mapper_input,
+                                                     case_.options, race,
+                                                     nullptr);
+        check_circuit("portfolio", result.circuit, result.stats.num_luts);
+        const core::MapResult plain =
+            core::map_network(mapper_input, case_.options);
+        if (result.stats.num_luts > plain.stats.num_luts) {
+          std::ostringstream os;
+          os << "portfolio (winner " << result.stats.portfolio_winner
+             << ") used " << result.stats.num_luts
+             << " LUTs, worse than plain chortle's "
+             << plain.stats.num_luts;
+          fail("portfolio", "lut-count", os.str());
+        }
         break;
       }
     }

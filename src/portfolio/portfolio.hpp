@@ -1,0 +1,150 @@
+// Deadline-aware portfolio mapping: race every registered strategy on
+// one request and return the best verified cover the budget allows.
+//
+// The race has one asymmetric rule — the fallback strategy (strategies
+// front, chortle by default) runs first, synchronously and
+// uncancellably, so a valid answer exists before any budget is spent on
+// speculation. The remaining strategies then race on a shared thread
+// pool, each under its own child CancelToken derived from the common
+// deadline; racers that finish in time contribute whole-network
+// candidates and per-tree candidates (one per fanout-free tree of the
+// input). At the deadline the driver closes the race, cancels the
+// children, and selects by the configured objective among:
+//
+//   - the fallback's whole-network cover (always present),
+//   - each racer's whole-network cover (when verified in time),
+//   - a stitched cover composing, tree by tree, the best per-tree
+//     candidate from any strategy (only built when some racer beat the
+//     fallback on at least one tree).
+//
+// Every candidate is verified (structural check + simulation against
+// the network it covers) before it may win; an unverifiable racer
+// result is silently dropped, never returned. Ties break toward the
+// fallback, so a race that produces nothing strictly better returns a
+// circuit byte-identical to plain chortle's.
+//
+// Determinism: the winner set fixes the output bit-for-bit — stitching
+// walks trees in forest order and copies LUTs in cover order, so given
+// which strategy won each cone the emitted circuit does not depend on
+// race timing. Tests pin the winner set itself with base::FakeClock
+// (tests/portfolio_test.cpp): scripted stub strategies finish at exact
+// fake times and the driver waits through the same clock, so race
+// orderings are reproduced without a single sleep.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/clock.hpp"
+#include "base/thread_pool.hpp"
+#include "chortle/imapper.hpp"
+
+namespace chortle::portfolio {
+
+/// What "best" means when the race closes. Lower is better on every
+/// axis; exact ties always break toward the earlier-registered strategy
+/// (the fallback first), keeping the output deterministic.
+enum class Objective {
+  kLuts,          // fewest LUTs, depth as the final tie-break
+  kDepth,         // fewest LUT levels, area as the final tie-break
+  kDepthThenLuts  // lexicographic (depth, LUTs)
+};
+
+const char* to_string(Objective objective);
+/// Parses "luts" | "depth" | "depth-luts"; throws InvalidInput.
+Objective parse_objective(const std::string& name);
+/// "luts|depth|depth-luts", for CLI help and error text.
+std::string objective_names();
+
+struct PortfolioConfig {
+  /// Strategies to race; the front entry is the uncancellable fallback
+  /// and must always produce a valid cover. Empty selects the default
+  /// lineup: chortle (fallback), flowmap, cutmap, libmap.
+  std::vector<const core::IMapper*> strategies;
+
+  Objective objective = Objective::kLuts;
+
+  /// Race budget in milliseconds from the start of the call; negative
+  /// means no budget (racers run to completion). The effective deadline
+  /// is the earlier of this budget and the caller's Options::cancel
+  /// deadline, when either exists.
+  std::int64_t budget_ms = -1;
+
+  /// Time seam for the deadline and the race wait (base/clock.hpp).
+  /// nullptr uses the real steady clock. When a caller passes both a
+  /// fake clock here and a deadline-carrying Options::cancel, that
+  /// token must read the same clock, or the two deadlines disagree.
+  const base::Clock* clock = nullptr;
+
+  /// Racer pool width; 0 sizes from hardware concurrency. The pool is
+  /// created lazily on first race and keeps its first size.
+  int jobs = 0;
+};
+
+/// Per-strategy outcome of one race, in strategies order.
+struct StrategyOutcome {
+  std::string name;
+  bool completed = false;  // whole-network cover verified in time
+  bool cancelled = false;  // some task of this strategy was cancelled
+  int trees_won = 0;       // trees where this strategy's cover was best
+  int luts = -1;           // whole-network cover size (when completed)
+  int depth = -1;
+};
+
+struct PortfolioStats {
+  std::string winner;       // strategy name, or "stitched"
+  int cancelled = 0;        // racer tasks still pending when closed
+  int stitched_trees = 0;   // trees a non-fallback strategy won, when
+                            // the stitched cover is the winner (else 0)
+  std::vector<StrategyOutcome> strategies;
+};
+
+/// The portfolio racer, itself a core::IMapper ("portfolio") so every
+/// tool's --mapper= flag can select it once ensure_registered() ran.
+class PortfolioMapper final : public core::IMapper {
+ public:
+  explicit PortfolioMapper(PortfolioConfig config = {});
+  ~PortfolioMapper() override;
+
+  const char* name() const override { return "portfolio"; }
+  int min_k() const override { return 2; }
+  int max_k() const override { return 6; }
+
+  /// Races with the construction-time config.
+  core::MapResult map(const net::Network& network,
+                      const core::Options& options) const override;
+
+  /// Races with an explicit config (per-request objective/budget, as
+  /// the serve path needs) and optionally reports the detailed race
+  /// outcome. MapStats::portfolio_* fields are filled either way.
+  core::MapResult map_with(const net::Network& network,
+                           const core::Options& options,
+                           const PortfolioConfig& config,
+                           PortfolioStats* stats) const;
+
+  const PortfolioConfig& config() const { return config_; }
+
+ private:
+  base::ThreadPool& pool() const;
+
+  PortfolioConfig config_;
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<base::ThreadPool> pool_;
+};
+
+/// The default lineup (chortle fallback + every other built-in that
+/// supports the requested K), resolved from the core registry.
+std::vector<const core::IMapper*> default_strategies();
+
+/// Process-wide portfolio instance with the default config.
+const PortfolioMapper& default_portfolio();
+
+/// Adds default_portfolio() to core's mapper registry (idempotent), so
+/// find_mapper("portfolio") and mapper_names() see it. Call at tool
+/// startup, before the registry is iterated.
+void ensure_registered();
+
+}  // namespace chortle::portfolio

@@ -260,10 +260,19 @@ obs::Json encode_request_header(const MapRequest& request) {
   header.set("optimize", request.optimize);
   header.set("verify", request.verify);
   if (request.deadline_ms >= 0) header.set("deadline_ms", request.deadline_ms);
-  // Revision-2 fields ride along only when used, so a v1-shaped request
-  // stays byte-identical to what pre-revision clients produced.
+  // Revision-gated fields ride along only when used, so a v1-shaped
+  // request stays byte-identical to what pre-revision clients produced
+  // (and a proto-2 request to what revision-2 clients produced).
   if (request.proto >= 2) header.set("proto", request.proto);
   set_context_fields(header, request.context);
+  if (request.proto >= 3) {
+    if (!request.mapper.empty() && request.mapper != "chortle")
+      header.set("mapper", request.mapper);
+    if (!request.objective.empty() && request.objective != "luts")
+      header.set("objective", request.objective);
+    if (request.portfolio_budget_ms >= 0)
+      header.set("portfolio_budget_ms", request.portfolio_budget_ms);
+  }
   return header;
 }
 
@@ -281,6 +290,10 @@ MapRequest parse_map_request(const Frame& frame) {
   request.optimize = get_bool(frame.header, "optimize", false);
   request.verify = get_bool(frame.header, "verify", false);
   request.deadline_ms = get_int(frame.header, "deadline_ms", -1);
+  request.mapper = get_string(frame.header, "mapper", "chortle");
+  request.objective = get_string(frame.header, "objective", "luts");
+  request.portfolio_budget_ms =
+      get_int(frame.header, "portfolio_budget_ms", -1);
   request.proto = get_bounded_int(frame.header, "proto", 1, 1, 1000);
   request.context.trace_id = get_hex_id(frame.header, "trace_id");
   request.context.span_id = get_hex_id(frame.header, "span_id");
@@ -316,6 +329,19 @@ obs::Json encode_response_header(const MapResponse& response) {
       stages.set("solve", response.stages.solve);
       stages.set("emit", response.stages.emit);
       header.set("stages", std::move(stages));
+    }
+  }
+  if (response.proto >= 3) {
+    // "chortle" stays implicit so a revision-3 response to a plain
+    // request matches the revision-2 bytes field-for-field.
+    if (!response.mapper.empty() && response.mapper != "chortle")
+      header.set("mapper", response.mapper);
+    if (!response.portfolio_winner.empty()) {
+      obs::Json portfolio = obs::Json::object();
+      portfolio.set("winner", response.portfolio_winner);
+      portfolio.set("cancelled", response.portfolio_cancelled);
+      portfolio.set("stitched_trees", response.portfolio_stitched_trees);
+      header.set("portfolio", std::move(portfolio));
     }
   }
   return header;
@@ -361,6 +387,16 @@ MapResponse parse_map_response(const Frame& frame) {
     response.stages.parse = stage("parse");
     response.stages.solve = stage("solve");
     response.stages.emit = stage("emit");
+  }
+  response.mapper = get_string(frame.header, "mapper", "");
+  if (const obs::Json* portfolio = frame.header.find("portfolio")) {
+    if (!portfolio->is_object())
+      throw InvalidInput("map_response: \"portfolio\" must be an object");
+    response.portfolio_winner = get_string(*portfolio, "winner", "");
+    response.portfolio_cancelled =
+        static_cast<int>(get_int(*portfolio, "cancelled", 0));
+    response.portfolio_stitched_trees =
+        static_cast<int>(get_int(*portfolio, "stitched_trees", 0));
   }
   response.blif = frame.payload;
   return response;

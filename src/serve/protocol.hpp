@@ -26,10 +26,15 @@
 // Version negotiation: a client advertising "proto": 2 in its request
 // header may attach a trace context ("trace_id"/"span_id", 16 hex
 // digits) and gets per-stage timings and the echoed trace id back in
-// its response. Headers without these fields are exactly the v1 wire
-// format, and every parser ignores unknown fields — so old client ↔
-// new server and new client ↔ old server both keep working, and the
-// response bytes an old client sees are unchanged.
+// its response. Revision 3 adds backend selection: "mapper" (a name
+// from core::mapper_names()), "objective" and "portfolio_budget_ms"
+// (portfolio-only tunables) on the request, and the winning mapper
+// plus portfolio race counters on the response. The server answers
+// with min(client proto, kProtocolVersion), and revision-gated fields
+// ride the wire only at their revision or later — so headers a proto
+// <= 2 client sees are byte-identical to what a revision-2 server
+// produced, and every parser ignores unknown fields (old client ↔ new
+// server and new client ↔ old server both keep working).
 #pragma once
 
 #include <cstdint>
@@ -53,8 +58,9 @@ inline constexpr const char* kStatsRequestType = "stats_request/1";
 inline constexpr const char* kStatsResponseType = "stats_response/1";
 
 /// Highest header revision this build speaks. Revision 2 adds the
-/// trace-context fields and per-stage response timings.
-inline constexpr int kProtocolVersion = 2;
+/// trace-context fields and per-stage response timings; revision 3
+/// adds mapper selection and portfolio race reporting.
+inline constexpr int kProtocolVersion = 3;
 
 struct Frame {
   obs::Json header;
@@ -122,6 +128,14 @@ struct MapRequest {
   bool optimize = false;          // run the full optimization script first
   bool verify = false;            // BDD-equivalence-check the served result
   std::int64_t deadline_ms = -1;  // budget from server receipt; < 0 = none
+  /// Backend to map with (proto >= 3): a core::mapper_names() name.
+  std::string mapper = "chortle";
+  /// Portfolio objective (proto >= 3): a portfolio::objective_names()
+  /// name. Ignored by the plain backends.
+  std::string objective = "luts";
+  /// Portfolio race budget in ms (proto >= 3); < 0 = no budget beyond
+  /// deadline_ms. Ignored by the plain backends.
+  std::int64_t portfolio_budget_ms = -1;
   /// Advertised header revision. Defaults to 1 so a hand-built request
   /// stays byte-compatible with the v1 wire format; the bundled Client
   /// always sends kProtocolVersion.
@@ -165,6 +179,14 @@ struct MapResponse {
   int cache_coalesced = 0;
   double seconds = 0.0;
   std::string verified;  // "", "equivalent", "different", "inconclusive"
+  /// The backend that actually mapped (proto >= 3; empty on the wire
+  /// means "chortle", the only pre-revision-3 behaviour).
+  std::string mapper;
+  /// Portfolio race outcome (proto >= 3; on the wire only when the
+  /// portfolio backend ran — portfolio_winner non-empty).
+  std::string portfolio_winner;
+  int portfolio_cancelled = 0;
+  int portfolio_stitched_trees = 0;
   /// Header revision of the response (mirrors the request's; fields
   /// below are only on the wire when proto >= 2).
   int proto = 1;

@@ -20,12 +20,14 @@
 #include "base/timer.hpp"
 #include "bdd/equiv.hpp"
 #include "blif/blif.hpp"
+#include "chortle/imapper.hpp"
 #include "chortle/mapper.hpp"
 #include "chortle/options.hpp"
 #include "obs/serve_stats.hpp"
 #include "obs/trace.hpp"
 #include "opt/decompose.hpp"
 #include "opt/script.hpp"
+#include "portfolio/portfolio.hpp"
 
 namespace chortle::serve {
 namespace {
@@ -110,7 +112,10 @@ void echo_request_identity(const obs::Json& header, MapResponse& response) {
     response.id = id->as_string();
   const obs::Json* proto = header.find("proto");
   if (proto == nullptr || !proto->is_number() || proto->as_int() < 2) return;
-  response.proto = kProtocolVersion;
+  // Negotiate down: a proto-2 peer must get a proto-2 response, never
+  // a revision it did not ask for.
+  response.proto = static_cast<int>(std::min<std::int64_t>(
+      proto->as_int(), kProtocolVersion));
   obs::RequestContext context;
   if (const obs::Json* field = header.find("trace_id");
       field != nullptr && field->is_string())
@@ -574,6 +579,9 @@ Server::~Server() { shutdown(); }
 
 void Server::start() {
   CHORTLE_REQUIRE(!started_.load(), "server already started");
+  // Make "portfolio" resolvable via find_mapper before any worker can
+  // dispatch a request (registration is startup-time only).
+  portfolio::ensure_registered();
   CHORTLE_REQUIRE(!config_.unix_path.empty() || config_.tcp_port >= 0,
                   "server needs a unix path or a TCP port");
   CHORTLE_REQUIRE(config_.workers >= 1 && config_.workers <= 512,
@@ -736,7 +744,7 @@ MapResponse Server::process_request(const Frame& frame,
   const obs::RequestContext context = request.context.valid()
                                           ? request.context
                                           : obs::RequestContext::generate();
-  response.proto = request.proto >= 2 ? kProtocolVersion : 1;
+  response.proto = std::min(request.proto, kProtocolVersion);
   response.context = context;
   StageSeconds stages;
   stages.parse = header_timer.seconds();
@@ -777,10 +785,35 @@ MapResponse Server::process_request(const Frame& frame,
     options.search_decompositions = request.search_decompositions;
     options.jobs = config_.map_jobs;
     if (request.deadline_ms >= 0) options.cancel = &token;
+    const core::IMapper* mapper = core::find_mapper(request.mapper);
+    if (mapper == nullptr)
+      throw InvalidInput("unknown mapper \"" + request.mapper +
+                         "\" (expected " + core::mapper_names() + ")");
     const core::MapResult mapped = [&] {
       obs::TraceSpan solve_span("serve.solve", context);
       WallTimer stage_timer;
-      core::MapResult result = core::map_network(network, options, &cache_);
+      const auto solve = [&]() -> core::MapResult {
+        if (request.mapper == "chortle") {
+          // The historical path, DP cache included — byte-identical to
+          // every pre-revision-3 response.
+          return core::map_network(network, options, &cache_);
+        }
+        if (request.mapper == "portfolio") {
+        // The race: chortle-fallback first (uncancellable), then the
+        // other backends under the request's deadline and budget. A
+        // deadline that fires mid-race yields the fallback cover, not
+        // a "deadline" error — the token stays out of options.cancel's
+        // Cancelled path because the fallback never polls it.
+          portfolio::PortfolioConfig race =
+              portfolio::default_portfolio().config();
+          race.objective = portfolio::parse_objective(request.objective);
+          race.budget_ms = request.portfolio_budget_ms;
+          return portfolio::default_portfolio().map_with(network, options,
+                                                         race, nullptr);
+        }
+        return mapper->map(network, options);
+      };
+      core::MapResult result = solve();
       stages.solve = stage_timer.seconds();
       return result;
     }();
@@ -790,6 +823,10 @@ MapResponse Server::process_request(const Frame& frame,
     response.cache_hits = mapped.stats.cache_hits;
     response.cache_misses = mapped.stats.cache_misses;
     response.cache_coalesced = mapped.stats.cache_coalesced;
+    response.mapper = request.mapper;
+    response.portfolio_winner = mapped.stats.portfolio_winner;
+    response.portfolio_cancelled = mapped.stats.portfolio_cancelled;
+    response.portfolio_stitched_trees = mapped.stats.portfolio_stitched_trees;
     {
       obs::TraceSpan emit_span("serve.emit", context);
       WallTimer stage_timer;
@@ -867,6 +904,16 @@ void Server::record_request(const MapResponse& response) {
     else if (response.status == "deadline") ++counters_.deadline_errors;
     else if (response.status == "invalid") ++counters_.invalid_requests;
     else ++counters_.internal_errors;
+    if (response.mapper == "portfolio") {
+      ++counters_.portfolio_requests;
+      if (!response.portfolio_winner.empty() &&
+          response.portfolio_winner != "chortle")
+        ++counters_.portfolio_won;
+      counters_.portfolio_cancelled +=
+          static_cast<std::uint64_t>(response.portfolio_cancelled);
+      counters_.portfolio_stitched_trees +=
+          static_cast<std::uint64_t>(response.portfolio_stitched_trees);
+    }
   }
   if (response.status == "deadline") OBS_COUNT("serve.deadline_errors", 1);
 
@@ -883,6 +930,13 @@ void Server::record_request(const MapResponse& response) {
     row.set("cache_coalesced", response.cache_coalesced);
   row.set("seconds", response.seconds);
   if (!response.verified.empty()) row.set("verified", response.verified);
+  if (!response.mapper.empty() && response.mapper != "chortle")
+    row.set("mapper", response.mapper);
+  if (!response.portfolio_winner.empty()) {
+    row.set("portfolio_winner", response.portfolio_winner);
+    row.set("portfolio_cancelled", response.portfolio_cancelled);
+    row.set("portfolio_stitched_trees", response.portfolio_stitched_trees);
+  }
   const std::lock_guard<std::mutex> lock(report_mu_);
   report_.add_benchmark(std::move(row));
   report_.add_phase("serve.request", response.seconds);
@@ -918,6 +972,12 @@ obs::Json counters_json(const Server::Counters& counts) {
   json.set("internal_errors", counts.internal_errors);
   json.set("stats_requests", counts.stats_requests);
   json.set("idle_closed", counts.idle_closed);
+  // Extra keys are fine by the chortle-serve-stats/1 validator: it
+  // requires its known fields and ignores additions.
+  json.set("portfolio_requests", counts.portfolio_requests);
+  json.set("portfolio_won", counts.portfolio_won);
+  json.set("portfolio_cancelled", counts.portfolio_cancelled);
+  json.set("portfolio_stitched_trees", counts.portfolio_stitched_trees);
   return json;
 }
 
@@ -935,6 +995,7 @@ constexpr std::pair<const char*, const char*> kStageMetrics[] = {
     {"map.cache_hit.seconds", "cache_hit"},
     {"map.cache_miss.seconds", "cache_miss"},
     {"map.cache_coalesced.seconds", "cache_coalesced"},
+    {"portfolio.race.seconds", "portfolio_race"},
 };
 
 }  // namespace

@@ -100,6 +100,11 @@ class Server {
     std::uint64_t internal_errors = 0;
     std::uint64_t stats_requests = 0;  // STATS frames answered
     std::uint64_t idle_closed = 0;     // connections reaped by timeout
+    // Portfolio-backend requests (proto >= 3, --mapper=portfolio).
+    std::uint64_t portfolio_requests = 0;
+    std::uint64_t portfolio_won = 0;        // a racer beat the fallback
+    std::uint64_t portfolio_cancelled = 0;  // racer tasks cut at close
+    std::uint64_t portfolio_stitched_trees = 0;
   };
 
   explicit Server(ServerConfig config);

@@ -1,0 +1,643 @@
+// Deterministic tests for the portfolio race (src/portfolio) and the
+// base::FakeClock seam underneath it. Every race-ordering scenario is
+// scripted in fake time — stub strategies finish at exact fake instants
+// and the driver waits through the same clock — so there is not a
+// single sleep in this file and no assertion depends on scheduler
+// timing. The only real-time waits are condition-variable joins on
+// events the test itself triggers.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/cancel.hpp"
+#include "base/check.hpp"
+#include "base/clock.hpp"
+#include "blif/blif.hpp"
+#include "chortle/imapper.hpp"
+#include "chortle/mapper.hpp"
+#include "helpers.hpp"
+#include "network/lut_circuit.hpp"
+#include "network/network.hpp"
+#include "portfolio/portfolio.hpp"
+#include "sim/simulate.hpp"
+#include "truth/truth_table.hpp"
+
+namespace chortle {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Absolute fake time `ms` after the FakeClock epoch (TimePoint{}).
+base::Clock::TimePoint at(std::int64_t ms) {
+  return base::Clock::TimePoint{} + milliseconds(ms);
+}
+
+/// Two independent fanout-free trees: o1 = AND(a, b), o2 = OR(c, d).
+/// Chortle covers this with exactly two LUTs at any K >= 2.
+net::Network two_tree_network() {
+  net::Network network;
+  const net::NodeId a = network.add_input("a");
+  const net::NodeId b = network.add_input("b");
+  const net::NodeId c = network.add_input("c");
+  const net::NodeId d = network.add_input("d");
+  const net::NodeId g1 = network.add_gate(
+      net::GateOp::kAnd, {net::Fanin{a, false}, net::Fanin{b, false}});
+  const net::NodeId g2 = network.add_gate(
+      net::GateOp::kOr, {net::Fanin{c, false}, net::Fanin{d, false}});
+  network.add_output("o1", g1, false);
+  network.add_output("o2", g2, false);
+  network.check();
+  return network;
+}
+
+/// One 4-input AND cone — the subject of the objective tie-break tests.
+net::Network and4_network() {
+  net::Network network;
+  std::vector<net::Fanin> fanins;
+  for (const char* name : {"a", "b", "c", "d"})
+    fanins.push_back(net::Fanin{network.add_input(name), false});
+  const net::NodeId g = network.add_gate(net::GateOp::kAnd,
+                                         std::move(fanins));
+  network.add_output("o", g, false);
+  network.check();
+  return network;
+}
+
+bool equivalent_to(const net::Network& network,
+                   const net::LutCircuit& circuit) {
+  return sim::equivalent(sim::design_of(network), sim::design_of(circuit));
+}
+
+std::string blif_of(const net::LutCircuit& circuit) {
+  return blif::write_blif_string(circuit, "t");
+}
+
+/// A strategy that blocks on the fake clock until its scripted finish
+/// instant, then produces chortle's cover. When `obey_cancel` it checks
+/// its CancelToken on every wake and unwinds with base::Cancelled; when
+/// not, it sits out the full scripted duration regardless (modelling a
+/// backend with no cancellation points). waiting() counts map() calls
+/// currently blocked — tests spin on it (pure loads, no timing
+/// assumption) to know every race task has started before moving time.
+class StubMapper final : public core::IMapper {
+ public:
+  StubMapper(std::string name, const base::FakeClock* clock,
+             base::Clock::TimePoint finish_at, bool obey_cancel)
+      : name_(std::move(name)), clock_(clock), finish_at_(finish_at),
+        obey_cancel_(obey_cancel),
+        delegate_(core::find_mapper("chortle")) {}
+
+  const char* name() const override { return name_.c_str(); }
+  int min_k() const override { return 2; }
+  int max_k() const override { return 6; }
+
+  core::MapResult map(const net::Network& network,
+                      const core::Options& options) const override {
+    {
+      std::mutex mu;
+      std::condition_variable cv;
+      std::unique_lock<std::mutex> lock(mu);
+      ++waiting_;
+      while (clock_->now() < finish_at_) {
+        if (obey_cancel_ && options.cancel != nullptr &&
+            options.cancel->expired()) {
+          --waiting_;
+          ++cancelled_;
+          throw base::Cancelled("stub '" + name_ + "' cancelled");
+        }
+        clock_->wait_until(cv, lock, finish_at_);
+      }
+      --waiting_;
+    }
+    core::Options inner = options;
+    inner.cancel = nullptr;  // the scripted wait was the whole delay
+    return delegate_->map(network, inner);
+  }
+
+  int waiting() const { return waiting_.load(); }
+  int cancelled_count() const { return cancelled_.load(); }
+
+ private:
+  const std::string name_;
+  const base::FakeClock* clock_;
+  const base::Clock::TimePoint finish_at_;
+  const bool obey_cancel_;
+  const core::IMapper* delegate_;
+  mutable std::atomic<int> waiting_{0};
+  mutable std::atomic<int> cancelled_{0};
+};
+
+/// Chortle plus one pass-through LUT on the first non-constant output:
+/// same function, one more LUT, one more level. A verified fallback
+/// that every honest racer beats on both objectives.
+class PaddedMapper final : public core::IMapper {
+ public:
+  PaddedMapper() : delegate_(core::find_mapper("chortle")) {}
+
+  const char* name() const override { return "padded"; }
+  int min_k() const override { return 2; }
+  int max_k() const override { return 6; }
+
+  core::MapResult map(const net::Network& network,
+                      const core::Options& options) const override {
+    core::MapResult result = delegate_->map(network, options);
+    net::LutCircuit padded(result.circuit.k());
+    for (const std::string& input : result.circuit.input_names())
+      padded.add_input(input);
+    for (const net::Lut& lut : result.circuit.luts()) padded.add_lut(lut);
+    bool buffered = false;
+    for (const net::LutOutput& out : result.circuit.outputs()) {
+      if (out.is_const) {
+        padded.add_const_output(out.name, out.const_value);
+      } else if (!buffered) {
+        const net::SignalId buffer = padded.add_lut(net::Lut{
+            {out.signal}, truth::TruthTable::var(0, 1), std::string()});
+        padded.add_output(out.name, buffer, out.negated);
+        buffered = true;
+      } else {
+        padded.add_output(out.name, out.signal, out.negated);
+      }
+    }
+    result.circuit = std::move(padded);
+    result.stats.num_luts = result.circuit.num_luts();
+    result.stats.depth = result.circuit.depth();
+    return result;
+  }
+
+ private:
+  const core::IMapper* delegate_;
+};
+
+/// Covers only subjects accepted by its predicate (via chortle) and
+/// refuses everything else by throwing — scripting which strategy can
+/// cover which cone, so stitching has to compose winners.
+class ScriptedMapper final : public core::IMapper {
+ public:
+  using Predicate = bool (*)(const net::Network&);
+
+  ScriptedMapper(std::string name, Predicate match)
+      : name_(std::move(name)), match_(match),
+        delegate_(core::find_mapper("chortle")) {}
+
+  const char* name() const override { return name_.c_str(); }
+  int min_k() const override { return 2; }
+  int max_k() const override { return 6; }
+
+  core::MapResult map(const net::Network& network,
+                      const core::Options& options) const override {
+    if (!match_(network))
+      throw std::runtime_error("scripted mapper refuses this subject");
+    return delegate_->map(network, options);
+  }
+
+ private:
+  const std::string name_;
+  const Predicate match_;
+  const core::IMapper* delegate_;
+};
+
+bool is_single_and(const net::Network& network) {
+  if (network.num_gates() != 1) return false;
+  for (net::NodeId id = 0; id < network.num_nodes(); ++id)
+    if (!network.is_input(id))
+      return network.node(id).op == net::GateOp::kAnd;
+  return false;
+}
+
+bool is_single_or(const net::Network& network) {
+  if (network.num_gates() != 1) return false;
+  for (net::NodeId id = 0; id < network.num_nodes(); ++id)
+    if (!network.is_input(id))
+      return network.node(id).op == net::GateOp::kOr;
+  return false;
+}
+
+/// Emits a fixed-shape 3-LUT cover of a 4-input AND cone at K >= 2:
+/// either a chain (depth 3) or a balanced tree (depth 2). Equal area,
+/// different depth — exactly the split the objective tests need.
+class CannedMapper final : public core::IMapper {
+ public:
+  CannedMapper(std::string name, bool balanced)
+      : name_(std::move(name)), balanced_(balanced) {}
+
+  const char* name() const override { return name_.c_str(); }
+  int min_k() const override { return 2; }
+  int max_k() const override { return 6; }
+
+  core::MapResult map(const net::Network& network,
+                      const core::Options& options) const override {
+    CHORTLE_CHECK(network.inputs().size() == 4 && network.num_gates() == 1);
+    net::LutCircuit circuit(options.k);
+    std::vector<net::SignalId> in;
+    for (const net::NodeId input : network.inputs())
+      in.push_back(circuit.add_input(network.node(input).name));
+    const truth::TruthTable and2 = truth::TruthTable::from_binary("1000");
+    net::SignalId root;
+    if (balanced_) {
+      const net::SignalId left =
+          circuit.add_lut(net::Lut{{in[0], in[1]}, and2, std::string()});
+      const net::SignalId right =
+          circuit.add_lut(net::Lut{{in[2], in[3]}, and2, std::string()});
+      root = circuit.add_lut(net::Lut{{left, right}, and2, std::string()});
+    } else {
+      net::SignalId acc =
+          circuit.add_lut(net::Lut{{in[0], in[1]}, and2, std::string()});
+      acc = circuit.add_lut(net::Lut{{acc, in[2]}, and2, std::string()});
+      root = circuit.add_lut(net::Lut{{acc, in[3]}, and2, std::string()});
+    }
+    const net::Output& out = network.outputs().front();
+    circuit.add_output(out.name, root, out.negated);
+    core::MapResult result{std::move(circuit), core::MapStats{}};
+    result.stats.num_luts = result.circuit.num_luts();
+    result.stats.depth = result.circuit.depth();
+    return result;
+  }
+
+ private:
+  const std::string name_;
+  const bool balanced_;
+};
+
+// ---------------------------------------------------------------------
+// FakeClock and the CancelToken clock seam.
+
+TEST(FakeClock, NowOnlyMovesWhenScripted) {
+  base::FakeClock clock;
+  EXPECT_EQ(clock.now(), at(0));
+  clock.advance(milliseconds(5));
+  EXPECT_EQ(clock.now(), at(5));
+  clock.set(at(9));
+  EXPECT_EQ(clock.now(), at(9));
+  clock.advance(milliseconds(0));  // zero advance is a wake, not an error
+  EXPECT_EQ(clock.now(), at(9));
+  EXPECT_THROW(clock.set(at(3)), InvalidInput);
+  EXPECT_THROW(clock.advance(milliseconds(-1)), InvalidInput);
+}
+
+TEST(FakeClock, WaitUntilPastDeadlineReturnsWithoutBlocking) {
+  base::FakeClock clock;
+  clock.advance(milliseconds(7));
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lock(mu);
+  clock.wait_until(cv, lock, at(7));  // now >= deadline: no wait at all
+  clock.wait_until(cv, lock, at(3));
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(FakeClock, AdvanceWakesDeadlineWaiter) {
+  base::FakeClock clock;
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unique_lock<std::mutex> lock(mu);
+    while (clock.now() < at(10)) clock.wait_until(cv, lock, at(10));
+    done.store(true);
+  });
+  clock.advance(milliseconds(10));
+  waiter.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(FakeClock, WakeAllForcesPredicateRecheckWithoutMovingTime) {
+  base::FakeClock clock;
+  std::atomic<bool> flag{false};
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unique_lock<std::mutex> lock(mu);
+    while (!flag.load())
+      clock.wait_until(cv, lock, base::Clock::TimePoint::max());
+    done.store(true);
+  });
+  flag.store(true);
+  // The wakeup guarantee makes this loop terminate: once the waiter is
+  // registered, one wake_all() reaches it; until then we just retry.
+  while (!done.load()) {
+    clock.wake_all();
+    std::this_thread::yield();
+  }
+  waiter.join();
+  EXPECT_EQ(clock.now(), at(0));
+}
+
+TEST(CancelToken, DeadlineReadsInjectedClock) {
+  base::FakeClock clock;
+  base::CancelToken token(at(5), &clock);
+  EXPECT_FALSE(token.expired());
+  EXPECT_NO_THROW(token.check("test"));
+  clock.advance(milliseconds(4));
+  EXPECT_FALSE(token.expired());
+  clock.advance(milliseconds(1));
+  EXPECT_TRUE(token.expired());
+  EXPECT_FALSE(token.cancel_requested());  // deadline, not explicit cancel
+  EXPECT_THROW(token.check("test"), base::Cancelled);
+}
+
+TEST(CancelToken, AfterComputesDeadlineFromInjectedNow) {
+  base::FakeClock clock;
+  clock.advance(milliseconds(2));
+  const base::CancelToken token = base::CancelToken::after(
+      milliseconds(3), &clock);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_EQ(token.deadline(), at(5));
+  EXPECT_EQ(token.clock(), &clock);
+}
+
+// ---------------------------------------------------------------------
+// Registry and configuration plumbing.
+
+TEST(Portfolio, RegistersIdempotentlyInTheMapperRegistry) {
+  portfolio::ensure_registered();
+  const std::size_t count = core::all_mappers().size();
+  portfolio::ensure_registered();
+  EXPECT_EQ(core::all_mappers().size(), count);
+  EXPECT_EQ(core::find_mapper("portfolio"),
+            &portfolio::default_portfolio());
+  EXPECT_NE(core::mapper_names().find("portfolio"), std::string::npos);
+}
+
+TEST(Portfolio, ObjectiveParsingRoundTrips) {
+  using portfolio::Objective;
+  EXPECT_EQ(portfolio::parse_objective("luts"), Objective::kLuts);
+  EXPECT_EQ(portfolio::parse_objective("depth"), Objective::kDepth);
+  EXPECT_EQ(portfolio::parse_objective("depth-luts"),
+            Objective::kDepthThenLuts);
+  for (Objective objective : {Objective::kLuts, Objective::kDepth,
+                              Objective::kDepthThenLuts})
+    EXPECT_EQ(portfolio::parse_objective(portfolio::to_string(objective)),
+              objective);
+  EXPECT_THROW(portfolio::parse_objective("area"), InvalidInput);
+}
+
+// ---------------------------------------------------------------------
+// Race scenarios, all in fake time.
+
+TEST(PortfolioRace, DeadlineBeforeAnyRacerFinishesReturnsFallback) {
+  base::FakeClock clock;  // declared first: outlives the mapper's pool
+  const net::Network network = two_tree_network();
+
+  StubMapper slow("slowpoke", &clock, at(10), /*obey_cancel=*/false);
+  portfolio::PortfolioConfig config;
+  config.strategies = {core::find_mapper("chortle"), &slow};
+  config.clock = &clock;
+  config.jobs = 8;
+  portfolio::PortfolioMapper mapper(config);
+
+  base::CancelToken parent(at(5), &clock);
+  core::Options options;
+  options.k = 3;
+  options.cancel = &parent;
+
+  portfolio::PortfolioStats stats;
+  std::optional<core::MapResult> result;
+  std::thread driver([&] {
+    result = mapper.map_with(network, options, config, &stats);
+  });
+  // 1 whole-network + 2 per-tree tasks; wait until all three are
+  // blocked in fake time, then fire the deadline.
+  while (slow.waiting() < 3) std::this_thread::yield();
+  clock.advance(milliseconds(5));
+  driver.join();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(stats.winner, "chortle");
+  EXPECT_EQ(stats.cancelled, 3);  // every racer task was still pending
+  ASSERT_EQ(stats.strategies.size(), 2u);
+  EXPECT_TRUE(stats.strategies[0].completed);
+  EXPECT_FALSE(stats.strategies[1].completed);
+  EXPECT_EQ(result->stats.portfolio_winner, "chortle");
+  EXPECT_EQ(result->stats.portfolio_cancelled, 3);
+
+  // The returned cover is byte-identical to plain chortle's.
+  core::Options plain = options;
+  plain.cancel = nullptr;
+  EXPECT_EQ(blif_of(result->circuit),
+            blif_of(core::map_network(network, plain).circuit));
+
+  // Release the oblivious stragglers so the pool can drain before the
+  // mapper (and then the clock) is destroyed.
+  clock.advance(milliseconds(10));
+}
+
+TEST(PortfolioRace, RacerThatBeatsTheFallbackInTimeWins) {
+  base::FakeClock clock;
+  const net::Network network = two_tree_network();
+
+  PaddedMapper padded;
+  StubMapper speedy("speedy", &clock, at(3), /*obey_cancel=*/true);
+  portfolio::PortfolioConfig config;
+  config.strategies = {&padded, &speedy};
+  config.clock = &clock;
+  config.jobs = 8;
+  portfolio::PortfolioMapper mapper(config);
+
+  base::CancelToken parent(at(5), &clock);
+  core::Options options;
+  options.k = 3;
+  options.cancel = &parent;
+
+  portfolio::PortfolioStats stats;
+  std::optional<core::MapResult> result;
+  std::thread driver([&] {
+    result = mapper.map_with(network, options, config, &stats);
+  });
+  while (speedy.waiting() < 3) std::this_thread::yield();
+  clock.advance(milliseconds(3));  // speedy finishes well inside t=5
+  driver.join();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(stats.winner, "speedy");
+  EXPECT_EQ(stats.cancelled, 0);
+  ASSERT_EQ(stats.strategies.size(), 2u);
+  EXPECT_TRUE(stats.strategies[1].completed);
+  EXPECT_EQ(stats.strategies[1].luts, 2);
+  EXPECT_EQ(stats.strategies[0].luts, 3);  // the padded fallback
+  EXPECT_EQ(result->stats.num_luts, 2);
+  EXPECT_EQ(result->stats.portfolio_winner, "speedy");
+  EXPECT_TRUE(equivalent_to(network, result->circuit));
+}
+
+TEST(PortfolioRace, ParentCancelMidRacePropagatesToChildren) {
+  base::FakeClock clock;
+  const net::Network network = two_tree_network();
+
+  StubMapper racer("racer", &clock, at(100), /*obey_cancel=*/true);
+  portfolio::PortfolioConfig config;
+  config.strategies = {core::find_mapper("chortle"), &racer};
+  config.clock = &clock;
+  config.jobs = 8;
+  portfolio::PortfolioMapper mapper(config);
+
+  base::CancelToken parent;  // no deadline: only the explicit cancel
+  core::Options options;
+  options.k = 3;
+  options.cancel = &parent;
+
+  portfolio::PortfolioStats stats;
+  std::optional<core::MapResult> result;
+  std::thread driver([&] {
+    result = mapper.map_with(network, options, config, &stats);
+  });
+  while (racer.waiting() < 3) std::this_thread::yield();
+  parent.cancel();
+  // Wake everyone until the cancel has propagated: the driver closes
+  // the race and cancels the child tokens, and each blocked racer task
+  // then observes its child token and unwinds with Cancelled.
+  while (racer.cancelled_count() < 3) {
+    clock.wake_all();
+    std::this_thread::yield();
+  }
+  driver.join();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(stats.winner, "chortle");
+  EXPECT_EQ(stats.cancelled, 3);  // all racer tasks were still pending
+  EXPECT_EQ(racer.cancelled_count(), 3);
+  EXPECT_FALSE(stats.strategies[1].completed);
+
+  core::Options plain = options;
+  plain.cancel = nullptr;
+  EXPECT_EQ(blif_of(result->circuit),
+            blif_of(core::map_network(network, plain).circuit));
+}
+
+TEST(PortfolioRace, StitchingComposesPerTreeWinnersAcrossStrategies) {
+  const net::Network network = two_tree_network();
+
+  PaddedMapper padded;
+  ScriptedMapper and_only("andman", &is_single_and);
+  ScriptedMapper or_only("orman", &is_single_or);
+  portfolio::PortfolioConfig config;
+  config.strategies = {&padded, &and_only, &or_only};
+  config.jobs = 8;  // no budget, no clock: every task runs to completion
+  portfolio::PortfolioMapper mapper(config);
+
+  core::Options options;
+  options.k = 3;
+
+  portfolio::PortfolioStats stats;
+  const core::MapResult result =
+      mapper.map_with(network, options, config, &stats);
+
+  // Neither specialist can cover the whole network (both throw on it),
+  // but each wins its own cone; the stitched composite beats the padded
+  // fallback's 3-LUT whole cover with 2 LUTs.
+  EXPECT_EQ(stats.winner, "stitched");
+  EXPECT_EQ(stats.stitched_trees, 2);
+  ASSERT_EQ(stats.strategies.size(), 3u);
+  EXPECT_FALSE(stats.strategies[1].completed);
+  EXPECT_FALSE(stats.strategies[2].completed);
+  EXPECT_EQ(stats.strategies[1].trees_won, 1);
+  EXPECT_EQ(stats.strategies[2].trees_won, 1);
+  EXPECT_EQ(result.stats.num_luts, 2);
+  EXPECT_EQ(result.stats.portfolio_stitched_trees, 2);
+  EXPECT_TRUE(equivalent_to(network, result.circuit));
+
+  // Given the same winner set, the emitted circuit is deterministic.
+  const core::MapResult again =
+      mapper.map_with(network, options, config, nullptr);
+  EXPECT_EQ(blif_of(result.circuit), blif_of(again.circuit));
+}
+
+TEST(PortfolioRace, LutObjectiveBreaksTiesTowardTheFallback) {
+  const net::Network network = and4_network();
+  CannedMapper chain("chain", /*balanced=*/false);
+  CannedMapper balanced("balanced", /*balanced=*/true);
+  portfolio::PortfolioConfig config;
+  config.strategies = {&chain, &balanced};
+  config.objective = portfolio::Objective::kLuts;
+  config.jobs = 8;
+  portfolio::PortfolioMapper mapper(config);
+
+  core::Options options;
+  options.k = 2;
+  portfolio::PortfolioStats stats;
+  const core::MapResult result =
+      mapper.map_with(network, options, config, &stats);
+
+  // Both covers use 3 LUTs; the tie breaks toward the fallback even
+  // though the racer's cover is shallower.
+  EXPECT_EQ(stats.winner, "chain");
+  EXPECT_EQ(result.stats.num_luts, 3);
+  EXPECT_EQ(result.stats.depth, 3);
+  EXPECT_EQ(stats.stitched_trees, 0);
+  EXPECT_TRUE(equivalent_to(network, result.circuit));
+}
+
+TEST(PortfolioRace, DepthObjectivesPreferTheShallowerCover) {
+  const net::Network network = and4_network();
+  CannedMapper chain("chain", /*balanced=*/false);
+  CannedMapper balanced("balanced", /*balanced=*/true);
+
+  for (const portfolio::Objective objective :
+       {portfolio::Objective::kDepth, portfolio::Objective::kDepthThenLuts}) {
+    portfolio::PortfolioConfig config;
+    config.strategies = {&chain, &balanced};
+    config.objective = objective;
+    config.jobs = 8;
+    portfolio::PortfolioMapper mapper(config);
+
+    core::Options options;
+    options.k = 2;
+    portfolio::PortfolioStats stats;
+    const core::MapResult result =
+        mapper.map_with(network, options, config, &stats);
+
+    EXPECT_EQ(stats.winner, "balanced") << to_string(objective);
+    EXPECT_EQ(result.stats.num_luts, 3) << to_string(objective);
+    EXPECT_EQ(result.stats.depth, 2) << to_string(objective);
+    EXPECT_TRUE(equivalent_to(network, result.circuit));
+  }
+}
+
+TEST(PortfolioRace, ZeroBudgetSkipsTheRaceEntirely) {
+  const net::Network network = two_tree_network();
+  StubMapper never("never", nullptr, at(0), /*obey_cancel=*/true);
+  portfolio::PortfolioConfig config;
+  config.strategies = {core::find_mapper("chortle"), &never};
+  config.budget_ms = 0;  // already expired when the race would start
+  portfolio::PortfolioMapper mapper(config);
+
+  core::Options options;
+  options.k = 4;
+  portfolio::PortfolioStats stats;
+  const core::MapResult result =
+      mapper.map_with(network, options, config, &stats);
+
+  EXPECT_EQ(stats.winner, "chortle");
+  EXPECT_EQ(stats.cancelled, 0);
+  EXPECT_EQ(blif_of(result.circuit),
+            blif_of(core::map_network(network, options).circuit));
+}
+
+TEST(PortfolioRace, DefaultLineupNeverLosesToPlainChortleOnLuts) {
+  portfolio::ensure_registered();
+  const core::IMapper* mapper = core::find_mapper("portfolio");
+  ASSERT_NE(mapper, nullptr);
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    const net::Network network = testing::random_tree(5, 4, 3, seed);
+    core::Options options;
+    options.k = 4;
+    const core::MapResult result = mapper->map(network, options);
+    EXPECT_TRUE(equivalent_to(network, result.circuit)) << "seed " << seed;
+    const core::MapResult plain = core::map_network(network, options);
+    EXPECT_LE(result.stats.num_luts, plain.stats.num_luts)
+        << "seed " << seed;
+    EXPECT_FALSE(result.stats.portfolio_winner.empty());
+  }
+}
+
+}  // namespace
+}  // namespace chortle

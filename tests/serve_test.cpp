@@ -436,6 +436,132 @@ TEST(ServeProtocol, NewClientGetsEchoedContextAndStages) {
   server.shutdown();
 }
 
+// ---------------------------------------------------------------------
+// Protocol revision 3: mapper selection + portfolio racing, negotiated
+// so revision-2 peers keep seeing the exact revision-2 wire shape.
+
+TEST(ServeProtocol, V2RequestGetsByteCompatibleV2Response) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("v2peer");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  // Hand-build a revision-2 header: "proto":2 but none of the
+  // revision-3 fields — exactly what a pre-revision-3 client sends.
+  obs::Json header = obs::Json::object();
+  header.set("type", kMapRequestType);
+  header.set("proto", 2);
+  header.set("k", 3);
+  const int fd = raw_connect(config.unix_path);
+  write_frame(fd, header, benchmark_blif("count"));
+  const std::optional<Frame> reply = read_frame(fd);
+  ::close(fd);
+  ASSERT_TRUE(reply.has_value());
+
+  // No revision-3 field may leak into the reply: an old client sees
+  // bytes indistinguishable from an old server's.
+  for (const char* field : {"mapper", "portfolio"})
+    EXPECT_EQ(reply->header.find(field), nullptr)
+        << "v2 response leaked revision-3 field '" << field << "'";
+  const MapResponse response = parse_map_response(*reply);
+  EXPECT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.proto, 2);
+  EXPECT_TRUE(response.has_stages);  // revision-2 fields still present
+  server.shutdown();
+}
+
+TEST(ServePortfolio, MapsWithTheRegisteredPortfolioBackend) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("pfok");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  const std::string blif_text = benchmark_blif("9symml");
+  Client client = Client::connect_unix(config.unix_path);
+
+  MapRequest chortle_request;
+  chortle_request.k = 4;
+  chortle_request.blif = blif_text;
+  const MapResponse chortle_response = client.map(chortle_request);
+  ASSERT_TRUE(chortle_response.ok()) << chortle_response.error;
+
+  MapRequest request;
+  request.k = 4;
+  request.blif = blif_text;
+  request.mapper = "portfolio";
+  request.objective = "luts";
+  const MapResponse response = client.map(request);
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.mapper, "portfolio");
+  EXPECT_FALSE(response.portfolio_winner.empty());
+  // Ties break toward the chortle fallback, so the race can only help.
+  EXPECT_LE(response.luts, chortle_response.luts);
+  server.shutdown();
+  const Server::Counters counters = server.counters();
+  EXPECT_EQ(counters.portfolio_requests, 1u);
+}
+
+TEST(ServePortfolio, ExpiredRaceBudgetReturnsFallbackCoverNotBusy) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("pfbudget");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  const std::string blif_text = benchmark_blif("count");
+  Client client = Client::connect_unix(config.unix_path);
+
+  // A zero race budget is the deterministic worst case of "the deadline
+  // fired mid-race": every racer is cancelled before contributing. The
+  // request must still be served — the uncancellable chortle fallback
+  // is the answer — never rejected as busy or deadline-expired.
+  MapRequest request;
+  request.k = 3;
+  request.blif = blif_text;
+  request.mapper = "portfolio";
+  request.portfolio_budget_ms = 0;
+  request.deadline_ms = 10000;  // generous: only the race budget expires
+  const MapResponse response = client.map(request);
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.status, "ok");
+  EXPECT_EQ(response.mapper, "portfolio");
+  EXPECT_EQ(response.portfolio_winner, "chortle");
+
+  // The fallback cover is byte-identical to a plain chortle response.
+  MapRequest plain;
+  plain.k = 3;
+  plain.blif = blif_text;
+  const MapResponse plain_response = client.map(plain);
+  ASSERT_TRUE(plain_response.ok()) << plain_response.error;
+  EXPECT_EQ(response.blif, plain_response.blif);
+  server.shutdown();
+  EXPECT_EQ(server.counters().rejected_busy, 0u);
+}
+
+TEST(ServePortfolio, UnknownMapperIsInvalidAndListsTheRegistry) {
+  ServerConfig config;
+  config.unix_path = test_socket_path("pfbad");
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  MapRequest request;
+  request.blif = benchmark_blif("count");
+  request.mapper = "nosuch";
+  Client client = Client::connect_unix(config.unix_path);
+  const MapResponse response = client.map(request);
+  EXPECT_EQ(response.status, "invalid");
+  // The error names the live registry (including the portfolio racer),
+  // not a hard-coded list.
+  EXPECT_NE(response.error.find("nosuch"), std::string::npos);
+  EXPECT_NE(response.error.find("portfolio"), std::string::npos);
+  EXPECT_NE(response.error.find("chortle"), std::string::npos);
+  server.shutdown();
+  EXPECT_EQ(server.counters().invalid_requests, 1u);
+}
+
 TEST(ServeProtocol, MalformedTraceIdIsRejectedNotSmuggled) {
   ServerConfig config;
   config.unix_path = test_socket_path("badtrace");
@@ -780,7 +906,8 @@ TEST(ServeBugfix, InvalidRequestStillEchoesIdProtoAndTraceContext) {
   const MapResponse response = parse_map_response(*reply);
   EXPECT_EQ(response.status, "invalid");
   EXPECT_EQ(response.id, "correlate-me");
-  EXPECT_EQ(response.proto, kProtocolVersion);
+  // Negotiated down to the peer's revision, not the server's maximum.
+  EXPECT_EQ(response.proto, 2);
   EXPECT_EQ(response.context.trace_id, 0x00112233445566aaull);
 
   // A v1 peer's invalid request stays v1-shaped: id echoed, no

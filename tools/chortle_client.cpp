@@ -3,6 +3,8 @@
 //   chortle_client (--unix PATH | --host H --port N)
 //                  [-k N] [--split N] [--no-search] [--optimize]
 //                  [--verify] [--deadline-ms N] [--id STR]
+//                  [--mapper NAME] [--objective NAME]
+//                  [--portfolio-budget-ms N]
 //                  [-o OUT] input.blif
 //   chortle_client (--unix PATH | --host H --port N) --stats [-o OUT]
 //   chortle_client --dump-benchmark NAME [-o OUT]
@@ -38,7 +40,9 @@ void usage() {
   std::fprintf(stderr,
                "usage: chortle_client (--unix PATH | --host H --port N) "
                "[-k N] [--split N] [--no-search] [--optimize] [--verify] "
-               "[--deadline-ms N] [--id STR] [-o OUT] input.blif\n"
+               "[--deadline-ms N] [--id STR] [--mapper NAME] "
+               "[--objective NAME] [--portfolio-budget-ms N] "
+               "[-o OUT] input.blif\n"
                "       chortle_client (--unix PATH | --host H --port N) "
                "--stats [-o OUT]\n"
                "       chortle_client --dump-benchmark NAME [-o OUT]\n");
@@ -102,6 +106,12 @@ int main(int argc, char** argv) {
       request.verify = true;
     } else if (arg == "--deadline-ms" && has_value) {
       request.deadline_ms = std::atoll(argv[++i]);
+    } else if (arg == "--mapper" && has_value) {
+      request.mapper = argv[++i];
+    } else if (arg == "--objective" && has_value) {
+      request.objective = argv[++i];
+    } else if (arg == "--portfolio-budget-ms" && has_value) {
+      request.portfolio_budget_ms = std::atoll(argv[++i]);
     } else if (arg == "--id" && has_value) {
       request.id = argv[++i];
     } else if (arg == "-o" && has_value) {
@@ -176,6 +186,13 @@ int main(int argc, char** argv) {
                  response.seconds,
                  response.verified.empty() ? "" : " verified=",
                  response.verified.c_str());
+    if (!response.portfolio_winner.empty())
+      std::fprintf(stderr,
+                   "chortle_client: portfolio: winner=%s cancelled=%d "
+                   "stitched_trees=%d\n",
+                   response.portfolio_winner.c_str(),
+                   response.portfolio_cancelled,
+                   response.portfolio_stitched_trees);
     if (response.has_stages)
       std::fprintf(stderr,
                    "chortle_client: trace=%s stages: queue_wait=%.6f "
